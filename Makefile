@@ -1,0 +1,53 @@
+# csrgraph development targets. Everything is plain `go` underneath; the
+# Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench bench-quick fuzz experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Full benchmark run (same command EXPERIMENTS.md references).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark, for a fast sanity pass.
+bench-quick:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzReadText -fuzztime 15s ./internal/edgelist/
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/edgelist/
+	$(GO) test -fuzz FuzzReadTemporalText -fuzztime 15s ./internal/edgelist/
+	$(GO) test -fuzz FuzzDecodeVarint -fuzztime 15s ./internal/bitpack/
+	$(GO) test -fuzz FuzzDecodeEliasGamma -fuzztime 15s ./internal/bitpack/
+	$(GO) test -fuzz FuzzPackedUnmarshal -fuzztime 15s ./internal/bitpack/
+	$(GO) test -fuzz FuzzReadPacked -fuzztime 15s ./internal/csr/
+	$(GO) test -fuzz FuzzReadPacked -fuzztime 15s ./internal/tcsr/
+
+# Regenerate the paper artifacts (Table II, Figures 6-7, CSV, SVG).
+experiments:
+	$(GO) run ./cmd/csrbench -experiment all -scale 64 -reps 3 \
+		-csv results_scale64.csv -svg .
+	$(GO) run ./cmd/tcsrbench -nodes 20000 -base 100000 -churn 2000 \
+		-frames 50 -compare
+
+clean:
+	$(GO) clean ./...
+	rm -f results_scale64.csv fig6.svg fig7.svg test_output.txt bench_output.txt

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseProcs(t *testing.T) {
+	got, err := parseProcs("1, 4,8")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 4, 8}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "4,-1"} {
+		if _, err := parseProcs(bad); err == nil {
+			t.Errorf("%q: want error", bad)
+		}
+	}
+}
+
+func TestRunSmallSweep(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	err := run([]string{
+		"-experiment", "all", "-scale", "512", "-reps", "1",
+		"-procs", "1,4", "-graph", "WebNotreDame", "-csv", csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 { // header + 2 proc rows
+		t.Fatalf("csv lines = %d:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[1], "WebNotreDame,512,") {
+		t.Fatalf("csv row: %s", lines[1])
+	}
+}
+
+func TestRunScalingExperiment(t *testing.T) {
+	err := run([]string{"-experiment", "scaling", "-scale", "512", "-reps", "1", "-graph", "WebNotreDame"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueriesExperiment(t *testing.T) {
+	err := run([]string{"-experiment", "queries", "-scale", "512", "-reps", "1", "-graph", "WebNotreDame"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad experiment": {"-experiment", "nope", "-scale", "512", "-graph", "WebNotreDame", "-reps", "1"},
+		"bad mode":       {"-mode", "psychic", "-scale", "512"},
+		"bad graph":      {"-graph", "Friendster", "-scale", "512"},
+		"bad procs":      {"-procs", "zero", "-scale", "512"},
+		"bad scale":      {"-scale", "0"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

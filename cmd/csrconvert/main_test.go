@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+)
+
+func writeTestGraph(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "g.txt")
+	l := edgelist.List{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 0, V: 2}}
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "g.pcsr")
+	if err := run([]string{"-in", in, "-out", out, "-procs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	pk, err := csr.LoadPackedFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.NumNodes() != 3 || pk.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", pk.NumNodes(), pk.NumEdges())
+	}
+	if !pk.HasEdge(2, 0) {
+		t.Fatal("edge lost in conversion")
+	}
+}
+
+func TestConvertSymmetrize(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "one.txt")
+	if err := os.WriteFile(in, []byte("0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "one.pcsr")
+	if err := run([]string{"-in", in, "-out", out, "-symmetrize"}); err != nil {
+		t.Fatal(err)
+	}
+	pk, err := csr.LoadPackedFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.NumEdges() != 2 || !pk.HasEdge(1, 0) {
+		t.Fatal("symmetrize not applied")
+	}
+}
+
+func TestConvertWithOrdering(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	for _, ord := range []string{"degree", "bfs"} {
+		out := filepath.Join(dir, ord+".pcsr")
+		if err := run([]string{"-in", in, "-out", out, "-order", ord}); err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		pk, err := csr.LoadPackedFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pk.NumEdges() != 4 {
+			t.Fatalf("%s: edges = %d", ord, pk.NumEdges())
+		}
+	}
+	if err := run([]string{"-in", in, "-out", "/tmp/x.pcsr", "-order", "magic"}); err == nil {
+		t.Fatal("want error for unknown ordering")
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	if err := run([]string{"-in", "x"}); err == nil {
+		t.Fatal("want error for missing -out")
+	}
+	if err := run([]string{"-in", "/nonexistent", "-out", "/tmp/y.pcsr"}); err == nil {
+		t.Fatal("want error for missing input")
+	}
+}

@@ -1,0 +1,76 @@
+// Command csrserver serves a packed CSR graph — or a packed time-evolving
+// TCSR — over HTTP with the parallel querying algorithms of Section V:
+//
+//	csrserver -graph g.pcsr -addr :8080 -procs 8
+//	csrserver -temporal t.tcsr -addr :8080
+//
+// Static endpoints: /healthz, /stats, /neighbors?nodes=...,
+// /degree?nodes=..., /exists?edges=u:v,..., /bfs?src=n.
+// Temporal endpoints: /healthz, /stats, /active?queries=u:v:t,...,
+// /neighbors?node=u&frame=t.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/server"
+	"csrgraph/internal/tcsr"
+)
+
+func main() {
+	fs := flag.NewFlagSet("csrserver", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "packed CSR file")
+	temporalPath := fs.String("temporal", "", "packed TCSR file (mutually exclusive with -graph)")
+	addr := fs.String("addr", ":8080", "listen address")
+	procs := fs.Int("procs", 4, "processors per query batch")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	handler, desc, err := buildHandler(*graphPath, *temporalPath, *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrserver:", err)
+		os.Exit(2)
+	}
+	log.Printf("serving %s on %s", desc, *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// buildHandler resolves the flag combination into an http.Handler.
+func buildHandler(graphPath, temporalPath string, procs int) (http.Handler, string, error) {
+	switch {
+	case graphPath != "" && temporalPath != "":
+		return nil, "", fmt.Errorf("-graph and -temporal are mutually exclusive")
+	case graphPath != "":
+		pk, err := csr.LoadPackedFile(graphPath)
+		if err != nil {
+			return nil, "", err
+		}
+		desc := fmt.Sprintf("%d nodes / %d edges (%d-bit neighbors)",
+			pk.NumNodes(), pk.NumEdges(), pk.NumBits())
+		return server.New(pk, procs), desc, nil
+	case temporalPath != "":
+		f, err := os.Open(temporalPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		pt, err := tcsr.ReadPacked(f)
+		if err != nil {
+			return nil, "", err
+		}
+		desc := fmt.Sprintf("%d nodes / %d frames (temporal)", pt.NumNodes(), pt.NumFrames())
+		return server.NewTemporal(pt, procs), desc, nil
+	}
+	return nil, "", fmt.Errorf("one of -graph or -temporal is required")
+}

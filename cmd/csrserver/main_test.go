@@ -1,0 +1,74 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/tcsr"
+)
+
+func TestBuildHandlerGraph(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.pcsr")
+	pk := csr.BuildPacked(edgelist.List{{U: 0, V: 1}}, 2, 1)
+	if err := pk.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	h, desc, err := buildHandler(path, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc == "" {
+		t.Fatal("empty description")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+}
+
+func TestBuildHandlerTemporal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.tcsr")
+	tc, err := tcsr.BuildFromEvents(edgelist.TemporalList{{U: 0, V: 1, T: 0}}, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Pack(1).WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	h, _, err := buildHandler("", path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/active?queries=0:1:0", nil))
+	if rec.Code != 200 {
+		t.Fatalf("active = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestBuildHandlerErrors(t *testing.T) {
+	if _, _, err := buildHandler("", "", 2); err == nil {
+		t.Fatal("want error for no input")
+	}
+	if _, _, err := buildHandler("a", "b", 2); err == nil {
+		t.Fatal("want error for both inputs")
+	}
+	if _, _, err := buildHandler("/nonexistent.pcsr", "", 2); err == nil {
+		t.Fatal("want error for missing graph file")
+	}
+	if _, _, err := buildHandler("", "/nonexistent.tcsr", 2); err == nil {
+		t.Fatal("want error for missing temporal file")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+)
+
+func statsFixtures(t *testing.T) (txt, pcsr string) {
+	t.Helper()
+	dir := t.TempDir()
+	l := edgelist.List{
+		{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2}, {U: 2, V: 1},
+		{U: 0, V: 2}, {U: 2, V: 0}, {U: 3, V: 4}, {U: 4, V: 3},
+	}
+	txt = filepath.Join(dir, "g.txt")
+	if err := l.SaveFile(txt); err != nil {
+		t.Fatal(err)
+	}
+	pcsr = filepath.Join(dir, "g.pcsr")
+	if err := csr.BuildPacked(l, 5, 1).SaveFile(pcsr); err != nil {
+		t.Fatal(err)
+	}
+	return txt, pcsr
+}
+
+func TestStatsOnTextInput(t *testing.T) {
+	txt, _ := statsFixtures(t)
+	if err := run([]string{"-in", txt, "-procs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsOnPackedInput(t *testing.T) {
+	_, pcsr := statsFixtures(t)
+	if err := run([]string{"-in", pcsr, "-procs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsLightMode(t *testing.T) {
+	txt, _ := statsFixtures(t)
+	if err := run([]string{"-in", txt, "-heavy=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("want error for missing -in")
+	}
+	if err := run([]string{"-in", "/nonexistent"}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csrgraph/internal/edgelist"
+)
+
+func TestRunRMAT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	if err := run([]string{"-kind", "rmat", "-scale", "8", "-edges", "500", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := edgelist.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) == 0 || !l.IsSortedByUV() {
+		t.Fatalf("bad output: %d edges sorted=%v", len(l), l.IsSortedByUV())
+	}
+}
+
+func TestRunBinaryOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.bin")
+	if err := run([]string{"-kind", "uniform", "-nodes", "100", "-edges", "300", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := edgelist.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) == 0 {
+		t.Fatal("no edges written")
+	}
+}
+
+func TestRunTemporal(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.txt")
+	if err := run([]string{"-kind", "temporal", "-nodes", "50", "-edges", "200",
+		"-churn", "20", "-frames", "5", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ev, err := edgelist.ReadTemporalText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.IsSorted() || ev.NumFrames() != 5 {
+		t.Fatalf("bad temporal output: sorted=%v frames=%d", ev.IsSorted(), ev.NumFrames())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"missing out": {"-kind", "rmat"},
+		"bad kind":    {"-kind", "nope", "-out", "/tmp/x"},
+		"bad scale":   {"-kind", "rmat", "-scale", "99", "-out", "/tmp/x"},
+		"bad gamma":   {"-kind", "powerlaw", "-gamma", "0.5", "-out", "/tmp/x"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestRunRing(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ring.txt")
+	if err := run([]string{"-kind", "ring", "-nodes", "10", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := edgelist.LoadFile(out)
+	if len(l) != 10 {
+		t.Fatalf("ring has %d edges, want 10", len(l))
+	}
+}

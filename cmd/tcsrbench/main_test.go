@@ -1,0 +1,35 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseProcs(t *testing.T) {
+	got, err := parseProcs("1,2")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := parseProcs("1,zero"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRunSmall(t *testing.T) {
+	err := run([]string{
+		"-nodes", "200", "-base", "1000", "-churn", "50", "-frames", "6",
+		"-procs", "1,2", "-reps", "1", "-queries", "500", "-compare",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-procs", "x"}); err == nil {
+		t.Fatal("want procs error")
+	}
+	if err := run([]string{"-nodes", "1", "-frames", "3", "-reps", "1"}); err == nil {
+		t.Fatal("want generator error for 1 node")
+	}
+}

@@ -1,0 +1,33 @@
+// Package csrgraph is a parallel graph compression and querying library: a
+// Go implementation of "Parallel Techniques for Compressing and Querying
+// Massive Social Networks" (Gopal Krishna, Narasimhan, Radhakrishnan,
+// Sekharan; IPPS 2023).
+//
+// The library stores graphs as Compressed Sparse Rows (CSR) and provides:
+//
+//   - parallel CSR construction from an edge list, built on a chunked
+//     parallel prefix sum and a parallel degree computation;
+//   - a bit-packed CSR that stores both CSR arrays at
+//     ceil(log2(max+1)) bits per entry while keeping O(1) random access;
+//   - a time-evolving differential CSR for graphs that change over
+//     discrete time-frames, with parity-rule activity queries;
+//   - parallel batched queries: neighborhoods, edge existence, and a
+//     single-edge query that splits one neighbor list across processors.
+//
+// # Quick start
+//
+//	edges := []csrgraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}
+//	g, err := csrgraph.Build(edges, csrgraph.WithProcs(4))
+//	if err != nil { ... }
+//	fmt.Println(g.Neighbors(1))   // [2]
+//	cg := g.Compress()            // bit-packed form
+//	fmt.Println(cg.HasEdge(2, 0)) // true
+//
+// The cmd/ directory contains the benchmark harness that regenerates the
+// paper's Table II and Figures 6-7 (cmd/csrbench), a temporal benchmark
+// (cmd/tcsrbench), a workload generator (cmd/graphgen), conversion and
+// query tools (cmd/csrconvert, cmd/csrquery), a structural analyzer
+// (cmd/csrstats) and an HTTP query server (cmd/csrserver). See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for paper-versus-measured
+// results.
+package csrgraph

@@ -1,0 +1,133 @@
+package csrgraph_test
+
+import (
+	"fmt"
+
+	"csrgraph"
+)
+
+// ExampleBuild constructs a small directed graph and queries it.
+func ExampleBuild() {
+	g, err := csrgraph.Build([]csrgraph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.Neighbors(1))
+	fmt.Println(g.HasEdge(2, 0))
+	fmt.Println(g.HasEdge(0, 2))
+	// Output:
+	// [2]
+	// true
+	// false
+}
+
+// ExampleGraph_Compress shows the bit-packed form answering the same
+// queries at a fraction of the size.
+func ExampleGraph_Compress() {
+	g, _ := csrgraph.Build([]csrgraph.Edge{
+		{U: 0, V: 5}, {U: 1, V: 6}, {U: 1, V: 7}, {U: 2, V: 7}, {U: 3, V: 8},
+		{U: 3, V: 9}, {U: 4, V: 9}, {U: 5, V: 0}, {U: 6, V: 1}, {U: 7, V: 1},
+		{U: 7, V: 2}, {U: 8, V: 2}, {U: 8, V: 3}, {U: 9, V: 3},
+	})
+	cg := g.Compress()
+	fmt.Println(cg.Neighbors(7))
+	fmt.Println(cg.NumBits(), "bits per neighbor")
+	fmt.Println(cg.SizeBytes(), "bytes vs", g.SizeBytes(), "uncompressed")
+	// Output:
+	// [1 2]
+	// 4 bits per neighbor
+	// 13 bytes vs 100 uncompressed
+}
+
+// ExampleBuildTemporal stores a toggle-event stream as a differential
+// time-evolving CSR and answers point-in-time queries.
+func ExampleBuildTemporal() {
+	tg, _ := csrgraph.BuildTemporal([]csrgraph.TemporalEdge{
+		{U: 0, V: 1, T: 0}, // appears at frame 0
+		{U: 0, V: 1, T: 2}, // disappears at frame 2
+		{U: 0, V: 1, T: 3}, // reappears at frame 3
+	}, 4)
+	for t := 0; t < 4; t++ {
+		fmt.Printf("frame %d: %v\n", t, tg.Active(0, 1, t))
+	}
+	// Output:
+	// frame 0: true
+	// frame 1: true
+	// frame 2: false
+	// frame 3: true
+}
+
+// ExampleCompressedGraph_NeighborsBatch answers a batch of neighborhood
+// queries in parallel over the compressed structure.
+func ExampleCompressedGraph_NeighborsBatch() {
+	g, _ := csrgraph.Build([]csrgraph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2},
+	})
+	cg := g.Compress()
+	rows := cg.NeighborsBatch([]csrgraph.NodeID{0, 1, 2}, 2)
+	fmt.Println(rows)
+	// Output:
+	// [[1 2] [2] []]
+}
+
+// ExampleBuildWeighted builds the weighted three-array CSR and runs a
+// shortest-path query over the vA cost array.
+func ExampleBuildWeighted() {
+	g, _ := csrgraph.BuildWeighted([]csrgraph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 0, V: 2, W: 5},
+	})
+	path, cost := g.ShortestPath(0, 2)
+	fmt.Println(path, cost)
+	// Output:
+	// [0 1 2] 2
+}
+
+// ExampleNewStreamBuilder maintains a graph under live edge updates and
+// snapshots it into an immutable, queryable CSR.
+func ExampleNewStreamBuilder() {
+	sb := csrgraph.NewStreamBuilder(csrgraph.WithNumNodes(3))
+	sb.Add(csrgraph.Edge{U: 0, V: 1}, csrgraph.Edge{U: 1, V: 2})
+	sb.Delete(csrgraph.Edge{U: 0, V: 1})
+	g := sb.Snapshot()
+	fmt.Println(g.HasEdge(0, 1), g.HasEdge(1, 2))
+	// Output:
+	// false true
+}
+
+// ExampleGraph_BFS runs a parallel breadth-first search.
+func ExampleGraph_BFS() {
+	g, _ := csrgraph.Build([]csrgraph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3},
+	})
+	fmt.Println(g.BFS(0, 2))
+	// Output:
+	// [0 1 2 3]
+}
+
+// ExampleTemporalGraph_Checkpoint accelerates point-in-time queries with
+// periodic snapshot checkpoints.
+func ExampleTemporalGraph_Checkpoint() {
+	tg, _ := csrgraph.BuildTemporal([]csrgraph.TemporalEdge{
+		{U: 0, V: 1, T: 0}, {U: 0, V: 1, T: 2},
+	}, 4)
+	ck, _ := tg.Checkpoint(2)
+	fmt.Println(ck.Active(0, 1, 1), ck.Active(0, 1, 3))
+	// Output:
+	// true false
+}
+
+// ExampleWeightedGraph_MinimumSpanningForest extracts an MST from a
+// symmetrized weighted graph.
+func ExampleWeightedGraph_MinimumSpanningForest() {
+	g, _ := csrgraph.BuildWeighted([]csrgraph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 0, W: 1},
+		{U: 1, V: 2, W: 2}, {U: 2, V: 1, W: 2},
+		{U: 0, V: 2, W: 9}, {U: 2, V: 0, W: 9},
+	})
+	forest, total := g.MinimumSpanningForest(2)
+	fmt.Println(len(forest), total)
+	// Output:
+	// 2 3
+}

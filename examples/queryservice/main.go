@@ -1,0 +1,81 @@
+// Embedding csrgraph in a network service: a minimal HTTP API over a
+// compressed social graph, the "millions of users querying at once"
+// scenario of Section V. (The cmd/csrserver tool is the full-featured
+// version; this example shows how little code the embedding takes.)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"csrgraph"
+)
+
+func main() {
+	const procs = 4
+	raw, err := csrgraph.GenerateRMAT(13, 1<<16, 7, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := csrgraph.Build(raw, csrgraph.WithSymmetrize(), csrgraph.WithProcs(procs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cg := g.Compress()
+	log.Printf("serving %d users, %d edges from %d KB of memory",
+		cg.NumNodes(), cg.NumEdges(), cg.SizeBytes()/1024)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /friends/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+		if err != nil || int(id) >= cg.NumNodes() {
+			http.Error(w, "unknown user", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"user":    id,
+			"friends": cg.Neighbors(uint32(id)),
+		})
+	})
+	mux.HandleFunc("GET /suggestions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+		if err != nil || int(id) >= cg.NumNodes() {
+			http.Error(w, "unknown user", http.StatusNotFound)
+			return
+		}
+		two := cg.TwoHopNeighbors(uint32(id), procs)
+		if len(two) > 10 {
+			two = two[:10]
+		}
+		json.NewEncoder(w).Encode(map[string]any{"user": id, "suggestions": two})
+	})
+
+	// Bind an ephemeral port, demonstrate two requests, and exit — a real
+	// service would block on Serve instead.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	base := "http://" + ln.Addr().String()
+	for _, path := range []string{"/friends/1", "/suggestions/1"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("GET %-16s -> %d keys, status %s\n", path, len(body), resp.Status)
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: build a CSR graph from an edge list, compress it, and query
+// it — the 10-node example of the paper's Table I / Figure 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csrgraph"
+)
+
+func main() {
+	// The paper's Table I example graph (symmetric sparse matrix).
+	edges := []csrgraph.Edge{
+		{U: 0, V: 5}, {U: 1, V: 6}, {U: 1, V: 7}, {U: 2, V: 7}, {U: 3, V: 8},
+		{U: 3, V: 9}, {U: 4, V: 9}, {U: 5, V: 0}, {U: 6, V: 1}, {U: 7, V: 1},
+		{U: 7, V: 2}, {U: 8, V: 2}, {U: 8, V: 3}, {U: 9, V: 3},
+	}
+
+	g, err := csrgraph.Build(edges, csrgraph.WithProcs(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges, %d bytes as CSR\n",
+		g.NumNodes(), g.NumEdges(), g.SizeBytes())
+
+	// Neighborhood and existence queries.
+	fmt.Printf("neighbors of 7: %v\n", g.Neighbors(7))
+	fmt.Printf("edge 3->9 exists: %v\n", g.HasEdge(3, 9))
+	fmt.Printf("edge 9->4 exists: %v\n", g.HasEdge(9, 4))
+
+	// Bit-packed form: same queries, fraction of the space.
+	cg := g.Compress()
+	fmt.Printf("compressed: %d bytes (%d-bit neighbor ids)\n", cg.SizeBytes(), cg.NumBits())
+	fmt.Printf("compressed neighbors of 7: %v\n", cg.Neighbors(7))
+
+	// Batched parallel queries (Section V of the paper).
+	batch := cg.NeighborsBatch([]csrgraph.NodeID{0, 1, 2, 3}, 4)
+	for i, row := range batch {
+		fmt.Printf("node %d -> %v\n", i, row)
+	}
+}

@@ -1,0 +1,109 @@
+// Social network analysis over a compressed graph: generate a realistic
+// heavy-tailed social graph (the workload class the paper evaluates —
+// LiveJournal, Pokec, Orkut), compress it, and run the queries a social
+// service issues constantly: friend lists, mutual friends, and
+// friends-of-friends recommendations, all without decompressing the graph.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"csrgraph"
+)
+
+func main() {
+	const procs = 4
+
+	// A ~130k-edge social graph over up to 2^14 users.
+	raw, err := csrgraph.GenerateRMAT(14, 1<<17, 2024, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := csrgraph.Build(raw, csrgraph.WithSymmetrize(), csrgraph.WithProcs(procs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cg := g.Compress()
+	fmt.Printf("social graph: %d users, %d friendships\n", g.NumNodes(), g.NumEdges()/2)
+	fmt.Printf("storage: %d KB plain CSR -> %d KB compressed (%.1fx)\n",
+		g.SizeBytes()/1024, cg.SizeBytes()/1024,
+		float64(g.SizeBytes())/float64(cg.SizeBytes()))
+
+	// Find the most-connected user (the celebrity of this network).
+	celebrity, best := csrgraph.NodeID(0), 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := cg.Degree(uint32(u)); d > best {
+			celebrity, best = uint32(u), d
+		}
+	}
+	fmt.Printf("most-connected user: %d with %d friends\n", celebrity, best)
+
+	// Mutual friends between the celebrity and one of its friends.
+	friends := cg.Neighbors(celebrity)
+	other := friends[len(friends)/2]
+	mutual := intersect(friends, cg.Neighbors(other))
+	fmt.Printf("users %d and %d share %d friends\n", celebrity, other, len(mutual))
+
+	// Friends-of-friends recommendation: non-friends with the most common
+	// friends, computed with one parallel neighborhood batch (Algorithm 6).
+	start := time.Now()
+	batch := cg.NeighborsBatch(friends, procs)
+	counts := map[uint32]int{}
+	for _, fof := range batch {
+		for _, w := range fof {
+			counts[w]++
+		}
+	}
+	delete(counts, celebrity)
+	for _, f := range friends {
+		delete(counts, f)
+	}
+	type rec struct {
+		user  uint32
+		score int
+	}
+	recs := make([]rec, 0, len(counts))
+	for u, c := range counts {
+		recs = append(recs, rec{u, c})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].score != recs[j].score {
+			return recs[i].score > recs[j].score
+		}
+		return recs[i].user < recs[j].user
+	})
+	fmt.Printf("top friend recommendations for %d (in %v):\n", celebrity, time.Since(start))
+	for i := 0; i < 5 && i < len(recs); i++ {
+		fmt.Printf("  user %d (%d mutual friends)\n", recs[i].user, recs[i].score)
+	}
+
+	// Bulk edge-existence checks (Algorithm 7): are these pairs connected?
+	probes := make([]csrgraph.Edge, 0, 6)
+	for i := 0; i < 6 && i < len(friends); i++ {
+		probes = append(probes, csrgraph.Edge{U: celebrity, V: friends[i]})
+	}
+	exists := cg.EdgesExistBatch(probes, procs)
+	fmt.Printf("existence batch over %d probes: %v\n", len(probes), exists)
+}
+
+// intersect returns the sorted intersection of two ascending slices.
+func intersect(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

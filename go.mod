@@ -1,0 +1,3 @@
+module csrgraph
+
+go 1.23

@@ -1,0 +1,169 @@
+package algo
+
+import (
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/query"
+)
+
+// Closeness computes closeness centrality for every node: the reciprocal
+// of the average BFS distance to the nodes it can reach, scaled by the
+// reached fraction (the Wasserman-Faust correction, which keeps scores
+// comparable across components). Nodes reaching nothing score 0. One BFS
+// runs per node; sources are distributed across p processors — the
+// centrality query family the copy+log temporal indexes of the paper's
+// related work (FVF [23]) serve.
+func Closeness(g query.Source, p int) []float64 {
+	p = clampProcs(p)
+	n := g.NumNodes()
+	out := make([]float64, n)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		st := newBfsState(n)
+		for s := r.Start; s < r.End; s++ {
+			out[s] = closenessFrom(g, uint32(s), st, n)
+		}
+	})
+	return out
+}
+
+// ClosenessSample estimates closeness for the given nodes only (e.g. the
+// candidates surfaced by degree or PageRank), returned in input order.
+func ClosenessSample(g query.Source, nodes []uint32, p int) []float64 {
+	p = clampProcs(p)
+	n := g.NumNodes()
+	out := make([]float64, len(nodes))
+	parallel.For(len(nodes), p, func(_ int, r parallel.Range) {
+		st := newBfsState(n)
+		for i := r.Start; i < r.End; i++ {
+			if int(nodes[i]) < n {
+				out[i] = closenessFrom(g, nodes[i], st, n)
+			}
+		}
+	})
+	return out
+}
+
+// bfsState is reusable per-source scratch for the sequential BFS used
+// inside source-parallel centrality sweeps.
+type bfsState struct {
+	dist  []int32
+	queue []uint32
+	row   []uint32
+}
+
+func newBfsState(n int) *bfsState {
+	return &bfsState{dist: make([]int32, n), queue: make([]uint32, 0, n)}
+}
+
+// closenessFrom runs one BFS and folds it into the corrected closeness.
+func closenessFrom(g query.Source, s uint32, st *bfsState, n int) float64 {
+	for i := range st.dist {
+		st.dist[i] = -1
+	}
+	st.queue = st.queue[:0]
+	st.dist[s] = 0
+	st.queue = append(st.queue, s)
+	var sum, reached int64
+	for qi := 0; qi < len(st.queue); qi++ {
+		v := st.queue[qi]
+		st.row = g.Row(st.row, v)
+		for _, w := range st.row {
+			if st.dist[w] < 0 {
+				st.dist[w] = st.dist[v] + 1
+				st.queue = append(st.queue, w)
+				sum += int64(st.dist[w])
+				reached++
+			}
+		}
+	}
+	if reached == 0 || sum == 0 {
+		return 0
+	}
+	// Wasserman-Faust: (reached / (n-1)) * (reached / sum).
+	return float64(reached) / float64(n-1) * float64(reached) / float64(sum)
+}
+
+// ColorGraph computes a proper vertex coloring of a symmetrized graph
+// with the Jones-Plassmann parallel algorithm: each round, nodes whose
+// hash priority beats all uncolored neighbors pick the smallest color not
+// used by any colored neighbor. Deterministic for fixed input. Returns
+// the color of every node and the number of colors used.
+func ColorGraph(g query.Source, p int) ([]uint32, int) {
+	p = clampProcs(p)
+	n := g.NumNodes()
+	const uncolored = ^uint32(0)
+	colors := make([]uint32, n)
+	for i := range colors {
+		colors[i] = uncolored
+	}
+	remaining := n
+	for round := uint64(0); remaining > 0; round++ {
+		winners := make([][]uint32, p)
+		parallel.For(n, p, func(c int, r parallel.Range) {
+			var buf []uint32
+			var local []uint32
+			for u := r.Start; u < r.End; u++ {
+				if colors[u] != uncolored {
+					continue
+				}
+				pu := misHash(round, uint32(u))
+				win := true
+				buf = g.Row(buf, uint32(u))
+				for _, w := range buf {
+					if int(w) == u || colors[w] != uncolored {
+						continue
+					}
+					pw := misHash(round, w)
+					if pw > pu || (pw == pu && w > uint32(u)) {
+						win = false
+						break
+					}
+				}
+				if win {
+					local = append(local, uint32(u))
+				}
+			}
+			winners[c] = local
+		})
+		// Winners form an independent set among uncolored nodes, so their
+		// color choices cannot conflict with each other; they only need to
+		// avoid already-colored neighbors.
+		colored := 0
+		for _, local := range winners {
+			for _, u := range local {
+				colors[u] = smallestFreeColor(g, colors, u)
+				colored++
+			}
+		}
+		if colored == 0 {
+			break
+		}
+		remaining -= colored
+	}
+	max := uint32(0)
+	for _, c := range colors {
+		if c != uncolored && c > max {
+			max = c
+		}
+	}
+	if n == 0 {
+		return colors, 0
+	}
+	return colors, int(max) + 1
+}
+
+// smallestFreeColor returns the minimum color unused by u's colored
+// neighbors.
+func smallestFreeColor(g query.Source, colors []uint32, u uint32) uint32 {
+	row := g.Row(nil, u)
+	used := make(map[uint32]struct{}, len(row))
+	for _, w := range row {
+		if w != u && colors[w] != ^uint32(0) {
+			used[colors[w]] = struct{}{}
+		}
+	}
+	for c := uint32(0); ; c++ {
+		if _, taken := used[c]; !taken {
+			return c
+		}
+	}
+}

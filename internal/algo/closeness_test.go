@@ -1,0 +1,177 @@
+package algo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/edgelist"
+)
+
+func TestClosenessStar(t *testing.T) {
+	// Star center reaches everyone in 1 hop: highest closeness.
+	var edges []edgelist.Edge
+	for v := uint32(1); v <= 6; v++ {
+		edges = append(edges, edgelist.Edge{U: 0, V: v})
+	}
+	m := buildGraph(edges, 7, true)
+	for _, p := range []int{1, 2, 4} {
+		cc := Closeness(m, p)
+		for v := 1; v <= 6; v++ {
+			if cc[0] <= cc[v] {
+				t.Fatalf("p=%d: center %g not above leaf %g", p, cc[0], cc[v])
+			}
+		}
+		// Center: reaches 6 nodes at distance 1: closeness = (6/6)*(6/6) = 1.
+		if math.Abs(cc[0]-1) > 1e-12 {
+			t.Fatalf("center closeness = %g, want 1", cc[0])
+		}
+	}
+}
+
+func TestClosenessIsolatedZero(t *testing.T) {
+	m := buildGraph([]edgelist.Edge{{U: 0, V: 1}}, 3, true)
+	cc := Closeness(m, 2)
+	if cc[2] != 0 {
+		t.Fatalf("isolated closeness = %g", cc[2])
+	}
+}
+
+func TestClosenessComponentCorrection(t *testing.T) {
+	// Two pairs: each node reaches 1 of 3 others at distance 1:
+	// closeness = (1/3)*(1/1) = 1/3 — penalized for the small component.
+	m := buildGraph([]edgelist.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, 4, true)
+	cc := Closeness(m, 2)
+	for u, c := range cc {
+		if math.Abs(c-1.0/3) > 1e-12 {
+			t.Fatalf("cc[%d] = %g, want 1/3", u, c)
+		}
+	}
+}
+
+func TestClosenessSampleMatchesFull(t *testing.T) {
+	m := randomGraph(80, 600, 97, true)
+	full := Closeness(m, 2)
+	nodes := []uint32{0, 7, 42, 79}
+	sampled := ClosenessSample(m, nodes, 2)
+	for i, u := range nodes {
+		if math.Abs(sampled[i]-full[u]) > 1e-12 {
+			t.Fatalf("sample[%d] = %g, full = %g", u, sampled[i], full[u])
+		}
+	}
+	// Out-of-range nodes score 0 rather than panicking.
+	if got := ClosenessSample(m, []uint32{999}, 2); got[0] != 0 {
+		t.Fatal("out-of-range sample should be 0")
+	}
+}
+
+func TestClosenessDeterministicAcrossP(t *testing.T) {
+	m := randomGraph(100, 800, 98, true)
+	base := Closeness(m, 1)
+	if !reflect.DeepEqual(Closeness(m, 4), base) {
+		t.Fatal("closeness differs across p")
+	}
+}
+
+// checkColoring verifies properness.
+func checkColoring(t *testing.T, g interface {
+	NumNodes() int
+	Row(dst []uint32, u uint32) []uint32
+}, colors []uint32) {
+	t.Helper()
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, w := range g.Row(nil, uint32(u)) {
+			if int(w) != u && colors[u] == colors[w] {
+				t.Fatalf("adjacent nodes %d and %d share color %d", u, w, colors[u])
+			}
+		}
+	}
+}
+
+func TestColorGraphPath(t *testing.T) {
+	edges := []edgelist.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	m := buildGraph(edges, 4, true)
+	for _, p := range []int{1, 2, 4} {
+		colors, used := ColorGraph(m, p)
+		checkColoring(t, m, colors)
+		if used > 3 {
+			t.Fatalf("p=%d: path used %d colors", p, used)
+		}
+	}
+}
+
+func TestColorGraphClique(t *testing.T) {
+	// K5 needs exactly 5 colors.
+	var edges []edgelist.Edge
+	for u := uint32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			edges = append(edges, edgelist.Edge{U: u, V: v})
+		}
+	}
+	m := buildGraph(edges, 5, true)
+	colors, used := ColorGraph(m, 2)
+	checkColoring(t, m, colors)
+	if used != 5 {
+		t.Fatalf("K5 used %d colors, want 5", used)
+	}
+}
+
+func TestColorGraphEmpty(t *testing.T) {
+	m := buildGraph(nil, 0, false)
+	colors, used := ColorGraph(m, 2)
+	if len(colors) != 0 || used != 0 {
+		t.Fatal("empty coloring wrong")
+	}
+	iso := buildGraph(nil, 3, false)
+	colors, used = ColorGraph(iso, 2)
+	if used != 1 {
+		t.Fatalf("isolated nodes used %d colors, want 1", used)
+	}
+	checkColoring(t, iso, colors)
+}
+
+func TestColorGraphDeterministicAcrossP(t *testing.T) {
+	m := randomGraph(150, 1200, 99, true)
+	base, usedBase := ColorGraph(m, 1)
+	checkColoring(t, m, base)
+	for _, p := range []int{2, 8} {
+		got, used := ColorGraph(m, p)
+		if used != usedBase || !reflect.DeepEqual(got, base) {
+			t.Fatalf("p=%d: coloring differs from p=1", p)
+		}
+	}
+}
+
+// Property: coloring is always proper and uses at most maxDegree+1 colors.
+func TestQuickColoring(t *testing.T) {
+	f := func(pairs []uint16, p uint8) bool {
+		const n = 26
+		edges := make([]edgelist.Edge, 0, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			edges = append(edges, edgelist.Edge{U: uint32(pairs[i]) % n, V: uint32(pairs[i+1]) % n})
+		}
+		m := buildGraph(edges, n, true)
+		colors, used := ColorGraph(m, int(p))
+		maxDeg := 0
+		for u := 0; u < n; u++ {
+			if d := m.Degree(uint32(u)); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if used > maxDeg+1 {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for _, w := range m.Neighbors(uint32(u)) {
+				if int(w) != u && colors[u] == colors[w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package algo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/edgelist"
+)
+
+// twoCliques builds two K5s joined by a single bridge edge.
+func twoCliques() ([]edgelist.Edge, int) {
+	var edges []edgelist.Edge
+	for u := uint32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			edges = append(edges, edgelist.Edge{U: u, V: v})
+		}
+	}
+	for u := uint32(5); u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			edges = append(edges, edgelist.Edge{U: u, V: v})
+		}
+	}
+	edges = append(edges, edgelist.Edge{U: 4, V: 5})
+	return edges, 10
+}
+
+func TestCommunitiesTwoCliques(t *testing.T) {
+	edges, n := twoCliques()
+	m := buildGraph(edges, n, true)
+	for _, p := range []int{1, 2, 4} {
+		labels := Communities(m, 20, p)
+		// Within each clique all labels must agree.
+		for u := 1; u < 5; u++ {
+			if labels[u] != labels[0] {
+				t.Fatalf("p=%d: clique A split: %v", p, labels[:5])
+			}
+		}
+		for u := 6; u < 10; u++ {
+			if labels[u] != labels[5] {
+				t.Fatalf("p=%d: clique B split: %v", p, labels[5:])
+			}
+		}
+	}
+}
+
+func TestCommunitiesDeterministicAcrossP(t *testing.T) {
+	mGraph := randomGraph(150, 1200, 40, true)
+	base := Communities(mGraph, 10, 1)
+	for _, p := range []int{2, 8} {
+		if !reflect.DeepEqual(Communities(mGraph, 10, p), base) {
+			t.Fatalf("p=%d: labels differ from p=1", p)
+		}
+	}
+}
+
+func TestCommunitiesIsolatedKeepsOwnLabel(t *testing.T) {
+	m := buildGraph([]edgelist.Edge{{U: 0, V: 1}}, 3, true)
+	labels := Communities(m, 5, 2)
+	if labels[2] != 2 {
+		t.Fatalf("isolated node relabeled: %v", labels)
+	}
+}
+
+func TestCommunitySizes(t *testing.T) {
+	sizes := CommunitySizes([]uint32{0, 0, 5, 5, 5})
+	if sizes[0] != 2 || sizes[5] != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestModularityTwoCliques(t *testing.T) {
+	edges, n := twoCliques()
+	m := buildGraph(edges, n, true)
+	labels := Communities(m, 20, 2)
+	q := Modularity(m, labels, 2)
+	if q < 0.3 {
+		t.Fatalf("modularity %g too low for two cliques", q)
+	}
+	// A labeling that lumps everything together scores lower.
+	all := make([]uint32, n)
+	qAll := Modularity(m, all, 2)
+	if qAll >= q {
+		t.Fatalf("single community %g should score below real split %g", qAll, q)
+	}
+	// Modularity must be p-independent.
+	if math.Abs(Modularity(m, labels, 1)-q) > 1e-12 {
+		t.Fatal("modularity differs across p")
+	}
+}
+
+func TestModularityEdgeCases(t *testing.T) {
+	empty := buildGraph(nil, 5, false)
+	if Modularity(empty, make([]uint32, 5), 2) != 0 {
+		t.Fatal("edgeless graph modularity should be 0")
+	}
+	none := buildGraph(nil, 0, false)
+	if Modularity(none, nil, 2) != 0 {
+		t.Fatal("empty graph modularity should be 0")
+	}
+}
+
+func TestEstimateDiameterPath(t *testing.T) {
+	// Path of 6 nodes: diameter 5; double sweep from the middle finds it.
+	edges := []edgelist.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+	}
+	m := buildGraph(edges, 6, true)
+	if got := EstimateDiameter(m, 2, 2); got != 5 {
+		t.Fatalf("diameter = %d, want 5", got)
+	}
+}
+
+func TestEstimateDiameterIsolated(t *testing.T) {
+	m := buildGraph([]edgelist.Edge{{U: 0, V: 1}}, 3, true)
+	if got := EstimateDiameter(m, 2, 2); got != 0 {
+		t.Fatalf("isolated source diameter = %d, want 0", got)
+	}
+}

@@ -1,0 +1,154 @@
+package algo
+
+import (
+	"sync/atomic"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/parallel"
+)
+
+// DeltaStepping computes single-source shortest paths over a weighted CSR
+// with the Meyer–Sanders delta-stepping algorithm, the standard
+// parallelization of Dijkstra: tentative distances are kept in buckets of
+// width delta; each phase relaxes every node of the lowest non-empty
+// bucket in parallel (light edges — weight < delta — may re-insert nodes
+// into the current bucket and are iterated to a fixed point; heavy edges
+// are relaxed once when the bucket settles).
+//
+// delta 0 selects a heuristic bucket width (mean edge weight + 1).
+// Results equal Dijkstra exactly; DeltaSteppingMatchesDijkstra asserts it.
+func DeltaStepping(m *csr.WeightedMatrix, src edgelist.NodeID, delta uint32, p int) []uint64 {
+	p = clampProcs(p)
+	n := m.NumNodes()
+	dist := make([]atomic.Uint64, n)
+	for i := range dist {
+		dist[i].Store(InfiniteDistance)
+	}
+	out := make([]uint64, n)
+	if int(src) >= n {
+		for i := range out {
+			out[i] = InfiniteDistance
+		}
+		return out
+	}
+	if delta == 0 {
+		delta = heuristicDelta(m)
+	}
+	dist[src].Store(0)
+
+	// buckets[b] holds nodes with tentative distance in [b*delta, (b+1)*delta).
+	buckets := map[uint64][]uint32{0: {src}}
+	bucketOf := func(d uint64) uint64 { return d / uint64(delta) }
+
+	for len(buckets) > 0 {
+		// Lowest non-empty bucket.
+		var cur uint64
+		first := true
+		for b := range buckets {
+			if first || b < cur {
+				cur, first = b, false
+			}
+		}
+		settled := make(map[uint32]struct{})
+		frontier := buckets[cur]
+		delete(buckets, cur)
+
+		// Light-edge fixed point within the current bucket.
+		for len(frontier) > 0 {
+			for _, u := range frontier {
+				settled[u] = struct{}{}
+			}
+			requeued := relaxFrontier(m, dist, frontier, func(w uint32) bool { return w < delta }, bucketOf, p)
+			// Nodes relaxed back into the current bucket go around again;
+			// others are banked for later buckets.
+			frontier = frontier[:0]
+			for node, b := range requeued {
+				if b == cur {
+					frontier = append(frontier, node)
+				} else {
+					buckets[b] = append(buckets[b], node)
+				}
+			}
+		}
+		// Heavy edges of everything settled in this bucket, once.
+		heavyFrontier := make([]uint32, 0, len(settled))
+		for u := range settled {
+			heavyFrontier = append(heavyFrontier, u)
+		}
+		sortUint32(heavyFrontier) // deterministic order
+		moved := relaxFrontier(m, dist, heavyFrontier, func(w uint32) bool { return w >= delta }, bucketOf, p)
+		for node, b := range moved {
+			buckets[b] = append(buckets[b], node)
+		}
+	}
+	for i := range out {
+		out[i] = dist[i].Load()
+	}
+	return out
+}
+
+// relaxFrontier relaxes the selected (light or heavy) edges of every
+// frontier node in parallel with atomic distance updates. It returns the
+// nodes whose distance improved, mapped to their new bucket; a node
+// reported by several processors is deduplicated.
+func relaxFrontier(
+	m *csr.WeightedMatrix,
+	dist []atomic.Uint64,
+	frontier []uint32,
+	take func(w uint32) bool,
+	bucketOf func(uint64) uint64,
+	p int,
+) map[uint32]uint64 {
+	parts := make([]map[uint32]uint64, p)
+	parallel.For(len(frontier), p, func(c int, r parallel.Range) {
+		local := make(map[uint32]uint64)
+		for i := r.Start; i < r.End; i++ {
+			u := frontier[i]
+			du := dist[u].Load()
+			if du == InfiniteDistance {
+				continue
+			}
+			cols, vals := m.NeighborWeights(u)
+			for j, v := range cols {
+				if !take(vals[j]) {
+					continue
+				}
+				nd := du + uint64(vals[j])
+				for {
+					old := dist[v].Load()
+					if nd >= old {
+						break
+					}
+					if dist[v].CompareAndSwap(old, nd) {
+						local[v] = bucketOf(nd)
+						break
+					}
+				}
+			}
+		}
+		parts[c] = local
+	})
+	merged := make(map[uint32]uint64)
+	for _, part := range parts {
+		for node := range part {
+			// The node's final bucket is determined by its current distance
+			// (it may have been improved again by another processor).
+			merged[node] = bucketOf(dist[node].Load())
+		}
+	}
+	return merged
+}
+
+// heuristicDelta picks mean edge weight + 1 as the bucket width.
+func heuristicDelta(m *csr.WeightedMatrix) uint32 {
+	if len(m.Vals) == 0 {
+		return 1
+	}
+	var sum uint64
+	for _, w := range m.Vals {
+		sum += uint64(w)
+	}
+	d := uint32(sum/uint64(len(m.Vals))) + 1
+	return d
+}

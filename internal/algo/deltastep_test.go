@@ -1,0 +1,109 @@
+package algo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/csr"
+)
+
+func TestDeltaSteppingDiamond(t *testing.T) {
+	m := weightedDiamond(t)
+	for _, p := range []int{1, 2, 4} {
+		for _, delta := range []uint32{0, 1, 2, 100} {
+			got := DeltaStepping(m, 0, delta, p)
+			want := Dijkstra(m, 0)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("p=%d delta=%d: %v, want %v", p, delta, got, want)
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 4; trial++ {
+		edges := make([]csr.WeightedEdge, 1500)
+		for i := range edges {
+			edges[i] = csr.WeightedEdge{
+				U: rng.Uint32() % 150, V: rng.Uint32() % 150, W: rng.Uint32() % 100,
+			}
+		}
+		m, err := csr.BuildWeighted(edges, 150, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Dijkstra(m, 0)
+		for _, p := range []int{1, 4} {
+			for _, delta := range []uint32{0, 1, 7, 1000} {
+				got := DeltaStepping(m, 0, delta, p)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial=%d p=%d delta=%d: delta-stepping diverges", trial, p, delta)
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingZeroWeights(t *testing.T) {
+	m, err := csr.BuildWeighted([]csr.WeightedEdge{
+		{U: 0, V: 1, W: 0}, {U: 1, V: 2, W: 0}, {U: 2, V: 3, W: 5},
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DeltaStepping(m, 0, 0, 2)
+	if !reflect.DeepEqual(got, []uint64{0, 0, 0, 5}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDeltaSteppingOutOfRangeSource(t *testing.T) {
+	m := weightedDiamond(t)
+	got := DeltaStepping(m, 99, 0, 2)
+	for _, d := range got {
+		if d != InfiniteDistance {
+			t.Fatal("out-of-range source must reach nothing")
+		}
+	}
+}
+
+func TestHeuristicDelta(t *testing.T) {
+	empty, _ := csr.BuildWeighted(nil, 3, 1)
+	if heuristicDelta(empty) != 1 {
+		t.Fatal("empty heuristic should be 1")
+	}
+	m, _ := csr.BuildWeighted([]csr.WeightedEdge{
+		{U: 0, V: 1, W: 10}, {U: 1, V: 2, W: 20},
+	}, 0, 1)
+	if got := heuristicDelta(m); got != 16 {
+		t.Fatalf("heuristic = %d, want 16 (mean 15 + 1)", got)
+	}
+}
+
+// Property: delta-stepping equals Dijkstra for arbitrary graphs, widths
+// and processor counts.
+func TestQuickDeltaStepping(t *testing.T) {
+	f := func(raw []uint16, delta uint8, p uint8) bool {
+		const n = 24
+		edges := make([]csr.WeightedEdge, 0, len(raw)/3)
+		for i := 0; i+2 < len(raw); i += 3 {
+			edges = append(edges, csr.WeightedEdge{
+				U: uint32(raw[i]) % n, V: uint32(raw[i+1]) % n, W: uint32(raw[i+2]) % 64,
+			})
+		}
+		m, err := csr.BuildWeighted(edges, n, 1)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(
+			DeltaStepping(m, 0, uint32(delta), int(p)),
+			Dijkstra(m, 0),
+		)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

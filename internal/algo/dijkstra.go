@@ -1,0 +1,104 @@
+package algo
+
+import (
+	"container/heap"
+	"math"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+)
+
+// InfiniteDistance marks a node unreachable by Dijkstra.
+const InfiniteDistance = math.MaxUint64
+
+// Dijkstra returns the weighted shortest-path distance from src to every
+// node over a weighted CSR (the vA array as edge costs). Unreachable nodes
+// get InfiniteDistance. Edge weights are treated as non-negative costs;
+// a zero weight is a free edge.
+func Dijkstra(m *csr.WeightedMatrix, src edgelist.NodeID) []uint64 {
+	n := m.NumNodes()
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = InfiniteDistance
+	}
+	if int(src) >= n {
+		return dist
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.dist > dist[item.node] {
+			continue // stale entry
+		}
+		cols, vals := m.NeighborWeights(item.node)
+		for i, w := range cols {
+			nd := item.dist + uint64(vals[i])
+			if nd < dist[w] {
+				dist[w] = nd
+				heap.Push(pq, distItem{node: w, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns the node sequence of one shortest path from src to
+// dst (inclusive) and its total cost, or nil and InfiniteDistance when dst
+// is unreachable.
+func ShortestPath(m *csr.WeightedMatrix, src, dst edgelist.NodeID) ([]uint32, uint64) {
+	n := m.NumNodes()
+	if int(src) >= n || int(dst) >= n {
+		return nil, InfiniteDistance
+	}
+	dist := make([]uint64, n)
+	parent := make([]int64, n)
+	for i := range dist {
+		dist[i] = InfiniteDistance
+		parent[i] = -1
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.dist > dist[item.node] {
+			continue
+		}
+		if item.node == dst {
+			break
+		}
+		cols, vals := m.NeighborWeights(item.node)
+		for i, w := range cols {
+			nd := item.dist + uint64(vals[i])
+			if nd < dist[w] {
+				dist[w] = nd
+				parent[w] = int64(item.node)
+				heap.Push(pq, distItem{node: w, dist: nd})
+			}
+		}
+	}
+	if dist[dst] == InfiniteDistance {
+		return nil, InfiniteDistance
+	}
+	var path []uint32
+	for at := int64(dst); at >= 0; at = parent[at] {
+		path = append(path, uint32(at))
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst]
+}
+
+type distItem struct {
+	node edgelist.NodeID
+	dist uint64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); item := old[n-1]; *h = old[:n-1]; return item }

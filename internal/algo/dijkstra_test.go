@@ -1,0 +1,148 @@
+package algo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/csr"
+)
+
+func weightedDiamond(t *testing.T) *csr.WeightedMatrix {
+	t.Helper()
+	// 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (1), 1 -> 3 (5), 2 -> 3 (1).
+	m, err := csr.BuildWeighted([]csr.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 4}, {U: 1, V: 2, W: 1},
+		{U: 1, V: 3, W: 5}, {U: 2, V: 3, W: 1},
+	}, 5, 1) // node 4 isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDijkstraDiamond(t *testing.T) {
+	m := weightedDiamond(t)
+	dist := Dijkstra(m, 0)
+	want := []uint64{0, 1, 2, 3, InfiniteDistance}
+	if !reflect.DeepEqual(dist, want) {
+		t.Fatalf("dist = %v, want %v", dist, want)
+	}
+}
+
+func TestDijkstraSourceOutOfRange(t *testing.T) {
+	m := weightedDiamond(t)
+	dist := Dijkstra(m, 99)
+	for _, d := range dist {
+		if d != InfiniteDistance {
+			t.Fatal("out-of-range source must reach nothing")
+		}
+	}
+}
+
+func TestDijkstraZeroWeights(t *testing.T) {
+	m, err := csr.BuildWeighted([]csr.WeightedEdge{
+		{U: 0, V: 1, W: 0}, {U: 1, V: 2, W: 0},
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := Dijkstra(m, 0)
+	if dist[2] != 0 {
+		t.Fatalf("dist[2] = %d, want 0 via free edges", dist[2])
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	m := weightedDiamond(t)
+	path, cost := ShortestPath(m, 0, 3)
+	if cost != 3 {
+		t.Fatalf("cost = %d, want 3", cost)
+	}
+	if !reflect.DeepEqual(path, []uint32{0, 1, 2, 3}) {
+		t.Fatalf("path = %v", path)
+	}
+	// Unreachable and out-of-range destinations.
+	if p, c := ShortestPath(m, 0, 4); p != nil || c != InfiniteDistance {
+		t.Fatal("unreachable must return nil path")
+	}
+	if p, c := ShortestPath(m, 0, 99); p != nil || c != InfiniteDistance {
+		t.Fatal("out-of-range must return nil path")
+	}
+	// Trivial path to self.
+	if p, c := ShortestPath(m, 2, 2); c != 0 || !reflect.DeepEqual(p, []uint32{2}) {
+		t.Fatalf("self path = %v, %d", p, c)
+	}
+}
+
+// bellmanFord is the validation reference.
+func bellmanFord(m *csr.WeightedMatrix, src uint32) []uint64 {
+	n := m.NumNodes()
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = InfiniteDistance
+	}
+	dist[src] = 0
+	for round := 0; round < n; round++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if dist[u] == InfiniteDistance {
+				continue
+			}
+			cols, vals := m.NeighborWeights(uint32(u))
+			for i, w := range cols {
+				if nd := dist[u] + uint64(vals[i]); nd < dist[w] {
+					dist[w] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 5; trial++ {
+		edges := make([]csr.WeightedEdge, 800)
+		for i := range edges {
+			edges[i] = csr.WeightedEdge{
+				U: rng.Uint32() % 100, V: rng.Uint32() % 100, W: rng.Uint32() % 50,
+			}
+		}
+		m, err := csr.BuildWeighted(edges, 100, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bellmanFord(m, 0)
+		got := Dijkstra(m, 0)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Dijkstra diverges from Bellman-Ford", trial)
+		}
+		// Path costs must agree with the distance array.
+		for dst := uint32(1); dst < 100; dst += 13 {
+			path, cost := ShortestPath(m, 0, dst)
+			if cost != want[dst] {
+				t.Fatalf("trial %d: path cost to %d = %d, want %d", trial, dst, cost, want[dst])
+			}
+			if cost == InfiniteDistance {
+				continue
+			}
+			// Verify the path is a real path with the claimed cost.
+			var sum uint64
+			for i := 0; i+1 < len(path); i++ {
+				w, ok := m.Weight(path[i], path[i+1])
+				if !ok {
+					t.Fatalf("path uses nonexistent edge (%d,%d)", path[i], path[i+1])
+				}
+				sum += uint64(w)
+			}
+			if sum != cost {
+				t.Fatalf("path sums to %d, claimed %d", sum, cost)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package algo
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/spmatrix"
+)
+
+func TestDOBFSMatchesBFSSymmetric(t *testing.T) {
+	for _, seed := range []int64{21, 22, 23} {
+		// Dense enough to trigger pull mode (frontier > n/20 quickly).
+		m := randomGraph(200, 3000, seed, true)
+		want := bfsReference(m, 0)
+		for _, p := range []int{1, 2, 8} {
+			got := BFSDirectionOptimizing(m, m, 0, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d p=%d: DO-BFS diverges from reference", seed, p)
+			}
+		}
+	}
+}
+
+func TestDOBFSMatchesBFSDirected(t *testing.T) {
+	m := randomGraph(150, 2500, 24, false)
+	mt := spmatrix.Transpose(m, 2)
+	want := bfsReference(m, 3)
+	got := BFSDirectionOptimizing(m, mt, 3, 4)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("directed DO-BFS diverges (transpose pull)")
+	}
+}
+
+func TestDOBFSSparseStaysInPushMode(t *testing.T) {
+	// A long path never exceeds the pull threshold: pure push, still
+	// correct.
+	edges := make([]edgelist.Edge, 99)
+	for i := range edges {
+		edges[i] = edgelist.Edge{U: uint32(i), V: uint32(i + 1)}
+	}
+	m := buildGraph(edges, 100, false)
+	mt := spmatrix.Transpose(m, 2)
+	dist := BFSDirectionOptimizing(m, mt, 0, 4)
+	for i, d := range dist {
+		if d != int32(i) {
+			t.Fatalf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+}
+
+func TestDOBFSStarForcesPull(t *testing.T) {
+	// A star from the hub discovers n-1 nodes at level 1 — guaranteed to
+	// flip into pull mode on the next level even though it's empty.
+	var edges []edgelist.Edge
+	for v := uint32(1); v < 100; v++ {
+		edges = append(edges, edgelist.Edge{U: 0, V: v})
+	}
+	m := buildGraph(edges, 100, true)
+	dist := BFSDirectionOptimizing(m, m, 0, 4)
+	for v := 1; v < 100; v++ {
+		if dist[v] != 1 {
+			t.Fatalf("dist[%d] = %d, want 1", v, dist[v])
+		}
+	}
+}
+
+func TestDOBFSOnPacked(t *testing.T) {
+	m := randomGraph(120, 2000, 25, true)
+	pk := csr.PackMatrix(m, 2)
+	want := bfsReference(m, 0)
+	if got := BFSDirectionOptimizing(pk, pk, 0, 4); !reflect.DeepEqual(got, want) {
+		t.Fatal("packed DO-BFS diverges")
+	}
+}
+
+func TestDOBFSOutOfRangeSource(t *testing.T) {
+	m := randomGraph(10, 20, 26, true)
+	dist := BFSDirectionOptimizing(m, m, 999, 2)
+	for _, d := range dist {
+		if d != Unreached {
+			t.Fatal("out-of-range source must reach nothing")
+		}
+	}
+}
+
+// Property: DO-BFS equals plain BFS on random symmetric graphs for any p.
+func TestQuickDOBFS(t *testing.T) {
+	f := func(pairs []uint16, p uint8) bool {
+		const n = 32
+		edges := make([]edgelist.Edge, 0, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			edges = append(edges, edgelist.Edge{U: uint32(pairs[i]) % n, V: uint32(pairs[i+1]) % n})
+		}
+		m := buildGraph(edges, n, true)
+		return reflect.DeepEqual(
+			BFSDirectionOptimizing(m, m, 0, int(p)),
+			BFS(m, 0, 2),
+		)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package algo
+
+import (
+	"math"
+	"sync"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/query"
+)
+
+// HITS computes Kleinberg's hubs-and-authorities scores over a directed
+// graph: a good hub points at good authorities, a good authority is
+// pointed at by good hubs. g supplies out-edges and gT the transpose
+// (in-edges); both iterations parallelize over nodes. Scores are
+// L2-normalized each round; iteration stops after maxIter rounds or when
+// the combined L1 delta drops below tol.
+func HITS(g, gT query.Source, maxIter int, tol float64, p int) (hubs, authorities []float64) {
+	p = clampProcs(p)
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil
+	}
+	hubs = make([]float64, n)
+	authorities = make([]float64, n)
+	for i := range hubs {
+		hubs[i] = 1
+		authorities[i] = 1
+	}
+	newHub := make([]float64, n)
+	newAuth := make([]float64, n)
+	var mu sync.Mutex
+	for iter := 0; iter < maxIter; iter++ {
+		// Authority update: sum of hub scores over in-edges (gT rows).
+		parallel.For(n, p, func(_ int, r parallel.Range) {
+			var buf []uint32
+			for u := r.Start; u < r.End; u++ {
+				buf = gT.Row(buf, uint32(u))
+				s := 0.0
+				for _, w := range buf {
+					s += hubs[w]
+				}
+				newAuth[u] = s
+			}
+		})
+		normalize(newAuth, p)
+		// Hub update: sum of the *new* authority scores over out-edges.
+		parallel.For(n, p, func(_ int, r parallel.Range) {
+			var buf []uint32
+			for u := r.Start; u < r.End; u++ {
+				buf = g.Row(buf, uint32(u))
+				s := 0.0
+				for _, w := range buf {
+					s += newAuth[w]
+				}
+				newHub[u] = s
+			}
+		})
+		normalize(newHub, p)
+		var delta float64
+		parallel.For(n, p, func(_ int, r parallel.Range) {
+			local := 0.0
+			for i := r.Start; i < r.End; i++ {
+				local += math.Abs(newHub[i]-hubs[i]) + math.Abs(newAuth[i]-authorities[i])
+			}
+			mu.Lock()
+			delta += local
+			mu.Unlock()
+		})
+		hubs, newHub = newHub, hubs
+		authorities, newAuth = newAuth, authorities
+		if delta < tol {
+			break
+		}
+	}
+	return hubs, authorities
+}
+
+// normalize scales xs to unit L2 norm (no-op on a zero vector).
+func normalize(xs []float64, p int) {
+	var mu sync.Mutex
+	var sumSq float64
+	parallel.For(len(xs), p, func(_ int, r parallel.Range) {
+		local := 0.0
+		for i := r.Start; i < r.End; i++ {
+			local += xs[i] * xs[i]
+		}
+		mu.Lock()
+		sumSq += local
+		mu.Unlock()
+	})
+	if sumSq == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(sumSq)
+	parallel.For(len(xs), p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			xs[i] *= inv
+		}
+	})
+}
+
+// PageRankWeighted is PageRank where a node distributes its rank to
+// neighbors proportionally to edge weight (vA), rather than uniformly.
+// Zero-total-weight rows are treated as dangling.
+func PageRankWeighted(m *csr.WeightedMatrix, damping float64, maxIter int, tol float64, p int) []float64 {
+	p = clampProcs(p)
+	n := m.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	// Precompute per-row weight totals once.
+	totals := make([]uint64, n)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			_, vals := m.NeighborWeights(uint32(u))
+			var s uint64
+			for _, w := range vals {
+				s += uint64(w)
+			}
+			totals[u] = s
+		}
+	})
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	var mu sync.Mutex
+	for iter := 0; iter < maxIter; iter++ {
+		parts := make([][]float64, p)
+		var dangling float64
+		parallel.For(n, p, func(c int, r parallel.Range) {
+			local := make([]float64, n)
+			localDangling := 0.0
+			for u := r.Start; u < r.End; u++ {
+				if totals[u] == 0 {
+					localDangling += rank[u]
+					continue
+				}
+				cols, vals := m.NeighborWeights(uint32(u))
+				scale := rank[u] / float64(totals[u])
+				for i, w := range cols {
+					local[w] += scale * float64(vals[i])
+				}
+			}
+			parts[c] = local
+			mu.Lock()
+			dangling += localDangling
+			mu.Unlock()
+		})
+		base := (1-damping)*inv + damping*dangling*inv
+		var delta float64
+		parallel.For(n, p, func(_ int, r parallel.Range) {
+			localDelta := 0.0
+			for i := r.Start; i < r.End; i++ {
+				sum := 0.0
+				for _, part := range parts {
+					if part != nil {
+						sum += part[i]
+					}
+				}
+				next[i] = base + damping*sum
+				localDelta += math.Abs(next[i] - rank[i])
+			}
+			mu.Lock()
+			delta += localDelta
+			mu.Unlock()
+		})
+		rank, next = next, rank
+		if delta < tol {
+			break
+		}
+	}
+	return rank
+}

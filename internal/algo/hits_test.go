@@ -1,0 +1,125 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/spmatrix"
+)
+
+func TestHITSBipartiteHubAuthority(t *testing.T) {
+	// Hubs 0,1 each point at authorities 2,3; a clean bipartite pattern.
+	edges := []edgelist.Edge{
+		{U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3},
+	}
+	m := buildGraph(edges, 4, false)
+	mt := spmatrix.Transpose(m, 2)
+	for _, p := range []int{1, 2, 4} {
+		hubs, auths := HITS(m, mt, 50, 1e-12, p)
+		// Nodes 0,1 are pure hubs; 2,3 pure authorities.
+		if hubs[0] < 0.5 || hubs[1] < 0.5 || hubs[2] > 1e-9 || hubs[3] > 1e-9 {
+			t.Fatalf("p=%d: hubs = %v", p, hubs)
+		}
+		if auths[2] < 0.5 || auths[3] < 0.5 || auths[0] > 1e-9 || auths[1] > 1e-9 {
+			t.Fatalf("p=%d: authorities = %v", p, auths)
+		}
+	}
+}
+
+func TestHITSMoreCitedScoresHigher(t *testing.T) {
+	// Authority 3 is cited by three hubs, authority 4 by one.
+	edges := []edgelist.Edge{
+		{U: 0, V: 3}, {U: 1, V: 3}, {U: 2, V: 3}, {U: 0, V: 4},
+	}
+	m := buildGraph(edges, 5, false)
+	mt := spmatrix.Transpose(m, 2)
+	_, auths := HITS(m, mt, 50, 1e-12, 2)
+	if auths[3] <= auths[4] {
+		t.Fatalf("auths = %v: more-cited node should score higher", auths)
+	}
+}
+
+func TestHITSDeterministicAcrossP(t *testing.T) {
+	m := randomGraph(100, 900, 95, false)
+	mt := spmatrix.Transpose(m, 2)
+	h1, a1 := HITS(m, mt, 20, 0, 1)
+	h4, a4 := HITS(m, mt, 20, 0, 4)
+	for i := range h1 {
+		if math.Abs(h1[i]-h4[i]) > 1e-12 || math.Abs(a1[i]-a4[i]) > 1e-12 {
+			t.Fatal("HITS differs across p")
+		}
+	}
+}
+
+func TestHITSEmpty(t *testing.T) {
+	m := buildGraph(nil, 0, false)
+	h, a := HITS(m, m, 10, 0, 2)
+	if h != nil || a != nil {
+		t.Fatal("empty graph should return nil scores")
+	}
+}
+
+func TestPageRankWeightedPrefersHeavyEdges(t *testing.T) {
+	// Node 0 points at 1 (weight 9) and 2 (weight 1): node 1 should
+	// accumulate more rank.
+	m, err := csr.BuildWeighted([]csr.WeightedEdge{
+		{U: 0, V: 1, W: 9}, {U: 0, V: 2, W: 1},
+	}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := PageRankWeighted(m, 0.85, 50, 1e-12, 2)
+	if rank[1] <= rank[2] {
+		t.Fatalf("rank = %v: heavy edge target should score higher", rank)
+	}
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %g", sum)
+	}
+}
+
+func TestPageRankWeightedUniformEqualsUnweighted(t *testing.T) {
+	// All weights equal: weighted PageRank must match the boolean one.
+	var wEdges []csr.WeightedEdge
+	m := randomGraph(60, 400, 96, false)
+	for _, e := range m.Edges() {
+		wEdges = append(wEdges, csr.WeightedEdge{U: e.U, V: e.V, W: 7})
+	}
+	wm, err := csr.BuildWeighted(wEdges, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := PageRankWeighted(wm, 0.85, 40, 0, 2)
+	want := PageRank(m, 0.85, 40, 0, 2)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("rank[%d]: weighted %g vs boolean %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPageRankWeightedZeroWeightRowIsDangling(t *testing.T) {
+	m, err := csr.BuildWeighted([]csr.WeightedEdge{
+		{U: 0, V: 1, W: 0}, // total weight 0: dangling
+		{U: 1, V: 0, W: 5},
+	}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := PageRankWeighted(m, 0.85, 30, 1e-12, 2)
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %g with dangling row", sum)
+	}
+	if PageRankWeighted(&csr.WeightedMatrix{}, 0.85, 5, 0, 2) != nil {
+		t.Fatal("empty weighted PageRank should be nil")
+	}
+}

@@ -1,0 +1,152 @@
+package algo
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/query"
+)
+
+// CoreNumbers computes the k-core number of every node of a symmetrized
+// graph: the largest k such that the node belongs to a subgraph where
+// every node has degree >= k. The peeling is level-parallel: all nodes
+// whose current degree equals the peel level are removed together, their
+// neighbors' degrees decremented atomically, until the graph is empty.
+func CoreNumbers(g query.Source, p int) []uint32 {
+	p = clampProcs(p)
+	n := g.NumNodes()
+	core := make([]uint32, n)
+	deg := make([]atomic.Int32, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		d := g.Degree(uint32(u))
+		deg[u].Store(int32(d))
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	removed := make([]atomic.Bool, n)
+	remaining := n
+	for k := 0; remaining > 0 && k <= maxDeg; k++ {
+		// Peel every node at or below level k until none remain at it.
+		frontier := make([]uint32, 0)
+		for u := 0; u < n; u++ {
+			if !removed[u].Load() && deg[u].Load() <= int32(k) {
+				frontier = append(frontier, uint32(u))
+			}
+		}
+		for len(frontier) > 0 {
+			nexts := make([][]uint32, p)
+			parallel.For(len(frontier), p, func(c int, r parallel.Range) {
+				var buf []uint32
+				var local []uint32
+				for i := r.Start; i < r.End; i++ {
+					u := frontier[i]
+					if removed[u].Load() || !removed[u].CompareAndSwap(false, true) {
+						continue
+					}
+					core[u] = uint32(k)
+					buf = g.Row(buf, u)
+					for _, w := range buf {
+						if removed[w].Load() {
+							continue
+						}
+						if nd := deg[w].Add(-1); nd == int32(k) {
+							local = append(local, w)
+						}
+					}
+				}
+				nexts[c] = local
+			})
+			frontier = frontier[:0]
+			for _, local := range nexts {
+				frontier = append(frontier, local...)
+			}
+		}
+		// Recount remaining.
+		remaining = 0
+		for u := 0; u < n; u++ {
+			if !removed[u].Load() {
+				remaining++
+			}
+		}
+	}
+	return core
+}
+
+// LocalClustering returns the local clustering coefficient of every node
+// of a symmetrized graph: the fraction of a node's neighbor pairs that are
+// themselves connected. Nodes with degree < 2 get 0.
+func LocalClustering(g query.Source, p int) []float64 {
+	p = clampProcs(p)
+	n := g.NumNodes()
+	out := make([]float64, n)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		var rowU, rowW []uint32
+		for u := r.Start; u < r.End; u++ {
+			rowU = g.Row(rowU, uint32(u))
+			d := len(rowU)
+			if d < 2 {
+				continue
+			}
+			var links int64
+			for _, w := range rowU {
+				rowW = g.Row(rowW, w)
+				links += countCommon(rowU, rowW)
+			}
+			// Each triangle through u is counted twice (once per neighbor
+			// pair order).
+			out[u] = float64(links) / float64(d*(d-1))
+		}
+	})
+	return out
+}
+
+// GlobalClustering returns the average local clustering coefficient over
+// nodes with degree >= 2 (the usual "average clustering" statistic), and
+// the number of such nodes.
+func GlobalClustering(g query.Source, p int) (float64, int) {
+	p = clampProcs(p)
+	local := LocalClustering(g, p)
+	var mu sync.Mutex
+	var sum float64
+	var count int
+	parallel.For(g.NumNodes(), p, func(_ int, r parallel.Range) {
+		var localSum float64
+		localCount := 0
+		for u := r.Start; u < r.End; u++ {
+			if g.Degree(uint32(u)) >= 2 {
+				localSum += local[u]
+				localCount++
+			}
+		}
+		mu.Lock()
+		sum += localSum
+		count += localCount
+		mu.Unlock()
+	})
+	if count == 0 {
+		return 0, 0
+	}
+	return sum / float64(count), count
+}
+
+// countCommon counts values present in both ascending slices.
+func countCommon(a, b []uint32) int64 {
+	var count int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			count++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return count
+}

@@ -1,0 +1,164 @@
+package algo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+)
+
+func TestCoreNumbersK4WithTail(t *testing.T) {
+	// K4 (nodes 0-3) plus a path 3-4-5: cores are 3,3,3,3,1,1.
+	var edges []edgelist.Edge
+	for u := uint32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			edges = append(edges, edgelist.Edge{U: u, V: v})
+		}
+	}
+	edges = append(edges, edgelist.Edge{U: 3, V: 4}, edgelist.Edge{U: 4, V: 5})
+	m := buildGraph(edges, 6, true)
+	for _, p := range []int{1, 2, 4} {
+		core := CoreNumbers(m, p)
+		want := []uint32{3, 3, 3, 3, 1, 1}
+		if !reflect.DeepEqual(core, want) {
+			t.Fatalf("p=%d: core = %v, want %v", p, core, want)
+		}
+	}
+}
+
+func TestCoreNumbersIsolatedAndStar(t *testing.T) {
+	// Star center 0 with 5 leaves, node 6 isolated: all non-isolated are
+	// 1-core (leaves have degree 1; removing them leaves the center bare).
+	var edges []edgelist.Edge
+	for v := uint32(1); v <= 5; v++ {
+		edges = append(edges, edgelist.Edge{U: 0, V: v})
+	}
+	m := buildGraph(edges, 7, true)
+	core := CoreNumbers(m, 2)
+	want := []uint32{1, 1, 1, 1, 1, 1, 0}
+	if !reflect.DeepEqual(core, want) {
+		t.Fatalf("core = %v, want %v", core, want)
+	}
+}
+
+// coreReference is the classic sequential peeling.
+func coreReference(m *csr.Matrix) []uint32 {
+	n := m.NumNodes()
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		deg[u] = m.Degree(uint32(u))
+	}
+	core := make([]uint32, n)
+	removed := make([]bool, n)
+	for peeled := 0; peeled < n; {
+		// Find the minimum remaining degree, peel all nodes at it.
+		k := -1
+		for u := 0; u < n; u++ {
+			if !removed[u] && (k < 0 || deg[u] < k) {
+				k = deg[u]
+			}
+		}
+		for {
+			any := false
+			for u := 0; u < n; u++ {
+				if removed[u] || deg[u] > k {
+					continue
+				}
+				removed[u] = true
+				core[u] = uint32(k)
+				peeled++
+				any = true
+				for _, w := range m.Neighbors(uint32(u)) {
+					if !removed[w] {
+						deg[w]--
+					}
+				}
+			}
+			if !any {
+				break
+			}
+		}
+	}
+	return core
+}
+
+func TestCoreNumbersMatchesReference(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		m := randomGraph(150, 900, seed, true)
+		want := coreReference(m)
+		for _, p := range []int{1, 4} {
+			got := CoreNumbers(m, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d p=%d: cores diverge", seed, p)
+			}
+		}
+	}
+}
+
+func TestLocalClusteringTriangle(t *testing.T) {
+	// Triangle: every node's coefficient is 1.
+	m := buildGraph([]edgelist.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, 3, true)
+	for _, p := range []int{1, 2} {
+		cc := LocalClustering(m, p)
+		for u, c := range cc {
+			if math.Abs(c-1) > 1e-12 {
+				t.Fatalf("p=%d: cc[%d] = %g, want 1", p, u, c)
+			}
+		}
+	}
+}
+
+func TestLocalClusteringPath(t *testing.T) {
+	// Path 0-1-2: middle node has two unconnected neighbors -> 0; ends have
+	// degree 1 -> 0.
+	m := buildGraph([]edgelist.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, 3, true)
+	cc := LocalClustering(m, 2)
+	for u, c := range cc {
+		if c != 0 {
+			t.Fatalf("cc[%d] = %g, want 0", u, c)
+		}
+	}
+}
+
+func TestLocalClusteringHalf(t *testing.T) {
+	// Node 0 adjacent to 1,2,3 with only edge (1,2): 1 connected pair of 3
+	// -> 1/3.
+	m := buildGraph([]edgelist.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2},
+	}, 4, true)
+	cc := LocalClustering(m, 2)
+	if math.Abs(cc[0]-1.0/3) > 1e-12 {
+		t.Fatalf("cc[0] = %g, want 1/3", cc[0])
+	}
+}
+
+func TestGlobalClustering(t *testing.T) {
+	m := buildGraph([]edgelist.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, 3, true)
+	avg, count := GlobalClustering(m, 2)
+	if count != 3 || math.Abs(avg-1) > 1e-12 {
+		t.Fatalf("avg=%g count=%d", avg, count)
+	}
+	empty := buildGraph(nil, 3, false)
+	if avg, count := GlobalClustering(empty, 2); avg != 0 || count != 0 {
+		t.Fatal("empty clustering wrong")
+	}
+}
+
+func TestClusteringOnPackedAgrees(t *testing.T) {
+	m := randomGraph(100, 800, 13, true)
+	pk := csr.PackMatrix(m, 2)
+	a := LocalClustering(m, 2)
+	b := LocalClustering(pk, 2)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("cc[%d] differs between plain and packed", i)
+		}
+	}
+	c1, n1 := GlobalClustering(m, 1)
+	c2, n2 := GlobalClustering(pk, 4)
+	if n1 != n2 || math.Abs(c1-c2) > 1e-12 {
+		t.Fatal("global clustering differs")
+	}
+}

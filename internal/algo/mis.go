@@ -1,0 +1,104 @@
+package algo
+
+import (
+	"sync/atomic"
+
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/query"
+)
+
+// MaximalIndependentSet computes a maximal independent set of a
+// symmetrized graph with Luby's algorithm: each round every live node
+// draws a deterministic pseudo-random priority; nodes that beat all live
+// neighbors join the set and knock their neighbors out. Expected
+// O(log n) rounds; the fixed per-(round, node) hash makes the result
+// deterministic and independent of p.
+//
+// Returns a boolean membership mask. The set is maximal (no node can be
+// added) but not maximum (not the largest possible — that is NP-hard).
+func MaximalIndependentSet(g query.Source, p int) []bool {
+	p = clampProcs(p)
+	n := g.NumNodes()
+	const (
+		stateLive = int32(iota)
+		stateIn
+		stateOut
+	)
+	state := make([]atomic.Int32, n)
+	remaining := n
+	for round := uint64(0); remaining > 0; round++ {
+		// Phase 1: winners — live nodes whose priority beats every live
+		// neighbor's. Ties broken by node id (hash collisions are possible).
+		winners := make([][]uint32, p)
+		parallel.For(n, p, func(c int, r parallel.Range) {
+			var buf []uint32
+			var local []uint32
+			for u := r.Start; u < r.End; u++ {
+				if state[u].Load() != stateLive {
+					continue
+				}
+				pu := misHash(round, uint32(u))
+				win := true
+				buf = g.Row(buf, uint32(u))
+				for _, w := range buf {
+					if int(w) == u || state[w].Load() != stateLive {
+						continue
+					}
+					pw := misHash(round, w)
+					if pw > pu || (pw == pu && w > uint32(u)) {
+						win = false
+						break
+					}
+				}
+				if win {
+					local = append(local, uint32(u))
+				}
+			}
+			winners[c] = local
+		})
+		// Phase 2: admit winners, eliminate their neighborhoods. Two
+		// winners are never adjacent (both would have had to beat the
+		// other), so admissions are conflict-free.
+		flat := make([]uint32, 0)
+		for _, local := range winners {
+			flat = append(flat, local...)
+		}
+		if len(flat) == 0 {
+			break // all layers isolated? cannot happen, but stay safe
+		}
+		parallel.For(len(flat), p, func(_ int, r parallel.Range) {
+			var buf []uint32
+			for i := r.Start; i < r.End; i++ {
+				u := flat[i]
+				state[u].Store(stateIn)
+				buf = g.Row(buf, u)
+				for _, w := range buf {
+					if w != u {
+						state[w].CompareAndSwap(stateLive, stateOut)
+					}
+				}
+			}
+		})
+		remaining = 0
+		for u := 0; u < n; u++ {
+			if state[u].Load() == stateLive {
+				remaining++
+			}
+		}
+	}
+	out := make([]bool, n)
+	for u := 0; u < n; u++ {
+		out[u] = state[u].Load() == stateIn
+	}
+	return out
+}
+
+// misHash is a fixed 64-bit mix of (round, node) used as the per-round
+// priority.
+func misHash(round uint64, node uint32) uint64 {
+	x := round*0x9E3779B97F4A7C15 ^ uint64(node)*0xC2B2AE3D27D4EB4F
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}

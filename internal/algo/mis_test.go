@@ -1,0 +1,135 @@
+package algo
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+)
+
+// checkMIS verifies independence and maximality of a membership mask.
+func checkMIS(t *testing.T, m *csr.Matrix, in []bool) {
+	t.Helper()
+	for u := 0; u < m.NumNodes(); u++ {
+		if in[u] {
+			// Independence: no two adjacent members.
+			for _, w := range m.Neighbors(uint32(u)) {
+				if int(w) != u && in[w] {
+					t.Fatalf("members %d and %d are adjacent", u, w)
+				}
+			}
+			continue
+		}
+		// Maximality: every non-member has a member neighbor.
+		covered := false
+		for _, w := range m.Neighbors(uint32(u)) {
+			if in[w] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("node %d could be added to the set", u)
+		}
+	}
+}
+
+func TestMISPath(t *testing.T) {
+	edges := []edgelist.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}}
+	m := buildGraph(edges, 5, true)
+	for _, p := range []int{1, 2, 4} {
+		checkMIS(t, m, MaximalIndependentSet(m, p))
+	}
+}
+
+func TestMISCompleteGraph(t *testing.T) {
+	// K6: exactly one member.
+	var edges []edgelist.Edge
+	for u := uint32(0); u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			edges = append(edges, edgelist.Edge{U: u, V: v})
+		}
+	}
+	m := buildGraph(edges, 6, true)
+	in := MaximalIndependentSet(m, 2)
+	count := 0
+	for _, b := range in {
+		if b {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("K6 MIS has %d members, want 1", count)
+	}
+}
+
+func TestMISIsolatedAllIn(t *testing.T) {
+	m := buildGraph(nil, 4, false)
+	in := MaximalIndependentSet(m, 2)
+	for u, b := range in {
+		if !b {
+			t.Fatalf("isolated node %d excluded", u)
+		}
+	}
+}
+
+func TestMISWithSelfLoops(t *testing.T) {
+	// Self-loops must not block a node from entering.
+	l := edgelist.List{{U: 0, V: 0}, {U: 0, V: 1}, {U: 1, V: 0}}
+	m := csr.Build(l, 2, 1)
+	in := MaximalIndependentSet(m, 2)
+	if !in[0] && !in[1] {
+		t.Fatal("neither node admitted")
+	}
+	checkMIS(t, m, in)
+}
+
+func TestMISDeterministicAcrossP(t *testing.T) {
+	m := randomGraph(200, 1500, 90, true)
+	base := MaximalIndependentSet(m, 1)
+	for _, p := range []int{2, 8} {
+		if !reflect.DeepEqual(MaximalIndependentSet(m, p), base) {
+			t.Fatalf("p=%d: MIS differs from p=1", p)
+		}
+	}
+	checkMIS(t, m, base)
+}
+
+// Property: MIS is independent and maximal on arbitrary symmetric graphs.
+func TestQuickMIS(t *testing.T) {
+	f := func(pairs []uint16, p uint8) bool {
+		const n = 28
+		edges := make([]edgelist.Edge, 0, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			edges = append(edges, edgelist.Edge{U: uint32(pairs[i]) % n, V: uint32(pairs[i+1]) % n})
+		}
+		m := buildGraph(edges, n, true)
+		in := MaximalIndependentSet(m, int(p))
+		for u := 0; u < n; u++ {
+			if in[u] {
+				for _, w := range m.Neighbors(uint32(u)) {
+					if int(w) != u && in[w] {
+						return false
+					}
+				}
+			} else {
+				covered := false
+				for _, w := range m.Neighbors(uint32(u)) {
+					if in[w] {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package algo
+
+import (
+	"sync"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/parallel"
+)
+
+// MinimumSpanningForest computes a minimum spanning forest of a weighted,
+// symmetrized graph with parallel Borůvka: each round every component
+// selects its lightest incident edge in parallel, the selected edges are
+// contracted with a union-find, and rounds repeat until no component can
+// grow. Returns the chosen edges (as u, v, w with u < v) and their total
+// weight. Ties are broken by (weight, u, v) so the result is
+// deterministic regardless of p.
+//
+// The graph must contain each undirected edge in both directions (as
+// WithSymmetrize produces); self-loops are ignored.
+func MinimumSpanningForest(m *csr.WeightedMatrix, p int) ([]csr.WeightedEdge, uint64) {
+	p = clampProcs(p)
+	n := m.NumNodes()
+	uf := newUnionFind(n)
+	var chosen []csr.WeightedEdge
+	var total uint64
+
+	type candidate struct {
+		w    uint32
+		u, v uint32
+		ok   bool
+	}
+	less := func(a, b candidate) bool {
+		if a.w != b.w {
+			return a.w < b.w
+		}
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		return a.v < b.v
+	}
+
+	for {
+		// Phase 1: per-component lightest incident edge. Each processor
+		// scans a node range and proposes minima into a private map; the
+		// maps are reduced serially (few components).
+		chunks := parallel.Chunks(n, p)
+		parts := make([]map[uint32]candidate, len(chunks))
+		parallel.For(n, len(chunks), func(c int, r parallel.Range) {
+			best := make(map[uint32]candidate)
+			for u := r.Start; u < r.End; u++ {
+				ru := uf.find(uint32(u))
+				cols, vals := m.NeighborWeights(uint32(u))
+				for i, v := range cols {
+					if uint32(u) == v {
+						continue
+					}
+					rv := uf.find(v)
+					if ru == rv {
+						continue
+					}
+					a, b := uint32(u), v
+					if a > b {
+						a, b = b, a
+					}
+					cand := candidate{w: vals[i], u: a, v: b, ok: true}
+					if cur, seen := best[ru]; !seen || less(cand, cur) {
+						best[ru] = cand
+					}
+				}
+			}
+			parts[c] = best
+		})
+		best := make(map[uint32]candidate)
+		for _, part := range parts {
+			for root, cand := range part {
+				if cur, seen := best[root]; !seen || less(cand, cur) {
+					best[root] = cand
+				}
+			}
+		}
+		if len(best) == 0 {
+			break
+		}
+		// Phase 2: contract. The same edge may be proposed by both of its
+		// endpoints' components; union-find deduplicates.
+		progress := false
+		for _, cand := range best {
+			if uf.union(cand.u, cand.v) {
+				chosen = append(chosen, csr.WeightedEdge{U: cand.u, V: cand.v, W: cand.w})
+				total += uint64(cand.w)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	sortWeightedEdges(chosen)
+	return chosen, total
+}
+
+func sortWeightedEdges(es []csr.WeightedEdge) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0; j-- {
+			a, b := es[j], es[j-1]
+			if a.U > b.U || (a.U == b.U && a.V >= b.V) {
+				break
+			}
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// unionFind is a concurrent-read union-find: find is lock-free with path
+// halving under a read view; union takes the lock (unions happen in the
+// serial contraction phase, so the lock is uncontended — it exists so
+// parallel finds in phase 1 race safely against nothing).
+type unionFind struct {
+	mu     sync.Mutex
+	parent []uint32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]uint32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = uint32(i)
+	}
+	return uf
+}
+
+// find returns the root without mutating shared state (no path
+// compression during the parallel phase; the tree stays shallow because
+// union always links smaller root under larger component root id).
+func (uf *unionFind) find(x uint32) uint32 {
+	for uf.parent[x] != x {
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union links the components of a and b; returns false if already joined.
+func (uf *unionFind) union(a, b uint32) bool {
+	uf.mu.Lock()
+	defer uf.mu.Unlock()
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if ra < rb {
+		uf.parent[rb] = ra
+	} else {
+		uf.parent[ra] = rb
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package algo
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"csrgraph/internal/csr"
+)
+
+// buildWeightedSym builds a symmetric weighted CSR from undirected edges.
+func buildWeightedSym(t *testing.T, edges []csr.WeightedEdge, numNodes int) *csr.WeightedMatrix {
+	t.Helper()
+	both := make([]csr.WeightedEdge, 0, 2*len(edges))
+	for _, e := range edges {
+		both = append(both, e, csr.WeightedEdge{U: e.V, V: e.U, W: e.W})
+	}
+	m, err := csr.BuildWeighted(both, numNodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMSTTriangle(t *testing.T) {
+	// Triangle with weights 1, 2, 3: MST takes the 1 and 2 edges.
+	m := buildWeightedSym(t, []csr.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 3},
+	}, 3)
+	for _, p := range []int{1, 2, 4} {
+		edges, total := MinimumSpanningForest(m, p)
+		if total != 3 || len(edges) != 2 {
+			t.Fatalf("p=%d: total=%d edges=%v", p, total, edges)
+		}
+	}
+}
+
+func TestMSTForestOnDisconnected(t *testing.T) {
+	// Two components: 0-1 (w=4) and 2-3-4 path (w=1,2).
+	m := buildWeightedSym(t, []csr.WeightedEdge{
+		{U: 0, V: 1, W: 4}, {U: 2, V: 3, W: 1}, {U: 3, V: 4, W: 2},
+	}, 5)
+	edges, total := MinimumSpanningForest(m, 2)
+	if len(edges) != 3 || total != 7 {
+		t.Fatalf("forest = %v total %d", edges, total)
+	}
+}
+
+func TestMSTEmptyAndSingle(t *testing.T) {
+	empty, err := csr.BuildWeighted(nil, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, total := MinimumSpanningForest(empty, 2)
+	if len(edges) != 0 || total != 0 {
+		t.Fatal("edgeless graph should give empty forest")
+	}
+}
+
+func TestMSTIgnoresSelfLoops(t *testing.T) {
+	m, err := csr.BuildWeighted([]csr.WeightedEdge{
+		{U: 0, V: 0, W: 1},
+		{U: 0, V: 1, W: 9}, {U: 1, V: 0, W: 9},
+	}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, total := MinimumSpanningForest(m, 2)
+	if len(edges) != 1 || total != 9 {
+		t.Fatalf("forest = %v total %d", edges, total)
+	}
+}
+
+// kruskalReference computes the MSF weight with Kruskal for validation.
+func kruskalReference(edges []csr.WeightedEdge, n int) uint64 {
+	sorted := append([]csr.WeightedEdge{}, edges...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].W < sorted[j].W })
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var total uint64
+	for _, e := range sorted {
+		if e.U == e.V {
+			continue
+		}
+		ru, rv := find(int(e.U)), find(int(e.V))
+		if ru != rv {
+			parent[ru] = rv
+			total += uint64(e.W)
+		}
+	}
+	return total
+}
+
+func TestMSTMatchesKruskal(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 5; trial++ {
+		const n = 120
+		var edges []csr.WeightedEdge
+		seen := map[[2]uint32]bool{}
+		for i := 0; i < 800; i++ {
+			u, v := rng.Uint32()%n, rng.Uint32()%n
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]uint32{u, v}] {
+				continue
+			}
+			seen[[2]uint32{u, v}] = true
+			// Distinct weights avoid tie-dependent totals differing between
+			// algorithms (with ties the *weight* is still unique, but keep
+			// it simple and deterministic).
+			edges = append(edges, csr.WeightedEdge{U: u, V: v, W: uint32(i)})
+		}
+		m := buildWeightedSym(t, edges, n)
+		want := kruskalReference(edges, n)
+		for _, p := range []int{1, 4} {
+			got, total := MinimumSpanningForest(m, p)
+			if total != want {
+				t.Fatalf("trial %d p=%d: total = %d, want %d", trial, p, total, want)
+			}
+			// Edge count = n - number of components.
+			labels := ConnectedComponents(&m.Matrix, 2)
+			comps := map[uint32]bool{}
+			for _, l := range labels {
+				comps[l] = true
+			}
+			if len(got) != n-len(comps) {
+				t.Fatalf("trial %d p=%d: %d edges, want %d", trial, p, len(got), n-len(comps))
+			}
+		}
+	}
+}
+
+func TestMSTDeterministicAcrossP(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	var edges []csr.WeightedEdge
+	for i := 0; i < 300; i++ {
+		u, v := rng.Uint32()%60, rng.Uint32()%60
+		if u != v {
+			edges = append(edges, csr.WeightedEdge{U: u, V: v, W: rng.Uint32() % 50})
+		}
+	}
+	m := buildWeightedSym(t, edges, 60)
+	base, baseTotal := MinimumSpanningForest(m, 1)
+	for _, p := range []int{2, 8} {
+		got, total := MinimumSpanningForest(m, p)
+		if total != baseTotal || !reflect.DeepEqual(got, base) {
+			t.Fatalf("p=%d: forest differs from p=1", p)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package algo
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/spmatrix"
+)
+
+// tarjanReference computes SCC labels (min node id per component) with
+// Tarjan's sequential algorithm, iteratively to avoid recursion limits.
+func tarjanReference(m *csr.Matrix) []uint32 {
+	n := m.NumNodes()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]uint32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = uint32(i)
+	}
+	var stack []uint32
+	counter := 0
+
+	type frame struct {
+		v  uint32
+		ni int // next neighbor index
+	}
+	for s := 0; s < n; s++ {
+		if index[s] != unvisited {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{v: uint32(s)})
+		index[s] = counter
+		low[s] = counter
+		counter++
+		stack = append(stack, uint32(s))
+		onStack[s] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			row := m.Neighbors(f.v)
+			if f.ni < len(row) {
+				w := row[f.ni]
+				f.ni++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Done with v.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := &call[len(call)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// Pop the SCC; label with its minimum node id.
+				var members []uint32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				min := members[0]
+				for _, w := range members {
+					if w < min {
+						min = w
+					}
+				}
+				for _, w := range members {
+					comp[w] = min
+				}
+			}
+		}
+	}
+	return comp
+}
+
+func sccOf(t *testing.T, edges []edgelist.Edge, n, p int) ([]uint32, []uint32) {
+	t.Helper()
+	m := buildGraph(edges, n, false)
+	mt := spmatrix.Transpose(m, 2)
+	return StronglyConnectedComponents(m, mt, p), tarjanReference(m)
+}
+
+func TestSCCTwoCycles(t *testing.T) {
+	// Cycle 0->1->2->0 and cycle 3->4->3, bridge 2->3.
+	edges := []edgelist.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 3, V: 4}, {U: 4, V: 3},
+		{U: 2, V: 3},
+	}
+	for _, p := range []int{1, 2, 4} {
+		got, want := sccOf(t, edges, 5, p)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("p=%d: got %v, want %v", p, got, want)
+		}
+		if got[0] != 0 || got[1] != 0 || got[2] != 0 || got[3] != 3 || got[4] != 3 {
+			t.Fatalf("labels = %v", got)
+		}
+	}
+}
+
+func TestSCCDAGAllSingletons(t *testing.T) {
+	edges := []edgelist.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}
+	got, want := sccOf(t, edges, 3, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for u, l := range got {
+		if l != uint32(u) {
+			t.Fatalf("DAG node %d labeled %d", u, l)
+		}
+	}
+}
+
+func TestSCCEmptyAndSingle(t *testing.T) {
+	m := buildGraph(nil, 0, false)
+	if got := StronglyConnectedComponents(m, m, 2); len(got) != 0 {
+		t.Fatal("empty graph")
+	}
+	one := buildGraph(nil, 1, false)
+	if got := StronglyConnectedComponents(one, one, 2); got[0] != 0 {
+		t.Fatal("single node")
+	}
+}
+
+func TestSCCMatchesTarjanRandom(t *testing.T) {
+	for _, seed := range []int64{101, 102, 103} {
+		m := randomGraph(120, 500, seed, false)
+		mt := spmatrix.Transpose(m, 2)
+		want := tarjanReference(m)
+		for _, p := range []int{1, 4} {
+			got := StronglyConnectedComponents(m, mt, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d p=%d: FW-BW diverges from Tarjan", seed, p)
+			}
+		}
+	}
+}
+
+// Property: FW-BW equals Tarjan for arbitrary directed graphs and p.
+func TestQuickSCC(t *testing.T) {
+	f := func(pairs []uint16, p uint8) bool {
+		const n = 20
+		edges := make([]edgelist.Edge, 0, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			edges = append(edges, edgelist.Edge{U: uint32(pairs[i]) % n, V: uint32(pairs[i+1]) % n})
+		}
+		m := buildGraph(edges, n, false)
+		mt := spmatrix.Transpose(m, 2)
+		return reflect.DeepEqual(
+			StronglyConnectedComponents(m, mt, int(p)),
+			tarjanReference(m),
+		)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

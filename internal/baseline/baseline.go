@@ -1,0 +1,133 @@
+// Package baseline implements the traditional storage structures the paper
+// measures CSR against: the raw edge list (Table II's fourth column, which
+// "consumes more time in querying compared to CSR") and the adjacency list.
+// Both expose the same query surface as the CSR forms so the benchmark
+// harness can compare them through one code path.
+package baseline
+
+import (
+	"sort"
+
+	"csrgraph/internal/edgelist"
+)
+
+// EdgeListGraph answers queries straight off a sorted edge list, the way a
+// system that never builds an index would: neighbor queries binary-search
+// for the row start and scan, existence queries binary-search the pair.
+type EdgeListGraph struct {
+	edges    edgelist.List
+	numNodes int
+}
+
+// NewEdgeListGraph wraps a (u, v)-sorted edge list. It panics if the list
+// is unsorted, since every query depends on the order.
+func NewEdgeListGraph(l edgelist.List, numNodes int) *EdgeListGraph {
+	if !l.IsSortedByUV() {
+		panic("baseline: edge list must be sorted by (u, v)")
+	}
+	return &EdgeListGraph{edges: l, numNodes: numNodes}
+}
+
+// NumNodes returns the node-id space size.
+func (g *EdgeListGraph) NumNodes() int { return g.numNodes }
+
+// NumEdges returns the number of edges.
+func (g *EdgeListGraph) NumEdges() int { return len(g.edges) }
+
+// rowBounds locates u's run of edges by binary search — O(log m) per
+// query, versus CSR's O(1) offset lookup.
+func (g *EdgeListGraph) rowBounds(u edgelist.NodeID) (lo, hi int) {
+	lo = sort.Search(len(g.edges), func(i int) bool { return g.edges[i].U >= u })
+	hi = sort.Search(len(g.edges), func(i int) bool { return g.edges[i].U > u })
+	return lo, hi
+}
+
+// Degree returns the out-degree of u.
+func (g *EdgeListGraph) Degree(u edgelist.NodeID) int {
+	lo, hi := g.rowBounds(u)
+	return hi - lo
+}
+
+// Row returns u's neighbors, decoded into dst.
+func (g *EdgeListGraph) Row(dst []uint32, u edgelist.NodeID) []uint32 {
+	lo, hi := g.rowBounds(u)
+	if cap(dst) < hi-lo {
+		dst = make([]uint32, hi-lo)
+	}
+	dst = dst[:hi-lo]
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = g.edges[i].V
+	}
+	return dst
+}
+
+// HasEdge reports whether (u, v) exists by binary search over the pairs.
+func (g *EdgeListGraph) HasEdge(u, v edgelist.NodeID) bool {
+	target := edgelist.Edge{U: u, V: v}
+	i := sort.Search(len(g.edges), func(i int) bool { return !g.edges[i].Less(target) })
+	return i < len(g.edges) && g.edges[i] == target
+}
+
+// SizeBytes returns the storage footprint: 8 bytes per edge.
+func (g *EdgeListGraph) SizeBytes() int64 { return g.edges.SizeBytes() }
+
+// AdjacencyList is the slice-of-slices adjacency structure: O(1) row
+// lookup like CSR, but with per-row slice headers and fragmented storage.
+type AdjacencyList struct {
+	rows [][]uint32
+}
+
+// NewAdjacencyList builds the adjacency structure from any edge list.
+func NewAdjacencyList(l edgelist.List, numNodes int) *AdjacencyList {
+	rows := make([][]uint32, numNodes)
+	for _, e := range l {
+		rows[e.U] = append(rows[e.U], e.V)
+	}
+	for _, row := range rows {
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	return &AdjacencyList{rows: rows}
+}
+
+// NumNodes returns the node-id space size.
+func (g *AdjacencyList) NumNodes() int { return len(g.rows) }
+
+// NumEdges returns the number of edges.
+func (g *AdjacencyList) NumEdges() int {
+	total := 0
+	for _, row := range g.rows {
+		total += len(row)
+	}
+	return total
+}
+
+// Degree returns the out-degree of u.
+func (g *AdjacencyList) Degree(u edgelist.NodeID) int { return len(g.rows[u]) }
+
+// Row returns u's neighbor slice (dst ignored; the slice is internal).
+func (g *AdjacencyList) Row(dst []uint32, u edgelist.NodeID) []uint32 { return g.rows[u] }
+
+// HasEdge reports whether (u, v) exists by binary search of u's row.
+func (g *AdjacencyList) HasEdge(u, v edgelist.NodeID) bool {
+	row := g.rows[u]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	return i < len(row) && row[i] == v
+}
+
+// SizeBytes returns the storage footprint: 4 bytes per neighbor plus one
+// slice header (24 bytes on 64-bit) per node.
+func (g *AdjacencyList) SizeBytes() int64 {
+	var total int64 = int64(len(g.rows)) * 24
+	for _, row := range g.rows {
+		total += int64(len(row)) * 4
+	}
+	return total
+}
+
+// DenseMatrixSizeBytes returns what an n×n boolean adjacency matrix would
+// occupy at one bit per cell — the paper's Friendster "30 Petabytes"
+// motivation, for reporting only.
+func DenseMatrixSizeBytes(numNodes int) int64 {
+	n := int64(numNodes)
+	return (n*n + 7) / 8
+}

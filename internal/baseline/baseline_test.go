@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/query"
+)
+
+func sortedList(n int, numNodes uint32, seed int64) edgelist.List {
+	rng := rand.New(rand.NewSource(seed))
+	l := make(edgelist.List, n)
+	for i := range l {
+		l[i] = edgelist.Edge{U: rng.Uint32() % numNodes, V: rng.Uint32() % numNodes}
+	}
+	l.SortByUV(1)
+	return l.Dedup()
+}
+
+func TestBaselinesAgreeWithCSR(t *testing.T) {
+	l := sortedList(5000, 120, 1)
+	m := csr.Build(l, 120, 2)
+	elg := NewEdgeListGraph(l, 120)
+	adj := NewAdjacencyList(l, 120)
+	for u := uint32(0); u < 120; u++ {
+		want := m.Neighbors(u)
+		gotE := elg.Row(nil, u)
+		gotA := adj.Row(nil, u)
+		if len(want) == 0 {
+			if len(gotE) != 0 || len(gotA) != 0 {
+				t.Fatalf("node %d: baselines nonempty for empty row", u)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(gotE, want) || !reflect.DeepEqual(gotA, want) {
+			t.Fatalf("node %d: rows disagree: csr=%v edgelist=%v adj=%v", u, want, gotE, gotA)
+		}
+		if elg.Degree(u) != m.Degree(u) || adj.Degree(u) != m.Degree(u) {
+			t.Fatalf("node %d: degree mismatch", u)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		u, v := rng.Uint32()%120, rng.Uint32()%120
+		want := m.HasEdge(u, v)
+		if elg.HasEdge(u, v) != want || adj.HasEdge(u, v) != want {
+			t.Fatalf("HasEdge(%d,%d) disagreement", u, v)
+		}
+	}
+}
+
+func TestBaselinesSatisfyQuerySource(t *testing.T) {
+	l := sortedList(1000, 50, 3)
+	var _ query.Source = NewEdgeListGraph(l, 50)
+	var _ query.Source = NewAdjacencyList(l, 50)
+	// And the batched queries work over them.
+	qs := []edgelist.NodeID{0, 10, 49}
+	if got := query.NeighborsBatch(NewEdgeListGraph(l, 50), qs, 2); len(got) != 3 {
+		t.Fatal("batch over edge-list baseline failed")
+	}
+}
+
+func TestNewEdgeListGraphPanicsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for unsorted list")
+		}
+	}()
+	NewEdgeListGraph(edgelist.List{{U: 5, V: 0}, {U: 1, V: 0}}, 6)
+}
+
+func TestCountsAndSizes(t *testing.T) {
+	l := sortedList(3000, 100, 4)
+	elg := NewEdgeListGraph(l, 100)
+	adj := NewAdjacencyList(l, 100)
+	if elg.NumEdges() != len(l) || adj.NumEdges() != len(l) {
+		t.Fatal("edge counts wrong")
+	}
+	if elg.NumNodes() != 100 || adj.NumNodes() != 100 {
+		t.Fatal("node counts wrong")
+	}
+	if elg.SizeBytes() != int64(len(l))*8 {
+		t.Fatalf("edge list size = %d", elg.SizeBytes())
+	}
+	if adj.SizeBytes() != int64(len(l))*4+100*24 {
+		t.Fatalf("adjacency size = %d", adj.SizeBytes())
+	}
+}
+
+func TestDenseMatrixSizeBytes(t *testing.T) {
+	// The paper's Friendster example: 65M nodes. One bit per cell.
+	if got := DenseMatrixSizeBytes(8); got != 8 {
+		t.Fatalf("8 nodes -> %d bytes, want 8", got)
+	}
+	if got := DenseMatrixSizeBytes(65_000_000); got < 500_000_000_000_000 {
+		t.Fatalf("Friendster-scale matrix implausibly small: %d", got)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	elg := NewEdgeListGraph(nil, 10)
+	adj := NewAdjacencyList(nil, 10)
+	if elg.Degree(3) != 0 || adj.Degree(3) != 0 {
+		t.Fatal("degrees in empty graph must be 0")
+	}
+	if elg.HasEdge(0, 1) || adj.HasEdge(0, 1) {
+		t.Fatal("no edges should exist")
+	}
+}

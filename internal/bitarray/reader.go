@@ -1,0 +1,85 @@
+package bitarray
+
+import "fmt"
+
+// Reader is a sequential cursor over an Array. It is a value type; copying a
+// Reader forks the cursor position.
+type Reader struct {
+	a   *Array
+	pos int
+}
+
+// NewReader returns a Reader positioned at bit `pos` of a.
+func NewReader(a *Array, pos int) *Reader {
+	if pos < 0 || pos > a.Len() {
+		panic(fmt.Sprintf("bitarray: reader position %d out of range [0,%d]", pos, a.Len()))
+	}
+	return &Reader{a: a, pos: pos}
+}
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.a.Len() - r.pos }
+
+// ReadBit consumes and returns one bit.
+func (r *Reader) ReadBit() bool {
+	b := r.a.Bit(r.pos)
+	r.pos++
+	return b
+}
+
+// ReadUint consumes `width` bits and returns them MSB-first.
+func (r *Reader) ReadUint(width int) uint64 {
+	v := r.a.Uint(r.pos, width)
+	r.pos += width
+	return v
+}
+
+// Skip advances the cursor by n bits.
+func (r *Reader) Skip(n int) {
+	if n < 0 || r.pos+n > r.a.Len() {
+		panic(fmt.Sprintf("bitarray: skip %d from %d out of range [0,%d]", n, r.pos, r.a.Len()))
+	}
+	r.pos += n
+}
+
+// Seek moves the cursor to absolute bit position pos.
+func (r *Reader) Seek(pos int) {
+	if pos < 0 || pos > r.a.Len() {
+		panic(fmt.Sprintf("bitarray: seek %d out of range [0,%d]", pos, r.a.Len()))
+	}
+	r.pos = pos
+}
+
+// UnpackUints bulk-decodes count fixed-width values (width in [1,32])
+// starting at bit pos into dst, which must have room. It is the hot path
+// of packed-CSR row decoding: a rolling 64-bit window over the backing
+// words replaces per-value bounds checks and shifts.
+func (a *Array) UnpackUints(dst []uint32, pos, width, count int) {
+	if count == 0 {
+		return
+	}
+	if width < 1 || width > 32 {
+		panic(fmt.Sprintf("bitarray: bulk width %d out of range [1,32]", width))
+	}
+	if pos < 0 || pos+width*count > a.n {
+		panic(fmt.Sprintf("bitarray: bulk range [%d,%d) out of bounds [0,%d)", pos, pos+width*count, a.n))
+	}
+	mask := uint64(1)<<width - 1
+	words := a.words
+	for i := 0; i < count; i++ {
+		w, off := pos/wordBits, pos%wordBits
+		room := wordBits - off
+		var v uint64
+		if width <= room {
+			v = words[w] >> (room - width)
+		} else {
+			rest := width - room
+			v = words[w]<<rest | words[w+1]>>(wordBits-rest)
+		}
+		dst[i] = uint32(v & mask)
+		pos += width
+	}
+}

@@ -1,0 +1,254 @@
+// Package bitpack implements the integer bit-packing compression the paper
+// applies to both CSR arrays (Section III-A3, Algorithm 4, citing the
+// authors' earlier ALLDATA'21 scheme): every value in an array is stored at
+// the same fixed bit width w = ceil(log2(max+1)), giving random access to
+// element i at bit offset i*w — the property the parallel querying
+// algorithms of Section V rely on (their `numBits` parameter is this width).
+//
+// Algorithm 4 parallelizes the encoding: the value array is split into p
+// chunks, each processor packs its chunk into a private bit array, and the
+// per-chunk bit arrays are concatenated. Because the width is global, the
+// concatenation is bit-identical to a sequential pack.
+//
+// The package also provides byte-aligned varint and Elias-gamma codecs used
+// as ablation baselines (they compress skewed data better but forfeit O(1)
+// random access).
+package bitpack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"csrgraph/internal/bitarray"
+	"csrgraph/internal/parallel"
+)
+
+// WidthFor returns the number of bits needed to store max: at least 1, so
+// that an all-zero array still advances positions.
+func WidthFor(max uint32) int {
+	if max == 0 {
+		return 1
+	}
+	return bits.Len32(max)
+}
+
+// MaxValue returns the largest element of vals computed with p processors,
+// or 0 for an empty slice.
+func MaxValue(vals []uint32, p int) uint32 {
+	chunks := parallel.Chunks(len(vals), p)
+	if len(chunks) == 0 {
+		return 0
+	}
+	maxes := make([]uint32, len(chunks))
+	parallel.For(len(vals), len(chunks), func(c int, r parallel.Range) {
+		var m uint32
+		for _, v := range vals[r.Start:r.End] {
+			if v > m {
+				m = v
+			}
+		}
+		maxes[c] = m
+	})
+	var m uint32
+	for _, v := range maxes {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Packed is a fixed-width bit-packed array of uint32 values.
+type Packed struct {
+	width int
+	n     int
+	bits  *bitarray.Array
+}
+
+// Pack encodes vals using p processors per Algorithm 4: compute the global
+// width, pack chunks independently, and merge the per-chunk bit arrays.
+func Pack(vals []uint32, p int) *Packed {
+	width := WidthFor(MaxValue(vals, p))
+	chunks := parallel.Chunks(len(vals), p)
+	if len(chunks) <= 1 {
+		return packWithWidth(vals, width)
+	}
+	parts := make([]*bitarray.Array, len(chunks))
+	parallel.For(len(vals), len(chunks), func(c int, r parallel.Range) {
+		a := bitarray.New(r.Len() * width)
+		for _, v := range vals[r.Start:r.End] {
+			a.AppendBits(uint64(v), width)
+		}
+		parts[c] = a
+	})
+	// Merge all per-chunk bit arrays from their "global location".
+	merged := bitarray.New(len(vals) * width)
+	for _, part := range parts {
+		merged.AppendArray(part)
+	}
+	return &Packed{width: width, n: len(vals), bits: merged}
+}
+
+// PackSequential encodes vals on one processor; the reference for Pack.
+func PackSequential(vals []uint32) *Packed {
+	return packWithWidth(vals, WidthFor(MaxValue(vals, 1)))
+}
+
+// PackDirect is the merge-free alternative to Pack (ablation of
+// Algorithm 4's "merge all bitArrays" step): because the width is global,
+// element i's bit offset i*width is known up front, so every processor
+// writes its chunk straight into the shared output word array. Interior
+// words of a chunk are touched by that chunk alone; the single word
+// straddling each chunk boundary is shared by two processors, which
+// contribute disjoint bits — atomic OR makes those concurrent writes safe
+// and order-independent, so the result is bit-identical to Pack.
+func PackDirect(vals []uint32, p int) *Packed {
+	width := WidthFor(MaxValue(vals, p))
+	chunks := parallel.Chunks(len(vals), p)
+	if len(chunks) <= 1 {
+		return packWithWidth(vals, width)
+	}
+	totalBits := len(vals) * width
+	words := make([]atomic.Uint64, (totalBits+63)/64)
+	parallel.For(len(vals), len(chunks), func(c int, r parallel.Range) {
+		// Words wholly inside this chunk's bit range see only this
+		// goroutine; the first and last may be shared with neighbours.
+		firstWord := r.Start * width / 64
+		lastWord := (r.End*width - 1) / 64
+		or := func(w int, bits uint64) {
+			if w == firstWord || w == lastWord {
+				words[w].Or(bits)
+			} else {
+				// Interior: plain read-modify-write through the atomic's
+				// value is unnecessary; Store suffices because no other
+				// goroutine touches this word during the parallel phase.
+				words[w].Store(words[w].Load() | bits)
+			}
+		}
+		for i := r.Start; i < r.End; i++ {
+			v := uint64(vals[i])
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			pos := i * width
+			w, off := pos/64, pos%64
+			room := 64 - off
+			if width <= room {
+				or(w, v<<(room-width))
+			} else {
+				rest := width - room
+				or(w, v>>rest)
+				or(w+1, v<<(64-rest))
+			}
+		}
+	})
+	plain := make([]uint64, len(words))
+	for i := range words {
+		plain[i] = words[i].Load()
+	}
+	a := bitarray.FromWords(plain, totalBits)
+	return &Packed{width: width, n: len(vals), bits: a}
+}
+
+func packWithWidth(vals []uint32, width int) *Packed {
+	a := bitarray.New(len(vals) * width)
+	for _, v := range vals {
+		a.AppendBits(uint64(v), width)
+	}
+	return &Packed{width: width, n: len(vals), bits: a}
+}
+
+// Len returns the number of packed values.
+func (pk *Packed) Len() int { return pk.n }
+
+// Width returns the per-value bit width (the paper's numBits).
+func (pk *Packed) Width() int { return pk.width }
+
+// Bits exposes the underlying bit array (read-only by convention).
+func (pk *Packed) Bits() *bitarray.Array { return pk.bits }
+
+// SizeBytes returns the payload footprint in bytes.
+func (pk *Packed) SizeBytes() int64 { return int64(pk.bits.SizeBytes()) }
+
+// Get returns element i.
+func (pk *Packed) Get(i int) uint32 {
+	if i < 0 || i >= pk.n {
+		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, pk.n))
+	}
+	return uint32(pk.bits.Uint(i*pk.width, pk.width))
+}
+
+// Slice decodes count elements starting at element start into dst, which is
+// grown as needed, and returns it. This is the GetRowFromCSR primitive of
+// ref [28]: a CSR row is exactly a contiguous run of packed values.
+func (pk *Packed) Slice(dst []uint32, start, count int) []uint32 {
+	if start < 0 || count < 0 || start+count > pk.n {
+		panic(fmt.Sprintf("bitpack: slice [%d,%d) out of range [0,%d)", start, start+count, pk.n))
+	}
+	if cap(dst) < count {
+		dst = make([]uint32, count)
+	}
+	dst = dst[:count]
+	if pk.width <= 32 {
+		pk.bits.UnpackUints(dst, start*pk.width, pk.width, count)
+		return dst
+	}
+	r := bitarray.NewReader(pk.bits, start*pk.width)
+	for i := range dst {
+		dst[i] = uint32(r.ReadUint(pk.width))
+	}
+	return dst
+}
+
+// Unpack decodes the whole array.
+func (pk *Packed) Unpack() []uint32 {
+	return pk.Slice(nil, 0, pk.n)
+}
+
+// Equal reports whether two packed arrays hold the same values at the same
+// width.
+func (pk *Packed) Equal(o *Packed) bool {
+	return pk.width == o.width && pk.n == o.n && pk.bits.Equal(o.bits)
+}
+
+const packedMagic = "BPK1"
+
+// MarshalBinary encodes the packed array with a self-describing header.
+func (pk *Packed) MarshalBinary() ([]byte, error) {
+	payload, err := pk.bits.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 4+16+len(payload))
+	buf = append(buf, packedMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(pk.width))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(pk.n))
+	return append(buf, payload...), nil
+}
+
+// UnmarshalBinary decodes data written by MarshalBinary.
+func (pk *Packed) UnmarshalBinary(data []byte) error {
+	if len(data) < 20 || string(data[:4]) != packedMagic {
+		return errors.New("bitpack: bad header")
+	}
+	width := int(binary.LittleEndian.Uint64(data[4:12]))
+	n := int(binary.LittleEndian.Uint64(data[12:20]))
+	// The bound on n both rejects nonsense and makes width*n below safe
+	// from overflow (64 * 2^56 < 2^63).
+	const maxLen = 1 << 56
+	if width < 1 || width > 64 || n < 0 || n > maxLen {
+		return fmt.Errorf("bitpack: implausible header width=%d n=%d", width, n)
+	}
+	var a bitarray.Array
+	if err := a.UnmarshalBinary(data[20:]); err != nil {
+		return err
+	}
+	if a.Len() != width*n {
+		return fmt.Errorf("bitpack: payload %d bits, want %d", a.Len(), width*n)
+	}
+	pk.width, pk.n, pk.bits = width, n, &a
+	return nil
+}

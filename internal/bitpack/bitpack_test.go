@@ -1,0 +1,307 @@
+package bitpack
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randVals(n int, max uint32, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(uint64(rng.Uint32()) % (uint64(max) + 1))
+	}
+	return out
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := map[uint32]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, 0xFFFFFFFF: 32}
+	for max, want := range cases {
+		if got := WidthFor(max); got != want {
+			t.Errorf("WidthFor(%d) = %d, want %d", max, got, want)
+		}
+	}
+}
+
+func TestMaxValue(t *testing.T) {
+	vals := []uint32{3, 99, 0, 42, 17}
+	for _, p := range []int{1, 2, 3, 10} {
+		if got := MaxValue(vals, p); got != 99 {
+			t.Errorf("p=%d: MaxValue = %d, want 99", p, got)
+		}
+	}
+	if MaxValue(nil, 4) != 0 {
+		t.Error("MaxValue(nil) != 0")
+	}
+}
+
+func TestPackGetRoundTrip(t *testing.T) {
+	vals := randVals(1000, 1<<17, 5)
+	pk := PackSequential(vals)
+	for i, v := range vals {
+		if got := pk.Get(i); got != v {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, v)
+		}
+	}
+	if !reflect.DeepEqual(pk.Unpack(), vals) {
+		t.Fatal("Unpack mismatch")
+	}
+}
+
+func TestParallelPackMatchesSequential(t *testing.T) {
+	vals := randVals(4097, 1<<20, 6)
+	want := PackSequential(vals)
+	for _, p := range []int{1, 2, 3, 4, 16, 64} {
+		got := Pack(vals, p)
+		if !got.Equal(want) {
+			t.Fatalf("p=%d: parallel pack not bit-identical to sequential", p)
+		}
+	}
+}
+
+func TestPackDirectMatchesPack(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 1000, 4097} {
+		vals := randVals(n, 1<<19, int64(n)+100)
+		want := PackSequential(vals)
+		for _, p := range []int{1, 2, 3, 7, 16, 64} {
+			got := PackDirect(vals, p)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d p=%d: direct pack not bit-identical", n, p)
+			}
+		}
+	}
+}
+
+// Property: merge-based and direct packing agree for arbitrary input.
+func TestQuickPackDirect(t *testing.T) {
+	f := func(vals []uint32, p uint8) bool {
+		return PackDirect(vals, int(p)).Equal(Pack(vals, int(p)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackEmptyAndZeros(t *testing.T) {
+	pk := Pack(nil, 4)
+	if pk.Len() != 0 || pk.Width() != 1 {
+		t.Fatalf("empty pack: len=%d width=%d", pk.Len(), pk.Width())
+	}
+	zeros := make([]uint32, 100)
+	pk = Pack(zeros, 4)
+	if pk.Width() != 1 {
+		t.Fatalf("zeros width = %d, want 1", pk.Width())
+	}
+	if !reflect.DeepEqual(pk.Unpack(), zeros) {
+		t.Fatal("zeros round trip failed")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	vals := randVals(500, 1000, 7)
+	pk := Pack(vals, 3)
+	got := pk.Slice(nil, 100, 50)
+	if !reflect.DeepEqual(got, vals[100:150]) {
+		t.Fatal("Slice mismatch")
+	}
+	// Reuse a destination buffer.
+	buf := make([]uint32, 64)
+	got = pk.Slice(buf, 0, 10)
+	if len(got) != 10 || !reflect.DeepEqual(got, vals[:10]) {
+		t.Fatal("Slice with dst mismatch")
+	}
+	if got := pk.Slice(nil, 500, 0); len(got) != 0 {
+		t.Fatal("empty slice at end should work")
+	}
+}
+
+func TestPackedBoundsPanics(t *testing.T) {
+	pk := Pack([]uint32{1, 2, 3}, 1)
+	for name, fn := range map[string]func(){
+		"Get negative":   func() { pk.Get(-1) },
+		"Get past end":   func() { pk.Get(3) },
+		"Slice past end": func() { pk.Slice(nil, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPackedMarshalRoundTrip(t *testing.T) {
+	vals := randVals(321, 77777, 8)
+	pk := Pack(vals, 4)
+	data, err := pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Packed
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(pk) {
+		t.Fatal("marshal round trip mismatch")
+	}
+}
+
+func TestPackedUnmarshalErrors(t *testing.T) {
+	var pk Packed
+	if err := pk.UnmarshalBinary([]byte("nope")); err == nil {
+		t.Fatal("want header error")
+	}
+	good, _ := Pack([]uint32{1, 2, 3}, 1).MarshalBinary()
+	bad := append([]byte{}, good...)
+	bad[4] = 200 // implausible width
+	if err := pk.UnmarshalBinary(bad); err == nil {
+		t.Fatal("want width error")
+	}
+	if err := pk.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	vals := randVals(1000, 0xFFFFFFFF, 9)
+	got, err := DecodeVarint(EncodeVarint(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatal("varint round trip mismatch")
+	}
+	if out, err := DecodeVarint(nil); err != nil || len(out) != 0 {
+		t.Fatal("empty varint stream should decode to empty")
+	}
+	if _, err := DecodeVarint([]byte{0x80}); err == nil {
+		t.Fatal("want error for dangling continuation byte")
+	}
+}
+
+func TestEliasGammaRoundTrip(t *testing.T) {
+	vals := append(randVals(500, 100000, 10), 0, 1, 0xFFFFFFFE)
+	a := EncodeEliasGamma(vals)
+	got, err := DecodeEliasGamma(a, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatal("gamma round trip mismatch")
+	}
+	if _, err := DecodeEliasGamma(EncodeEliasGamma([]uint32{5}), 2); err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestDeltaTransformRoundTrip(t *testing.T) {
+	vals := []uint32{3, 3, 7, 10, 100}
+	orig := append([]uint32(nil), vals...)
+	if err := DeltaTransform(vals); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vals, []uint32{3, 0, 4, 3, 90}) {
+		t.Fatalf("deltas = %v", vals)
+	}
+	DeltaRestore(vals)
+	if !reflect.DeepEqual(vals, orig) {
+		t.Fatal("delta restore mismatch")
+	}
+	if err := DeltaTransform([]uint32{5, 4}); err == nil {
+		t.Fatal("want error for decreasing input")
+	}
+}
+
+// Property: pack/unpack identity for arbitrary values and processor counts.
+func TestQuickPackIdentity(t *testing.T) {
+	f := func(vals []uint32, p uint8) bool {
+		pk := Pack(vals, int(p))
+		got := pk.Unpack()
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all three codecs decode to the original values.
+func TestQuickCodecsAgree(t *testing.T) {
+	f := func(vals []uint32) bool {
+		v1, err1 := DecodeVarint(EncodeVarint(vals))
+		v2, err2 := DecodeEliasGamma(EncodeEliasGamma(vals), len(vals))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(v1) == 0 && len(v2) == 0
+		}
+		return reflect.DeepEqual(v1, vals) && reflect.DeepEqual(v2, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPackAblation(b *testing.B) {
+	vals := randVals(1<<18, 1<<20, 11)
+	b.Run("fixedwidth", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Pack(vals, 1)
+		}
+	})
+	b.Run("varint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EncodeVarint(vals)
+		}
+	})
+	b.Run("gamma", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EncodeEliasGamma(vals)
+		}
+	})
+}
+
+func BenchmarkSliceDecode(b *testing.B) {
+	vals := randVals(1<<16, 1<<20, 77)
+	pk := Pack(vals, 1)
+	dst := make([]uint32, len(vals))
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pk.Slice(dst, 0, len(vals))
+		}
+	})
+	b.Run("get-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range dst {
+				dst[j] = pk.Get(j)
+			}
+		}
+	})
+}
+
+// BenchmarkPackMergeVsDirect ablates Algorithm 4's serial merge against
+// the offset-precomputed direct write (DESIGN.md §5).
+func BenchmarkPackMergeVsDirect(b *testing.B) {
+	vals := randVals(1<<20, 1<<20, 78)
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("merge/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Pack(vals, p)
+			}
+		})
+		b.Run(fmt.Sprintf("direct/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PackDirect(vals, p)
+			}
+		})
+	}
+}

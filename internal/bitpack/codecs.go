@@ -1,0 +1,115 @@
+package bitpack
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"csrgraph/internal/bitarray"
+)
+
+// Ablation codecs: alternatives to fixed-width packing measured in
+// BenchmarkPackAblation. Neither supports O(1) random access, which is why
+// the paper's querying algorithms use the fixed-width form.
+
+// EncodeVarint encodes vals as unsigned LEB128 (the encoding/binary uvarint
+// format), one varint per value.
+func EncodeVarint(vals []uint32) []byte {
+	out := make([]byte, 0, len(vals))
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range vals {
+		n := binary.PutUvarint(tmp[:], uint64(v))
+		out = append(out, tmp[:n]...)
+	}
+	return out
+}
+
+// DecodeVarint decodes a stream produced by EncodeVarint.
+func DecodeVarint(data []byte) ([]uint32, error) {
+	var out []uint32
+	for len(data) > 0 {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("bitpack: malformed varint at tail of length %d", len(data))
+		}
+		if v > 0xFFFFFFFF {
+			return nil, fmt.Errorf("bitpack: varint value %d overflows uint32", v)
+		}
+		out = append(out, uint32(v))
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// EncodeEliasGamma encodes vals with the Elias gamma code. Gamma cannot
+// represent zero, so values are shifted by one on the wire (v+1).
+func EncodeEliasGamma(vals []uint32) *bitarray.Array {
+	a := bitarray.New(len(vals) * 8)
+	for _, v := range vals {
+		appendGamma(a, uint64(v)+1)
+	}
+	return a
+}
+
+func appendGamma(a *bitarray.Array, x uint64) {
+	// gamma(x) = (len(x)-1) zeros, then x's len(x) bits.
+	n := 0
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	a.AppendBits(0, n)
+	a.AppendBits(x, n+1)
+}
+
+// DecodeEliasGamma decodes count values from a gamma-coded array.
+func DecodeEliasGamma(a *bitarray.Array, count int) ([]uint32, error) {
+	out := make([]uint32, 0, count)
+	r := bitarray.NewReader(a, 0)
+	for i := 0; i < count; i++ {
+		n := 0
+		for {
+			if r.Remaining() == 0 {
+				return nil, fmt.Errorf("bitpack: gamma stream truncated at value %d", i)
+			}
+			if r.ReadBit() {
+				break
+			}
+			n++
+		}
+		if n > 63 || r.Remaining() < n {
+			return nil, fmt.Errorf("bitpack: gamma stream corrupt at value %d", i)
+		}
+		x := uint64(1)
+		if n > 0 {
+			x = 1<<n | r.ReadUint(n)
+		}
+		if x-1 > 0xFFFFFFFF {
+			return nil, fmt.Errorf("bitpack: gamma value %d overflows uint32", x-1)
+		}
+		out = append(out, uint32(x-1))
+	}
+	return out, nil
+}
+
+// DeltaTransform replaces each element of a non-decreasing slice with its
+// gap from the predecessor (first element kept), in place. Useful before
+// gamma or varint coding of sorted neighbor lists.
+func DeltaTransform(vals []uint32) error {
+	prev := uint32(0)
+	for i, v := range vals {
+		if i > 0 && v < prev {
+			return fmt.Errorf("bitpack: delta transform needs non-decreasing input, broken at %d", i)
+		}
+		vals[i] = v - prev
+		prev = v
+	}
+	return nil
+}
+
+// DeltaRestore inverts DeltaTransform in place.
+func DeltaRestore(vals []uint32) {
+	var run uint32
+	for i, d := range vals {
+		run += d
+		vals[i] = run
+	}
+}

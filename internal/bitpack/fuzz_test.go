@@ -1,0 +1,87 @@
+package bitpack
+
+import (
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/bitarray"
+)
+
+// Decoders over untrusted bytes must error, never panic.
+
+func FuzzDecodeVarint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeVarint([]uint32{0, 1, 300, 0xFFFFFFFF}))
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DecodeVarint(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode to a decodable stream with the same
+		// values (canonical encodings round-trip exactly; non-canonical ones
+		// still produce the same value list).
+		back, rerr := DecodeVarint(EncodeVarint(vals))
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if len(vals) != 0 && !reflect.DeepEqual(vals, back) {
+			t.Fatalf("values changed: %v -> %v", vals, back)
+		}
+	})
+}
+
+func FuzzPackedUnmarshal(f *testing.F) {
+	good, _ := Pack([]uint32{1, 5, 9}, 2).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte("BPK1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pk Packed
+		if err := pk.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted payload must be internally consistent.
+		if pk.Len() > 0 {
+			_ = pk.Get(0)
+			_ = pk.Get(pk.Len() - 1)
+		}
+		out, err := pk.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Packed
+		if err := back.UnmarshalBinary(out); err != nil || !back.Equal(&pk) {
+			t.Fatalf("re-marshal round trip failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeEliasGamma(f *testing.F) {
+	enc := EncodeEliasGamma([]uint32{0, 7, 1 << 20})
+	payload, _ := enc.MarshalBinary()
+	f.Add(payload, 3)
+	f.Add([]byte{}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, count int) {
+		if count < 0 || count > 1<<16 {
+			return
+		}
+		var a bitarray.Array
+		if err := a.UnmarshalBinary(data); err != nil {
+			return
+		}
+		vals, err := DecodeEliasGamma(&a, count)
+		if err != nil {
+			return
+		}
+		// Accepted values re-encode and decode identically.
+		back, rerr := DecodeEliasGamma(EncodeEliasGamma(vals), len(vals))
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if len(vals) != 0 && !reflect.DeepEqual(vals, back) {
+			t.Fatal("gamma values changed on re-encode")
+		}
+	})
+}

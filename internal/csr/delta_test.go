@@ -1,0 +1,117 @@
+package csr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/edgelist"
+)
+
+func TestDeltaPackedRoundTrip(t *testing.T) {
+	m := BuildSequential(paperGraph(), 10)
+	for _, p := range []int{1, 2, 4, 16} {
+		dp := PackDelta(m, p)
+		if dp.NumNodes() != 10 || dp.NumEdges() != 14 {
+			t.Fatalf("p=%d: n=%d m=%d", p, dp.NumNodes(), dp.NumEdges())
+		}
+		if !dp.Unpack().Equal(m) {
+			t.Fatalf("p=%d: unpack(delta(m)) != m", p)
+		}
+	}
+}
+
+func TestDeltaPackedRowAndDegree(t *testing.T) {
+	l := randomSortedList(4000, 500, 40)
+	m := Build(l, 500, 4)
+	dp := PackDelta(m, 4)
+	var buf []uint32
+	for u := uint32(0); u < 500; u++ {
+		buf = dp.Row(buf, u)
+		want := m.Neighbors(u)
+		if len(buf) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual([]uint32(buf), want) {
+			t.Fatalf("Row(%d) = %v, want %v", u, buf, want)
+		}
+		if dp.Degree(u) != m.Degree(u) {
+			t.Fatalf("Degree(%d) mismatch", u)
+		}
+	}
+}
+
+func TestDeltaPackedHasEdge(t *testing.T) {
+	l := randomSortedList(3000, 200, 41)
+	m := Build(l, 200, 2)
+	dp := PackDelta(m, 2)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		u, v := rng.Uint32()%200, rng.Uint32()%200
+		if dp.HasEdge(u, v) != m.HasEdge(u, v) {
+			t.Fatalf("HasEdge(%d,%d) disagrees", u, v)
+		}
+	}
+}
+
+func TestDeltaPackedZeroIsEncodable(t *testing.T) {
+	// Node 0 as a neighbor exercises the +1 shift on the absolute head.
+	m := BuildSequential(edgelist.List{{U: 1, V: 0}, {U: 1, V: 5}}, 6)
+	dp := PackDelta(m, 1)
+	if got := dp.Row(nil, 1); !reflect.DeepEqual([]uint32(got), []uint32{0, 5}) {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	if !dp.HasEdge(1, 0) {
+		t.Fatal("edge to node 0 lost")
+	}
+}
+
+func TestDeltaPackedCompressesSkewedRows(t *testing.T) {
+	// Clustered neighbor ids (small gaps) are where delta-gamma shines;
+	// verify it beats fixed-width on such input.
+	var l edgelist.List
+	for u := uint32(0); u < 800; u++ {
+		for k := uint32(0); k < 30; k++ {
+			l = append(l, edgelist.Edge{U: u, V: u + k}) // gaps of 1: gamma codes 1 bit each
+		}
+	}
+	l.SortByUV(1)
+	l = l.Dedup()
+	m := Build(l, int(l.MaxNode())+1, 2)
+	fixed := PackMatrix(m, 2)
+	delta := PackDelta(m, 2)
+	if delta.SizeBytes() >= fixed.SizeBytes() {
+		t.Fatalf("delta %d bytes >= fixed %d bytes on clustered rows",
+			delta.SizeBytes(), fixed.SizeBytes())
+	}
+}
+
+func TestDeltaPackedParallelDeterminism(t *testing.T) {
+	l := randomSortedList(5000, 700, 43)
+	m := Build(l, 700, 2)
+	base := PackDelta(m, 1)
+	for _, p := range []int{2, 5, 32} {
+		dp := PackDelta(m, p)
+		if dp.SizeBytes() != base.SizeBytes() || !dp.Unpack().Equal(m) {
+			t.Fatalf("p=%d: delta pack not deterministic", p)
+		}
+	}
+}
+
+// Property: delta round trip preserves adjacency exactly.
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	f := func(pairs []uint16, p uint8) bool {
+		l := make(edgelist.List, 0, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			l = append(l, edgelist.Edge{U: uint32(pairs[i]) % 40, V: uint32(pairs[i+1]) % 40})
+		}
+		l.SortByUV(1)
+		l = l.Dedup()
+		m := Build(l, 40, 2)
+		return PackDelta(m, int(p)).Unpack().Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

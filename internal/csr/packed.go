@@ -1,0 +1,266 @@
+package csr
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"csrgraph/internal/bitpack"
+	"csrgraph/internal/edgelist"
+)
+
+// Packed is the bit-packed CSR of Section III-A3: both the degree/offset
+// array iA and the neighbor array jA are fixed-width bit-packed
+// (Algorithm 4), shrinking the structure from 4 bytes per entry to
+// ceil(log2(max+1)) bits per entry while keeping O(1) random access — the
+// property the Section V querying algorithms need.
+type Packed struct {
+	off  *bitpack.Packed // iA: n+1 row offsets
+	cols *bitpack.Packed // jA: m neighbor ids
+}
+
+// PackMatrix bit-packs a CSR using p processors, packing iA and jA
+// independently as Algorithm 4 prescribes ("once for degree array iA, and
+// once for edge column array jA").
+func PackMatrix(m *Matrix, p int) *Packed {
+	return &Packed{
+		off:  bitpack.Pack(m.RowOffsets, p),
+		cols: bitpack.Pack(m.Cols, p),
+	}
+}
+
+// BuildPacked constructs the bit-packed CSR straight from a source-sorted
+// edge list with p processors: Build followed by PackMatrix.
+func BuildPacked(l edgelist.List, numNodes, p int) *Packed {
+	return PackMatrix(Build(l, numNodes, p), p)
+}
+
+// NumNodes returns the number of nodes.
+func (pk *Packed) NumNodes() int {
+	if pk.off.Len() == 0 {
+		return 0
+	}
+	return pk.off.Len() - 1
+}
+
+// NumEdges returns the number of directed edges.
+func (pk *Packed) NumEdges() int { return pk.cols.Len() }
+
+// NumBits returns the per-neighbor bit width — the `numBits` parameter the
+// paper's query algorithms receive.
+func (pk *Packed) NumBits() int { return pk.cols.Width() }
+
+// OffsetBits returns the per-offset bit width of the packed iA array.
+func (pk *Packed) OffsetBits() int { return pk.off.Width() }
+
+// RowBounds returns the [start, end) range of u's row in the packed jA
+// array (u's startingIndex and startingIndex+degree in the paper's terms).
+func (pk *Packed) RowBounds(u edgelist.NodeID) (start, end int) {
+	return int(pk.off.Get(int(u))), int(pk.off.Get(int(u) + 1))
+}
+
+// Degree returns the out-degree of u.
+func (pk *Packed) Degree(u edgelist.NodeID) int {
+	start, end := pk.RowBounds(u)
+	return end - start
+}
+
+// Row decodes u's neighbor list into dst (grown as needed) and returns it.
+// This is GetRowFromCSR from ref [28]: seek to the row's bit offset and
+// decode degree-many numBits-wide values.
+func (pk *Packed) Row(dst []uint32, u edgelist.NodeID) []uint32 {
+	start, end := pk.RowBounds(u)
+	return pk.cols.Slice(dst, start, end-start)
+}
+
+// Neighbor returns the i-th neighbor of u without decoding the whole row.
+func (pk *Packed) Neighbor(u edgelist.NodeID, i int) uint32 {
+	start, end := pk.RowBounds(u)
+	if i < 0 || start+i >= end {
+		panic(fmt.Sprintf("csr: neighbor %d of node %d out of range (degree %d)", i, u, end-start))
+	}
+	return pk.cols.Get(start + i)
+}
+
+// HasEdge reports whether (u, v) exists by a linear scan over the packed
+// row — Algorithm 7/8's core loop, reading directly from the bit array.
+func (pk *Packed) HasEdge(u, v edgelist.NodeID) bool {
+	start, end := pk.RowBounds(u)
+	for i := start; i < end; i++ {
+		if pk.cols.Get(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdgeBinary reports edge existence by binary search over the packed
+// row, using O(log d) random accesses instead of decoding d values — the
+// speed-up Section V-B mentions as an extension.
+func (pk *Packed) HasEdgeBinary(u, v edgelist.NodeID) bool {
+	start, end := pk.RowBounds(u)
+	lo, hi := start, end
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pk.cols.Get(mid) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < end && pk.cols.Get(lo) == v
+}
+
+// Unpack expands the packed CSR back into a plain Matrix.
+func (pk *Packed) Unpack() *Matrix {
+	return &Matrix{RowOffsets: pk.off.Unpack(), Cols: pk.cols.Unpack()}
+}
+
+// SizeBytes returns the bit-packed payload footprint — Table II's "CSR"
+// size column.
+func (pk *Packed) SizeBytes() int64 {
+	return pk.off.SizeBytes() + pk.cols.SizeBytes()
+}
+
+// Equal reports whether two packed CSRs are bit-identical.
+func (pk *Packed) Equal(o *Packed) bool {
+	return pk.off.Equal(o.off) && pk.cols.Equal(o.cols)
+}
+
+const packedFileMagic = "PCSR"
+
+// WriteTo serializes the packed CSR: magic, two length-prefixed bitpack
+// payloads. It implements io.WriterTo.
+func (pk *Packed) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.WriteString(packedFileMagic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for _, part := range []*bitpack.Packed{pk.off, pk.cols} {
+		payload, err := part.MarshalBinary()
+		if err != nil {
+			return written, err
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint64(hdr[:], uint64(len(payload)))
+		n, err = bw.Write(hdr[:])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		n, err = bw.Write(payload)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadPacked deserializes a packed CSR written by WriteTo. It reads exactly
+// the serialized bytes and no more, so multiple packed CSRs can be read
+// back-to-back from one stream (the temporal format relies on this).
+func ReadPacked(r io.Reader) (*Packed, error) {
+	br := r
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("csr: packed header: %w", err)
+	}
+	if string(magic) != packedFileMagic {
+		return nil, fmt.Errorf("csr: bad magic %q", magic)
+	}
+	parts := make([]*bitpack.Packed, 2)
+	for i := range parts {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("csr: part %d length: %w", i, err)
+		}
+		size := binary.LittleEndian.Uint64(hdr[:])
+		const maxPart = 1 << 36
+		if size > maxPart {
+			return nil, fmt.Errorf("csr: implausible part size %d", size)
+		}
+		// The size comes from an untrusted header: copy incrementally so a
+		// lying header on a short stream errors out instead of provoking a
+		// giant up-front allocation.
+		var payload bytes.Buffer
+		payload.Grow(int(min(size, 1<<20)))
+		if _, err := io.CopyN(&payload, br, int64(size)); err != nil {
+			return nil, fmt.Errorf("csr: part %d payload: %w", i, err)
+		}
+		parts[i] = new(bitpack.Packed)
+		if err := parts[i].UnmarshalBinary(payload.Bytes()); err != nil {
+			return nil, fmt.Errorf("csr: part %d: %w", i, err)
+		}
+	}
+	pk := &Packed{off: parts[0], cols: parts[1]}
+	if err := pk.validate(); err != nil {
+		return nil, err
+	}
+	return pk, nil
+}
+
+// validate checks the structural invariants a freshly deserialized packed
+// CSR must satisfy before queries may trust it: offsets start at 0, are
+// monotone, end exactly at the cols length, and every neighbor id is
+// inside the node space. Without this a corrupt file would panic at query
+// time instead of failing at load time.
+func (pk *Packed) validate() error {
+	n := pk.off.Len()
+	if n == 0 {
+		if pk.cols.Len() != 0 {
+			return fmt.Errorf("csr: empty offsets with %d cols", pk.cols.Len())
+		}
+		return nil
+	}
+	prev := pk.off.Get(0)
+	if prev != 0 {
+		return fmt.Errorf("csr: first offset %d, want 0", prev)
+	}
+	for i := 1; i < n; i++ {
+		cur := pk.off.Get(i)
+		if cur < prev {
+			return fmt.Errorf("csr: offsets decrease at %d (%d < %d)", i, cur, prev)
+		}
+		prev = cur
+	}
+	if got, want := pk.cols.Len(), int(prev); got != want {
+		return fmt.Errorf("csr: offsets claim %d edges, cols has %d", want, got)
+	}
+	numNodes := uint32(n - 1)
+	for i := 0; i < pk.cols.Len(); i++ {
+		if v := pk.cols.Get(i); v >= numNodes {
+			return fmt.Errorf("csr: neighbor %d at position %d outside node space %d", v, i, numNodes)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the packed CSR to path.
+func (pk *Packed) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := pk.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// LoadPackedFile reads a packed CSR from path.
+func LoadPackedFile(path string) (*Packed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPacked(f)
+}

@@ -1,0 +1,70 @@
+package csr
+
+import (
+	"fmt"
+
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/prefixsum"
+)
+
+// InducedSubgraph extracts the subgraph induced by the given node set,
+// relabeling nodes densely in the order given (nodes[i] becomes id i).
+// Edges whose endpoints are both in the set survive. The extraction is
+// row-parallel: each processor filters and relabels its rows, then the
+// offsets are rebuilt with the parallel prefix sum. The mapping back to
+// original ids is returned alongside.
+//
+// Duplicate nodes in the set are an error, as they would make the inverse
+// mapping ambiguous.
+func InducedSubgraph(m *Matrix, nodes []edgelist.NodeID, p int) (*Matrix, []edgelist.NodeID, error) {
+	relabel := make(map[uint32]uint32, len(nodes))
+	for i, u := range nodes {
+		if int(u) >= m.NumNodes() {
+			return nil, nil, fmt.Errorf("csr: node %d out of range [0,%d)", u, m.NumNodes())
+		}
+		if _, dup := relabel[u]; dup {
+			return nil, nil, fmt.Errorf("csr: duplicate node %d in subgraph set", u)
+		}
+		relabel[u] = uint32(i)
+	}
+	n := len(nodes)
+	rows := make([][]uint32, n)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			var row []uint32
+			for _, w := range m.Neighbors(nodes[i]) {
+				if nw, ok := relabel[w]; ok {
+					row = append(row, nw)
+				}
+			}
+			// Relabeling can break the ascending order when the node set is
+			// not id-ordered; queries rely on sorted rows.
+			sortRow(row)
+			rows[i] = row
+		}
+	})
+	deg := make([]uint32, n)
+	for i := range rows {
+		deg[i] = uint32(len(rows[i]))
+	}
+	off := prefixsum.Offsets(deg, p)
+	cols := make([]uint32, off[n])
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			copy(cols[off[i]:off[i+1]], rows[i])
+		}
+	})
+	mapping := make([]edgelist.NodeID, n)
+	copy(mapping, nodes)
+	return &Matrix{RowOffsets: off, Cols: cols}, mapping, nil
+}
+
+// sortRow sorts a (typically short) row ascending.
+func sortRow(xs []uint32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package csr
+
+import (
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/edgelist"
+)
+
+func TestInducedSubgraphBasic(t *testing.T) {
+	m := BuildSequential(paperGraph(), 10)
+	// Take nodes {1, 6, 7}: edges 1->6, 1->7, 6->1, 7->1 survive; 7->2
+	// drops.
+	sub, mapping, err := InducedSubgraph(m, []edgelist.NodeID{1, 6, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 || sub.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", sub.NumNodes(), sub.NumEdges())
+	}
+	if !reflect.DeepEqual(mapping, []edgelist.NodeID{1, 6, 7}) {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	// Relabeled: 1->0, 6->1, 7->2.
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(0, 2) || !sub.HasEdge(1, 0) || !sub.HasEdge(2, 0) {
+		t.Fatalf("edges wrong: %v", sub.Edges())
+	}
+	if sub.HasEdge(1, 2) {
+		t.Fatal("spurious edge")
+	}
+}
+
+func TestInducedSubgraphUnorderedSetSortsRows(t *testing.T) {
+	// Node set in reverse order forces relabel inversions.
+	m := BuildSequential(paperGraph(), 10)
+	sub, _, err := InducedSubgraph(m, []edgelist.NodeID{7, 2, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 7 -> 0, 2 -> 1, 1 -> 2. Edges: 7->1 => 0->2; 7->2 => 0->1;
+	// 2->7 => 1->0; 1->7 => 2->0.
+	if got := sub.Neighbors(0); !reflect.DeepEqual(got, []uint32{1, 2}) {
+		t.Fatalf("Neighbors(0) = %v, want sorted [1 2]", got)
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	m := BuildSequential(paperGraph(), 10)
+	if _, _, err := InducedSubgraph(m, []edgelist.NodeID{1, 99}, 2); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	if _, _, err := InducedSubgraph(m, []edgelist.NodeID{1, 1}, 2); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	sub, mapping, err := InducedSubgraph(m, nil, 2)
+	if err != nil || sub.NumNodes() != 0 || len(mapping) != 0 {
+		t.Fatal("empty set should give empty subgraph")
+	}
+}
+
+func TestInducedSubgraphMatchesFilter(t *testing.T) {
+	l := randomSortedList(3000, 120, 60)
+	m := Build(l, 120, 2)
+	// Every third node.
+	var set []edgelist.NodeID
+	for u := uint32(0); u < 120; u += 3 {
+		set = append(set, u)
+	}
+	inSet := map[uint32]uint32{}
+	for i, u := range set {
+		inSet[u] = uint32(i)
+	}
+	for _, p := range []int{1, 4} {
+		sub, _, err := InducedSubgraph(m, set, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, e := range l {
+			if _, okU := inSet[e.U]; okU {
+				if _, okV := inSet[e.V]; okV {
+					want++
+				}
+			}
+		}
+		if sub.NumEdges() != want {
+			t.Fatalf("p=%d: edges = %d, want %d", p, sub.NumEdges(), want)
+		}
+		for _, e := range l {
+			nu, okU := inSet[e.U]
+			nv, okV := inSet[e.V]
+			if okU && okV && !sub.HasEdgeBinary(nu, nv) {
+				t.Fatalf("p=%d: edge (%d,%d) lost", p, e.U, e.V)
+			}
+		}
+	}
+}

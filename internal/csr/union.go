@@ -1,0 +1,163 @@
+package csr
+
+import (
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/prefixsum"
+)
+
+// Union returns the edge union of two CSR graphs over the larger of the
+// two node spaces: row u of the result is the sorted merge of both
+// inputs' rows for u, deduplicated. Rows merge in parallel and the
+// offsets rebuild with the parallel prefix sum.
+func Union(a, b *Matrix, p int) *Matrix {
+	n := a.NumNodes()
+	if bn := b.NumNodes(); bn > n {
+		n = bn
+	}
+	rows := make([][]uint32, n)
+	deg := make([]uint32, n)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			var ra, rb []uint32
+			if u < a.NumNodes() {
+				ra = a.Neighbors(uint32(u))
+			}
+			if u < b.NumNodes() {
+				rb = b.Neighbors(uint32(u))
+			}
+			rows[u] = mergeSortedDedup(ra, rb)
+			deg[u] = uint32(len(rows[u]))
+		}
+	})
+	off := prefixsum.Offsets(deg, p)
+	cols := make([]uint32, off[n])
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			copy(cols[off[u]:off[u+1]], rows[u])
+		}
+	})
+	return &Matrix{RowOffsets: off, Cols: cols}
+}
+
+// Intersect returns the edge intersection of two CSR graphs: only edges
+// present in both survive. The node space is the larger of the two.
+func Intersect(a, b *Matrix, p int) *Matrix {
+	n := a.NumNodes()
+	if bn := b.NumNodes(); bn > n {
+		n = bn
+	}
+	rows := make([][]uint32, n)
+	deg := make([]uint32, n)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			if u >= a.NumNodes() || u >= b.NumNodes() {
+				continue
+			}
+			rows[u] = intersectSorted(a.Neighbors(uint32(u)), b.Neighbors(uint32(u)))
+			deg[u] = uint32(len(rows[u]))
+		}
+	})
+	off := prefixsum.Offsets(deg, p)
+	cols := make([]uint32, off[n])
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			copy(cols[off[u]:off[u+1]], rows[u])
+		}
+	})
+	return &Matrix{RowOffsets: off, Cols: cols}
+}
+
+// Difference returns the edges of a that are not in b.
+func Difference(a, b *Matrix, p int) *Matrix {
+	n := a.NumNodes()
+	rows := make([][]uint32, n)
+	deg := make([]uint32, n)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			var rb []uint32
+			if u < b.NumNodes() {
+				rb = b.Neighbors(uint32(u))
+			}
+			rows[u] = subtractSorted(a.Neighbors(uint32(u)), rb)
+			deg[u] = uint32(len(rows[u]))
+		}
+	})
+	off := prefixsum.Offsets(deg, p)
+	cols := make([]uint32, off[n])
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			copy(cols[off[u]:off[u+1]], rows[u])
+		}
+	})
+	return &Matrix{RowOffsets: off, Cols: cols}
+}
+
+func mergeSortedDedup(a, b []uint32) []uint32 {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	push := func(v uint32) {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			push(a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			push(a[i])
+			i++
+		default:
+			push(b[j])
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		push(a[i])
+	}
+	for ; j < len(b); j++ {
+		push(b[j])
+	}
+	return out
+}
+
+func intersectSorted(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func subtractSorted(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package csr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/edgelist"
+)
+
+func buildFrom(edges edgelist.List, n int) *Matrix {
+	l := edges.Clone()
+	l.SortByUV(1)
+	l = l.Dedup()
+	return Build(l, n, 1)
+}
+
+func TestUnionBasic(t *testing.T) {
+	a := buildFrom(edgelist.List{{U: 0, V: 1}, {U: 1, V: 2}}, 3)
+	b := buildFrom(edgelist.List{{U: 0, V: 1}, {U: 0, V: 2}, {U: 3, V: 0}}, 4)
+	for _, p := range []int{1, 2, 4} {
+		u := Union(a, b, p)
+		if err := u.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if u.NumNodes() != 4 || u.NumEdges() != 4 {
+			t.Fatalf("p=%d: n=%d m=%d", p, u.NumNodes(), u.NumEdges())
+		}
+		for _, e := range []edgelist.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 3, V: 0}} {
+			if !u.HasEdgeBinary(e.U, e.V) {
+				t.Fatalf("p=%d: union missing %v", p, e)
+			}
+		}
+	}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a := buildFrom(edgelist.List{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}, 3)
+	b := buildFrom(edgelist.List{{U: 0, V: 1}, {U: 2, V: 0}, {U: 2, V: 1}}, 3)
+	got := Intersect(a, b, 2)
+	if got.NumEdges() != 2 || !got.HasEdge(0, 1) || !got.HasEdge(2, 0) || got.HasEdge(1, 2) {
+		t.Fatalf("intersection edges: %v", got.Edges())
+	}
+}
+
+func TestDifferenceBasic(t *testing.T) {
+	a := buildFrom(edgelist.List{{U: 0, V: 1}, {U: 1, V: 2}}, 3)
+	b := buildFrom(edgelist.List{{U: 0, V: 1}}, 2)
+	got := Difference(a, b, 2)
+	if got.NumEdges() != 1 || !got.HasEdge(1, 2) {
+		t.Fatalf("difference edges: %v", got.Edges())
+	}
+}
+
+func TestSetOpsMismatchedNodeSpaces(t *testing.T) {
+	small := buildFrom(edgelist.List{{U: 0, V: 1}}, 2)
+	big := buildFrom(edgelist.List{{U: 5, V: 6}}, 7)
+	u := Union(small, big, 2)
+	if u.NumNodes() != 7 || u.NumEdges() != 2 {
+		t.Fatalf("union over mismatched spaces: n=%d m=%d", u.NumNodes(), u.NumEdges())
+	}
+	i := Intersect(small, big, 2)
+	if i.NumEdges() != 0 {
+		t.Fatal("intersection should be empty")
+	}
+	d := Difference(big, small, 2)
+	if d.NumEdges() != 1 || !d.HasEdge(5, 6) {
+		t.Fatal("difference wrong")
+	}
+}
+
+// Property: set-operation semantics match map-based set algebra.
+func TestQuickSetOps(t *testing.T) {
+	f := func(pa, pb []uint16, p uint8) bool {
+		const n = 20
+		mk := func(pairs []uint16) (edgelist.List, map[edgelist.Edge]bool) {
+			var l edgelist.List
+			set := map[edgelist.Edge]bool{}
+			for i := 0; i+1 < len(pairs); i += 2 {
+				e := edgelist.Edge{U: uint32(pairs[i]) % n, V: uint32(pairs[i+1]) % n}
+				l = append(l, e)
+				set[e] = true
+			}
+			return l, set
+		}
+		la, sa := mk(pa)
+		lb, sb := mk(pb)
+		a := buildFrom(la, n)
+		b := buildFrom(lb, n)
+		check := func(m *Matrix, want func(e edgelist.Edge) bool) bool {
+			count := 0
+			for u := uint32(0); u < n; u++ {
+				for v := uint32(0); v < n; v++ {
+					has := m.HasEdgeBinary(u, v)
+					if has != want(edgelist.Edge{U: u, V: v}) {
+						return false
+					}
+					if has {
+						count++
+					}
+				}
+			}
+			return count == m.NumEdges()
+		}
+		pp := int(p)
+		return check(Union(a, b, pp), func(e edgelist.Edge) bool { return sa[e] || sb[e] }) &&
+			check(Intersect(a, b, pp), func(e edgelist.Edge) bool { return sa[e] && sb[e] }) &&
+			check(Difference(a, b, pp), func(e edgelist.Edge) bool { return sa[e] && !sb[e] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package csr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"csrgraph/internal/bitpack"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/prefixsum"
+)
+
+// The paper's CSR definition (Section III) includes a third array for
+// weighted graphs: "vA: a value array (if the graph is weighted)". This
+// file supplies that form. Weights are uint32 (costs, capacities,
+// timestamps, multiplicities); zero is a valid weight.
+
+// WeightedEdge is a directed edge with a weight; it aliases the edgelist
+// type so I/O and construction share one representation.
+type WeightedEdge = edgelist.WeightedEdge
+
+// WeightedMatrix is CSR with the vA value array: Vals[i] is the weight of
+// the edge whose destination is Cols[i].
+type WeightedMatrix struct {
+	Matrix
+	Vals []uint32
+}
+
+// BuildWeighted constructs a weighted CSR from an edge list using p
+// processors. The input is copied and sorted by (u, v); among duplicate
+// (u, v) pairs the *last* weight in the input order wins, like repeated
+// map assignment.
+func BuildWeighted(edges []WeightedEdge, numNodes, p int) (*WeightedMatrix, error) {
+	sorted := make([]WeightedEdge, len(edges))
+	copy(sorted, edges)
+	// Stable sort keeps input order within equal (u, v) so "last wins" is
+	// well defined.
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	// Dedup keeping the last of each run.
+	out := sorted[:0]
+	for i, e := range sorted {
+		if i > 0 && e.U == out[len(out)-1].U && e.V == out[len(out)-1].V {
+			out[len(out)-1] = e
+			continue
+		}
+		out = append(out, e)
+	}
+	sorted = out
+
+	maxNode := 0
+	for _, e := range sorted {
+		if int(e.U) >= maxNode {
+			maxNode = int(e.U) + 1
+		}
+		if int(e.V) >= maxNode {
+			maxNode = int(e.V) + 1
+		}
+	}
+	if numNodes == 0 {
+		numNodes = maxNode
+	}
+	if numNodes < maxNode {
+		return nil, fmt.Errorf("csr: numNodes %d below max node id %d", numNodes, maxNode-1)
+	}
+
+	deg := make([]uint32, numNodes)
+	for _, e := range sorted {
+		deg[e.U]++
+	}
+	off := prefixsum.Offsets(deg, p)
+	cols := make([]uint32, len(sorted))
+	vals := make([]uint32, len(sorted))
+	parallel.For(len(sorted), p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			cols[i] = sorted[i].V
+			vals[i] = sorted[i].W
+		}
+	})
+	return &WeightedMatrix{Matrix: Matrix{RowOffsets: off, Cols: cols}, Vals: vals}, nil
+}
+
+// Weight returns the weight of edge (u, v) and whether the edge exists.
+func (m *WeightedMatrix) Weight(u, v edgelist.NodeID) (uint32, bool) {
+	lo, hi := int(m.RowOffsets[u]), int(m.RowOffsets[u+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.Cols[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(m.RowOffsets[u+1]) && m.Cols[lo] == v {
+		return m.Vals[lo], true
+	}
+	return 0, false
+}
+
+// NeighborWeights returns u's neighbor and weight slices (views into the
+// CSR arrays; callers must not modify them).
+func (m *WeightedMatrix) NeighborWeights(u edgelist.NodeID) (cols, vals []uint32) {
+	return m.Cols[m.RowOffsets[u]:m.RowOffsets[u+1]], m.Vals[m.RowOffsets[u]:m.RowOffsets[u+1]]
+}
+
+// SizeBytes includes the vA array.
+func (m *WeightedMatrix) SizeBytes() int64 {
+	return m.Matrix.SizeBytes() + int64(len(m.Vals))*4
+}
+
+// Validate extends Matrix validation with the vA length invariant.
+func (m *WeightedMatrix) Validate() error {
+	if err := m.Matrix.Validate(); err != nil {
+		return err
+	}
+	if len(m.Vals) != len(m.Cols) {
+		return fmt.Errorf("csr: vA length %d, want %d", len(m.Vals), len(m.Cols))
+	}
+	return nil
+}
+
+// PackedWeighted is the bit-packed weighted CSR: iA, jA and vA all packed
+// per Algorithm 4.
+type PackedWeighted struct {
+	Packed
+	vals *bitpack.Packed
+}
+
+// PackWeighted bit-packs all three arrays with p processors.
+func PackWeighted(m *WeightedMatrix, p int) *PackedWeighted {
+	return &PackedWeighted{
+		Packed: Packed{off: bitpack.Pack(m.RowOffsets, p), cols: bitpack.Pack(m.Cols, p)},
+		vals:   bitpack.Pack(m.Vals, p),
+	}
+}
+
+// Weight returns the weight of (u, v) from the packed arrays.
+func (pk *PackedWeighted) Weight(u, v edgelist.NodeID) (uint32, bool) {
+	start, end := pk.RowBounds(u)
+	lo, hi := start, end
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pk.cols.Get(mid) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < end && pk.cols.Get(lo) == v {
+		return pk.vals.Get(lo), true
+	}
+	return 0, false
+}
+
+// RowWeights decodes u's weights into dst.
+func (pk *PackedWeighted) RowWeights(dst []uint32, u edgelist.NodeID) []uint32 {
+	start, end := pk.RowBounds(u)
+	return pk.vals.Slice(dst, start, end-start)
+}
+
+// SizeBytes includes the packed vA payload.
+func (pk *PackedWeighted) SizeBytes() int64 {
+	return pk.Packed.SizeBytes() + pk.vals.SizeBytes()
+}
+
+// UnpackWeighted expands back to a WeightedMatrix.
+func (pk *PackedWeighted) UnpackWeighted() *WeightedMatrix {
+	return &WeightedMatrix{Matrix: *pk.Packed.Unpack(), Vals: pk.vals.Unpack()}
+}
+
+const packedWeightedMagic = "WCSR"
+
+// WriteTo serializes the packed weighted CSR: magic, the embedded packed
+// CSR (iA, jA), then the length-prefixed packed vA payload.
+func (pk *PackedWeighted) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	n, err := io.WriteString(w, packedWeightedMagic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	m, err := pk.Packed.WriteTo(w)
+	written += m
+	if err != nil {
+		return written, err
+	}
+	payload, err := pk.vals.MarshalBinary()
+	if err != nil {
+		return written, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(payload)))
+	n, err = w.Write(hdr[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	n, err = w.Write(payload)
+	written += int64(n)
+	return written, err
+}
+
+// ReadPackedWeighted deserializes a packed weighted CSR written by
+// WriteTo.
+func ReadPackedWeighted(r io.Reader) (*PackedWeighted, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("csr: weighted header: %w", err)
+	}
+	if string(magic) != packedWeightedMagic {
+		return nil, fmt.Errorf("csr: bad weighted magic %q", magic)
+	}
+	base, err := ReadPacked(r)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("csr: vA length: %w", err)
+	}
+	size := binary.LittleEndian.Uint64(hdr[:])
+	const maxPart = 1 << 36
+	if size > maxPart {
+		return nil, fmt.Errorf("csr: implausible vA size %d", size)
+	}
+	var payload bytes.Buffer
+	payload.Grow(int(min(size, 1<<20)))
+	if _, err := io.CopyN(&payload, r, int64(size)); err != nil {
+		return nil, fmt.Errorf("csr: vA payload: %w", err)
+	}
+	vals := new(bitpack.Packed)
+	if err := vals.UnmarshalBinary(payload.Bytes()); err != nil {
+		return nil, fmt.Errorf("csr: vA: %w", err)
+	}
+	if vals.Len() != base.NumEdges() {
+		return nil, fmt.Errorf("csr: vA has %d values, want %d", vals.Len(), base.NumEdges())
+	}
+	return &PackedWeighted{Packed: *base, vals: vals}, nil
+}

@@ -1,0 +1,119 @@
+// Package degree implements the paper's Algorithms 2 and 3: parallel
+// computation of the out-degree array from a source-sorted edge list.
+//
+// The edge list is split into p chunks. Because the list is sorted by source
+// node, each node's edges form one consecutive run, and a run can cross a
+// chunk boundary. Every processor therefore counts the run that *starts* its
+// chunk into a private slot of a secondary array (the pseudocode's
+// globalTempDegree) and counts all later runs — which are guaranteed to
+// start inside the chunk — directly into the shared degree array. After a
+// barrier the per-processor first-run counts are merged in (Algorithm 3,
+// Figure 3). At most one run overlaps each boundary, so the merge touches p
+// entries.
+package degree
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/parallel"
+)
+
+// Sequential computes the out-degree of every node in [0, numNodes) by a
+// single histogram pass. It is the reference for the parallel version.
+func Sequential(l edgelist.List, numNodes int) []uint32 {
+	deg := make([]uint32, numNodes)
+	for _, e := range l {
+		deg[e.U]++
+	}
+	return deg
+}
+
+// Parallel computes the out-degree array from a source-sorted edge list
+// using p processors, per Algorithms 2-3. It panics if the list is not
+// sorted by source (a precondition the paper states for its inputs); use
+// edgelist.List.SortByUV first.
+func Parallel(l edgelist.List, numNodes, p int) []uint32 {
+	deg := make([]uint32, numNodes)
+	chunks := parallel.Chunks(len(l), p)
+	if len(chunks) == 0 {
+		return deg
+	}
+	if len(chunks) == 1 {
+		return Sequential(l, numNodes)
+	}
+	// globalTempDegree: one slot per processor for the count of the run that
+	// starts its chunk, plus the node that run belongs to.
+	tempCount := make([]uint32, len(chunks))
+	tempNode := make([]edgelist.NodeID, len(chunks))
+	// First unsorted position seen by any worker; -1 when none. Workers must
+	// not panic themselves — a panic on a spawned goroutine cannot be
+	// recovered by the caller — so the violation is recorded and raised
+	// after the join.
+	var unsorted atomic.Int64
+	unsorted.Store(-1)
+	noteUnsorted := func(i int) {
+		for {
+			cur := unsorted.Load()
+			if cur >= 0 && cur <= int64(i) {
+				return
+			}
+			if unsorted.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+
+	team := parallel.NewTeam(len(chunks))
+	team.Run(func(w *parallel.Worker) {
+		r := chunks[w.ID()]
+		i := r.Start
+		// Algorithm 2, first phase: count consecutive occurrences of the
+		// chunk's first node into the secondary array.
+		first := l[i].U
+		if w.ID() > 0 && l[i].U < l[i-1].U {
+			noteUnsorted(i)
+		}
+		tempNode[w.ID()] = first
+		for i < r.End && l[i].U == first {
+			tempCount[w.ID()]++
+			i++
+		}
+		// Remaining runs start inside this chunk; count them directly into
+		// the global degree array. No other processor writes these nodes.
+		for i < r.End {
+			u := l[i].U
+			if u < l[i-1].U {
+				noteUnsorted(i)
+			}
+			deg[u]++
+			i++
+		}
+		w.Sync()
+		// Algorithm 3 merge: fold the first-run counts back in. Two chunks
+		// may share a first node when a run spans whole chunks, so the merge
+		// is done once, serially, by processor 0 (the pseudocode's post-sync
+		// update over pid-indexed slots).
+		if w.ID() == 0 {
+			for c := range chunks {
+				deg[tempNode[c]] += tempCount[c]
+			}
+		}
+	})
+	if i := unsorted.Load(); i >= 0 {
+		panic(fmt.Sprintf("degree: edge list not sorted by source at index %d", i))
+	}
+	return deg
+}
+
+// MaxDegree returns the largest value in deg, or 0 for an empty slice.
+func MaxDegree(deg []uint32) uint32 {
+	var max uint32
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,147 @@
+package edgelist
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomList(n int, maxNode uint32, seed int64) List {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(List, n)
+	for i := range out {
+		out[i] = Edge{rng.Uint32() % maxNode, rng.Uint32() % maxNode}
+	}
+	return out
+}
+
+func TestEdgeLess(t *testing.T) {
+	cases := []struct {
+		a, b Edge
+		want bool
+	}{
+		{Edge{1, 2}, Edge{1, 3}, true},
+		{Edge{1, 3}, Edge{1, 2}, false},
+		{Edge{1, 9}, Edge{2, 0}, true},
+		{Edge{2, 0}, Edge{1, 9}, false},
+		{Edge{1, 2}, Edge{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("(%v).Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSortByUVMatchesStdlib(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8, 17} {
+		l := randomList(5000, 100, int64(p))
+		want := l.Clone()
+		sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+		l.SortByUV(p)
+		if !reflect.DeepEqual(l, want) {
+			t.Fatalf("p=%d: parallel sort diverges from stdlib sort", p)
+		}
+		if !l.IsSortedByUV() {
+			t.Fatalf("p=%d: IsSortedByUV false after sort", p)
+		}
+	}
+}
+
+func TestQuickSortByUV(t *testing.T) {
+	f := func(pairs []uint32, p uint8) bool {
+		l := make(List, 0, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			l = append(l, Edge{pairs[i] % 64, pairs[i+1] % 64})
+		}
+		want := l.Clone()
+		sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+		l.SortByUV(int(p))
+		return reflect.DeepEqual(l, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	l := List{{0, 1}, {0, 1}, {0, 2}, {1, 0}, {1, 0}, {1, 0}, {2, 2}}
+	got := l.Dedup()
+	want := List{{0, 1}, {0, 2}, {1, 0}, {2, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Dedup = %v, want %v", got, want)
+	}
+	if len(List{}.Dedup()) != 0 {
+		t.Fatal("Dedup of empty list should be empty")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	l := List{{0, 1}, {2, 2}}
+	got := l.Symmetrize()
+	want := List{{0, 1}, {1, 0}, {2, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Symmetrize = %v, want %v", got, want)
+	}
+}
+
+func TestMaxNodeAndNumNodes(t *testing.T) {
+	l := List{{3, 9}, {0, 2}}
+	if l.MaxNode() != 9 || l.NumNodes() != 10 {
+		t.Fatalf("MaxNode=%d NumNodes=%d", l.MaxNode(), l.NumNodes())
+	}
+	if (List{}).NumNodes() != 0 {
+		t.Fatal("empty NumNodes should be 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := List{{0, 1}, {5, 2}}
+	if err := l.Validate(6); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := l.Validate(5); err == nil {
+		t.Fatal("want error for node 5 with limit 5")
+	}
+	if err := l.Validate(0); err != nil {
+		t.Fatal("limit 0 must disable checking")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := (make(List, 10)).SizeBytes(); got != 80 {
+		t.Fatalf("List SizeBytes = %d, want 80", got)
+	}
+	if got := (make(TemporalList, 10)).SizeBytes(); got != 120 {
+		t.Fatalf("TemporalList SizeBytes = %d, want 120", got)
+	}
+}
+
+func TestTemporalSortAndFrame(t *testing.T) {
+	l := TemporalList{
+		{2, 3, 1}, {0, 1, 0}, {1, 2, 1}, {0, 2, 0}, {4, 0, 2},
+	}
+	l.Sort(3)
+	if !l.IsSorted() {
+		t.Fatal("not sorted")
+	}
+	want := TemporalList{{0, 1, 0}, {0, 2, 0}, {1, 2, 1}, {2, 3, 1}, {4, 0, 2}}
+	if !reflect.DeepEqual(l, want) {
+		t.Fatalf("sorted = %v, want %v", l, want)
+	}
+	if l.NumFrames() != 3 {
+		t.Fatalf("NumFrames = %d, want 3", l.NumFrames())
+	}
+	f1 := l.Frame(1)
+	if !reflect.DeepEqual(f1, TemporalList{{1, 2, 1}, {2, 3, 1}}) {
+		t.Fatalf("Frame(1) = %v", f1)
+	}
+	if len(l.Frame(9)) != 0 {
+		t.Fatal("Frame past end should be empty")
+	}
+	if l.MaxNode() != 4 {
+		t.Fatalf("MaxNode = %d", l.MaxNode())
+	}
+}

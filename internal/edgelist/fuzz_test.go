@@ -1,0 +1,81 @@
+package edgelist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The text and binary readers consume untrusted files; they must return
+// errors — never panic — on arbitrary input, and accepted input must
+// round-trip.
+
+func FuzzReadText(f *testing.F) {
+	f.Add("0 1\n2 3\n")
+	f.Add("# comment\n\n10\t20\n")
+	f.Add("a b\n")
+	f.Add("4294967295 0\n")
+	f.Add("-1 5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := l.WriteText(&buf); werr != nil {
+			t.Fatalf("write of accepted input failed: %v", werr)
+		}
+		back, rerr := ReadText(&buf)
+		if rerr != nil {
+			t.Fatalf("reparse of own output failed: %v", rerr)
+		}
+		if len(back) != len(l) {
+			t.Fatalf("round trip changed edge count: %d -> %d", len(l), len(back))
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	good, _ := func() ([]byte, error) {
+		var buf bytes.Buffer
+		err := (List{{U: 1, V: 2}}).WriteBinary(&buf)
+		return buf.Bytes(), err
+	}()
+	f.Add(good)
+	f.Add([]byte("CSEL"))
+	f.Add([]byte("CSEL\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := l.WriteBinary(&buf); werr != nil {
+			t.Fatal(werr)
+		}
+		back, rerr := ReadBinary(&buf)
+		if rerr != nil || len(back) != len(l) {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+	})
+}
+
+func FuzzReadTemporalText(f *testing.F) {
+	f.Add("0 1 0\n1 2 3\n")
+	f.Add("0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ReadTemporalText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := l.WriteText(&buf); werr != nil {
+			t.Fatal(werr)
+		}
+		back, rerr := ReadTemporalText(&buf)
+		if rerr != nil || len(back) != len(l) {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package edgelist
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text format is SNAP's: one "u<sep>v" pair per line, where <sep> is any
+// run of spaces or tabs; lines starting with '#' are comments. Temporal
+// files carry a third column, the time-frame.
+
+// ReadText parses a SNAP-format edge list from r.
+func ReadText(r io.Reader) (List, error) {
+	var out List
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields, skip, err := splitLine(sc.Text(), line, 2)
+		if err != nil {
+			return nil, err
+		}
+		if skip {
+			continue
+		}
+		out = append(out, Edge{fields[0], fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edgelist: read: %w", err)
+	}
+	return out, nil
+}
+
+// ReadTemporalText parses a "u v t" triple list from r.
+func ReadTemporalText(r io.Reader) (TemporalList, error) {
+	var out TemporalList
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields, skip, err := splitLine(sc.Text(), line, 3)
+		if err != nil {
+			return nil, err
+		}
+		if skip {
+			continue
+		}
+		out = append(out, TemporalEdge{fields[0], fields[1], fields[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edgelist: read: %w", err)
+	}
+	return out, nil
+}
+
+// splitLine parses want whitespace-separated uint32 fields from a line,
+// reporting skip for blank and comment lines.
+func splitLine(s string, line, want int) (fields [3]uint32, skip bool, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.HasPrefix(s, "#") {
+		return fields, true, nil
+	}
+	parts := strings.Fields(s)
+	if len(parts) != want {
+		return fields, false, fmt.Errorf("edgelist: line %d: got %d fields, want %d", line, len(parts), want)
+	}
+	for i, p := range parts {
+		v, perr := strconv.ParseUint(p, 10, 32)
+		if perr != nil {
+			return fields, false, fmt.Errorf("edgelist: line %d: %q: %w", line, p, perr)
+		}
+		fields[i] = uint32(v)
+	}
+	return fields, false, nil
+}
+
+// WriteText writes the list in SNAP text format.
+func (l List) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteText writes the temporal list as "u v t" lines.
+func (l TemporalList) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", e.U, e.V, e.T); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+const (
+	binMagic         = "CSEL"
+	binMagicTemporal = "CSTL"
+)
+
+// WriteBinary writes the list in a compact little-endian binary framing:
+// magic, edge count, then 8 bytes per edge.
+func (l List) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(l)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [8]byte
+	for _, e := range l {
+		binary.LittleEndian.PutUint32(rec[0:], e.U)
+		binary.LittleEndian.PutUint32(rec[4:], e.V)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a list written by WriteBinary.
+func ReadBinary(r io.Reader) (List, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("edgelist: binary header: %w", err)
+	}
+	if string(hdr[:4]) != binMagic {
+		return nil, fmt.Errorf("edgelist: bad magic %q", hdr[:4])
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	const maxEdges = 1 << 33
+	if n > maxEdges {
+		return nil, fmt.Errorf("edgelist: implausible edge count %d", n)
+	}
+	// The count comes from an untrusted header: grow with append so a lying
+	// header on a short stream errors before a huge up-front allocation.
+	out := make(List, 0, min(n, 1<<20))
+	var rec [8]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("edgelist: edge %d: %w", i, err)
+		}
+		out = append(out, Edge{binary.LittleEndian.Uint32(rec[0:]), binary.LittleEndian.Uint32(rec[4:])})
+	}
+	return out, nil
+}
+
+// WriteBinary writes the temporal list with a 12-byte record per event.
+func (l TemporalList) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagicTemporal); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(l)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [12]byte
+	for _, e := range l {
+		binary.LittleEndian.PutUint32(rec[0:], e.U)
+		binary.LittleEndian.PutUint32(rec[4:], e.V)
+		binary.LittleEndian.PutUint32(rec[8:], e.T)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTemporalBinary reads a temporal list written by WriteBinary.
+func ReadTemporalBinary(r io.Reader) (TemporalList, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("edgelist: binary header: %w", err)
+	}
+	if string(hdr[:4]) != binMagicTemporal {
+		return nil, fmt.Errorf("edgelist: bad magic %q", hdr[:4])
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	const maxEdges = 1 << 33
+	if n > maxEdges {
+		return nil, fmt.Errorf("edgelist: implausible event count %d", n)
+	}
+	out := make(TemporalList, 0, min(n, 1<<20))
+	var rec [12]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("edgelist: event %d: %w", i, err)
+		}
+		out = append(out, TemporalEdge{
+			U: binary.LittleEndian.Uint32(rec[0:]),
+			V: binary.LittleEndian.Uint32(rec[4:]),
+			T: binary.LittleEndian.Uint32(rec[8:]),
+		})
+	}
+	return out, nil
+}
+
+// LoadFile reads an edge list from path, choosing the codec by extension:
+// ".bin" is the binary framing, ".graph"/".metis" the METIS adjacency
+// format (trailing isolated nodes are not representable in a bare edge
+// list and are dropped), anything else SNAP text. A trailing ".gz" on any
+// of these decompresses transparently — SNAP distributes its datasets
+// gzipped.
+func LoadFile(path string) (List, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, gerr := gzip.NewReader(f)
+		if gerr != nil {
+			return nil, fmt.Errorf("edgelist: %s: %w", path, gerr)
+		}
+		defer gz.Close()
+		r = gz
+		path = strings.TrimSuffix(path, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(path, ".bin"):
+		return ReadBinary(r)
+	case strings.HasSuffix(path, ".graph"), strings.HasSuffix(path, ".metis"):
+		l, _, merr := ReadMETIS(r)
+		return l, merr
+	}
+	return ReadText(r)
+}
+
+// SaveFile writes the list to path, choosing the codec by extension as in
+// LoadFile (".gz" compresses; METIS output is not supported here — use
+// WriteMETIS, which needs the node count).
+func (l List) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	logical := path
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+		logical = strings.TrimSuffix(path, ".gz")
+	}
+	var werr error
+	if strings.HasSuffix(logical, ".bin") {
+		werr = l.WriteBinary(w)
+	} else {
+		werr = l.WriteText(w)
+	}
+	if gz != nil {
+		if cerr := gz.Close(); werr == nil {
+			werr = cerr
+		}
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,156 @@
+package edgelist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadTextSNAPFormat(t *testing.T) {
+	const in = `# Directed graph
+# Nodes: 4 Edges: 3
+0	1
+1 2
+
+2   3
+`
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := List{{0, 1}, {1, 2}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"too few fields":  "0\n",
+		"too many fields": "0 1 2\n",
+		"not a number":    "a b\n",
+		"negative":        "-1 2\n",
+		"overflow":        "4294967296 0\n",
+	} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	l := List{{0, 5}, {1, 6}, {7, 1}}
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("round trip: got %v, want %v", got, l)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	l := randomList(1000, 1<<20, 1)
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXX\x00\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("CS"))); err == nil {
+		t.Fatal("want error for short header")
+	}
+	// Header claims 5 edges but none follow.
+	hdr := append([]byte("CSEL"), 5, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := ReadBinary(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("want error for truncated payload")
+	}
+}
+
+func TestTemporalTextRoundTrip(t *testing.T) {
+	l := TemporalList{{0, 1, 0}, {1, 2, 3}, {2, 0, 3}}
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTemporalText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("got %v, want %v", got, l)
+	}
+}
+
+func TestTemporalBinaryRoundTrip(t *testing.T) {
+	l := TemporalList{{0, 1, 0}, {1, 2, 3}, {9, 9, 9}}
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTemporalBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("got %v, want %v", got, l)
+	}
+	if _, err := ReadTemporalBinary(bytes.NewReader([]byte("CSEL\x00\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("want magic mismatch error")
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	l := List{{0, 1}, {2, 3}}
+	for _, name := range []string{"g.txt", "g.bin", "g.txt.gz", "g.bin.gz"} {
+		path := filepath.Join(dir, name)
+		if err := l.SaveFile(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, l) {
+			t.Fatalf("%s: got %v, want %v", name, got, l)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	// A .gz that is not gzipped must error cleanly.
+	bogus := filepath.Join(dir, "bogus.txt.gz")
+	if err := os.WriteFile(bogus, []byte("0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bogus); err == nil {
+		t.Fatal("want gzip header error")
+	}
+	// Verify the .gz payload really is compressed, not raw text.
+	data, err := os.ReadFile(filepath.Join(dir, "g.txt.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatal("g.txt.gz missing gzip magic")
+	}
+}

@@ -1,0 +1,138 @@
+package edgelist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// METIS adjacency format support: the de facto interchange format of the
+// HPC graph-partitioning world. Line 1 is "n m" (node and undirected edge
+// counts); line i+1 lists the 1-indexed neighbors of node i. Comment
+// lines start with '%'. Only the unweighted format (no fmt flags) is
+// handled; weighted headers are rejected explicitly.
+
+// ReadMETIS parses a METIS adjacency file into a directed edge list (each
+// undirected METIS edge appears in both directions, as the format stores
+// it) and returns the list plus the declared node count.
+func ReadMETIS(r io.Reader) (List, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var numNodes, numEdges int
+	headerSeen := false
+	node := 0
+	var out List
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			if !headerSeen {
+				continue
+			}
+			// A blank body line is a node with no neighbors.
+			if text == "" {
+				node++
+				if node > numNodes {
+					return nil, 0, fmt.Errorf("edgelist: metis line %d: more adjacency lines than the declared %d nodes", line, numNodes)
+				}
+				continue
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if !headerSeen {
+			if len(fields) < 2 || len(fields) > 4 {
+				return nil, 0, fmt.Errorf("edgelist: metis line %d: header needs 2-4 fields, got %d", line, len(fields))
+			}
+			if len(fields) >= 3 && fields[2] != "0" && fields[2] != "00" && fields[2] != "000" {
+				return nil, 0, fmt.Errorf("edgelist: metis line %d: weighted format %q not supported", line, fields[2])
+			}
+			var err error
+			numNodes, err = strconv.Atoi(fields[0])
+			if err != nil || numNodes < 0 {
+				return nil, 0, fmt.Errorf("edgelist: metis line %d: bad node count %q", line, fields[0])
+			}
+			numEdges, err = strconv.Atoi(fields[1])
+			if err != nil || numEdges < 0 {
+				return nil, 0, fmt.Errorf("edgelist: metis line %d: bad edge count %q", line, fields[1])
+			}
+			headerSeen = true
+			continue
+		}
+		node++
+		if node > numNodes {
+			return nil, 0, fmt.Errorf("edgelist: metis line %d: more adjacency lines than the declared %d nodes", line, numNodes)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil || v == 0 || int(v) > numNodes {
+				return nil, 0, fmt.Errorf("edgelist: metis line %d: bad neighbor %q (1..%d)", line, f, numNodes)
+			}
+			out = append(out, Edge{U: uint32(node - 1), V: uint32(v - 1)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("edgelist: metis read: %w", err)
+	}
+	if !headerSeen {
+		return nil, 0, fmt.Errorf("edgelist: metis: missing header")
+	}
+	if node > numNodes {
+		return nil, 0, fmt.Errorf("edgelist: metis: %d adjacency lines for %d nodes", node, numNodes)
+	}
+	if len(out) != 2*numEdges {
+		return nil, 0, fmt.Errorf("edgelist: metis: header declares %d undirected edges, body has %d directed entries", numEdges, len(out))
+	}
+	return out, numNodes, nil
+}
+
+// WriteMETIS writes a directed edge list as a METIS adjacency file. The
+// list must be symmetric (every edge present in both directions) with no
+// self-loops, which is what the format represents; it is validated and a
+// descriptive error returned otherwise. numNodes fixes the node-id space.
+func (l List) WriteMETIS(w io.Writer, numNodes int) error {
+	rows := make([][]uint32, numNodes)
+	for i, e := range l {
+		if e.U == e.V {
+			return fmt.Errorf("edgelist: metis cannot represent self-loop (%d,%d) at %d", e.U, e.V, i)
+		}
+		if int(e.U) >= numNodes || int(e.V) >= numNodes {
+			return fmt.Errorf("edgelist: edge (%d,%d) outside %d nodes", e.U, e.V, numNodes)
+		}
+		rows[e.U] = append(rows[e.U], e.V)
+	}
+	// Symmetry check via a set.
+	seen := make(map[Edge]struct{}, len(l))
+	for _, e := range l {
+		seen[e] = struct{}{}
+	}
+	for _, e := range l {
+		if _, ok := seen[Edge{U: e.V, V: e.U}]; !ok {
+			return fmt.Errorf("edgelist: metis needs symmetric input; reverse of (%d,%d) missing", e.U, e.V)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", numNodes, len(l)/2); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(v+1), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,118 @@
+package edgelist
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadMETISBasic(t *testing.T) {
+	// The classic METIS example: 4 nodes, 4 undirected edges.
+	const in = `% a comment
+4 4
+2 3
+1 3
+1 2 4
+3
+`
+	l, n, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("n = %d", n)
+	}
+	want := List{
+		{U: 0, V: 1}, {U: 0, V: 2},
+		{U: 1, V: 0}, {U: 1, V: 2},
+		{U: 2, V: 0}, {U: 2, V: 1}, {U: 2, V: 3},
+		{U: 3, V: 2},
+	}
+	if !reflect.DeepEqual(l, want) {
+		t.Fatalf("got %v, want %v", l, want)
+	}
+}
+
+func TestReadMETISEmptyAdjacencyLines(t *testing.T) {
+	const in = "3 1\n2\n1\n\n"
+	l, n, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(l) != 2 {
+		t.Fatalf("n=%d edges=%v", n, l)
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"missing header":    "",
+		"bad header":        "x y\n",
+		"one field header":  "4\n",
+		"weighted":          "2 1 011\n2\n1\n",
+		"neighbor zero":     "2 1\n0\n1\n",
+		"neighbor too big":  "2 1\n3\n1\n",
+		"edge count wrong":  "2 5\n2\n1\n",
+		"too many rows":     "1 0\n\n\n",
+		"garbage neighbor":  "2 1\nxx\n1\n",
+		"negative header n": "-1 0\n",
+	} {
+		if _, _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestMETISRoundTrip(t *testing.T) {
+	l := List{{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2}, {U: 2, V: 1}}
+	var buf bytes.Buffer
+	if err := l.WriteMETIS(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || !reflect.DeepEqual(got, l) {
+		t.Fatalf("round trip: n=%d got %v", n, got)
+	}
+}
+
+func TestWriteMETISValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (List{{U: 0, V: 0}}).WriteMETIS(&buf, 1); err == nil {
+		t.Fatal("want self-loop error")
+	}
+	if err := (List{{U: 0, V: 1}}).WriteMETIS(&buf, 2); err == nil {
+		t.Fatal("want asymmetry error")
+	}
+	if err := (List{{U: 0, V: 5}, {U: 5, V: 0}}).WriteMETIS(&buf, 2); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+}
+
+func TestMETISRandomSymmetricRoundTrip(t *testing.T) {
+	raw := randomList(400, 50, 5)
+	sym := raw.Symmetrize()
+	sym.SortByUV(1)
+	sym = sym.Dedup()
+	// Remove self loops for METIS.
+	clean := sym[:0]
+	for _, e := range sym {
+		if e.U != e.V {
+			clean = append(clean, e)
+		}
+	}
+	var buf bytes.Buffer
+	if err := clean.WriteMETIS(&buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 || !reflect.DeepEqual(got, clean) {
+		t.Fatal("random symmetric round trip mismatch")
+	}
+}

@@ -1,0 +1,65 @@
+package edgelist
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWeightedTextRoundTrip(t *testing.T) {
+	l := WeightedList{{U: 0, V: 1, W: 5}, {U: 2, V: 3, W: 0}}
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWeightedText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("got %v, want %v", got, l)
+	}
+}
+
+func TestReadWeightedTextErrors(t *testing.T) {
+	if _, err := ReadWeightedText(strings.NewReader("0 1\n")); err == nil {
+		t.Fatal("want error for missing weight")
+	}
+	if _, err := ReadWeightedText(strings.NewReader("0 1 x\n")); err == nil {
+		t.Fatal("want error for bad weight")
+	}
+	got, err := ReadWeightedText(strings.NewReader("# c\n\n1 2 3\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("comments/blank handling: %v %v", got, err)
+	}
+}
+
+func TestWeightedBinaryRoundTrip(t *testing.T) {
+	l := WeightedList{{U: 1, V: 2, W: 3}, {U: 4, V: 5, W: 0xFFFFFFFF}}
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWeightedBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatal("binary round trip mismatch")
+	}
+	if _, err := ReadWeightedBinary(bytes.NewReader([]byte("CSEL\x00\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("want magic error")
+	}
+	// Lying header over a short stream must error, not over-allocate.
+	hdr := append([]byte("CSWL"), 0xFF, 0xFF, 0xFF, 0x00, 0, 0, 0, 0)
+	if _, err := ReadWeightedBinary(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestWeightedSizeBytes(t *testing.T) {
+	if got := (make(WeightedList, 4)).SizeBytes(); got != 48 {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+}

@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/degree"
+	"csrgraph/internal/edgelist"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	if newRNG(1).next() == newRNG(2).next() {
+		t.Fatal("different seeds produced identical first values")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := newRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestRMATDeterministicAndInRange(t *testing.T) {
+	l1, err := RMAT(10, 5000, DefaultRMAT, 99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := RMAT(10, 5000, DefaultRMAT, 99, 4)
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatal("RMAT not deterministic for fixed seed")
+	}
+	for _, e := range l1 {
+		if e.U >= 1024 || e.V >= 1024 {
+			t.Fatalf("edge (%d,%d) outside 2^10 nodes", e.U, e.V)
+		}
+	}
+	if len(l1) != 5000 {
+		t.Fatalf("got %d edges", len(l1))
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	// Social-network parameters must produce a heavy-tailed degree
+	// distribution: max degree far above the mean.
+	raw, err := RMAT(12, 40000, DefaultRMAT, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, n := Prepare(raw, false, 2)
+	deg := degree.Sequential(l, n)
+	max := degree.MaxDegree(deg)
+	mean := float64(len(l)) / float64(n)
+	if float64(max) < 10*mean {
+		t.Fatalf("max degree %d not heavy-tailed vs mean %.1f", max, mean)
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	if _, err := RMAT(0, 10, DefaultRMAT, 1, 1); err == nil {
+		t.Fatal("want scale error")
+	}
+	if _, err := RMAT(40, 10, DefaultRMAT, 1, 1); err == nil {
+		t.Fatal("want scale error")
+	}
+	if _, err := RMAT(5, 10, RMATParams{A: 0.9, B: 0.9, C: 0, D: 0}, 1, 1); err == nil {
+		t.Fatal("want probability-sum error")
+	}
+	if _, err := RMAT(5, 10, RMATParams{A: -0.5, B: 0.5, C: 0.5, D: 0.5}, 1, 1); err == nil {
+		t.Fatal("want negative probability error")
+	}
+}
+
+func TestChungLuPowerLaw(t *testing.T) {
+	l, err := ChungLu(2000, 30000, 2.2, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range l {
+		if e.U >= 2000 || e.V >= 2000 {
+			t.Fatalf("node out of range: %v", e)
+		}
+	}
+	// Node 0 has the largest weight: its degree must dominate the median
+	// node's.
+	sorted, n := Prepare(l, false, 2)
+	deg := degree.Sequential(sorted, n)
+	if deg[0] < 5*deg[len(deg)/2]+5 {
+		t.Fatalf("weight-0 degree %d vs median-node degree %d: not skewed", deg[0], deg[len(deg)/2])
+	}
+}
+
+func TestChungLuErrors(t *testing.T) {
+	if _, err := ChungLu(0, 10, 2.2, 1, 1); err == nil {
+		t.Fatal("want node-count error")
+	}
+	if _, err := ChungLu(10, 10, 1.0, 1, 1); err == nil {
+		t.Fatal("want gamma error")
+	}
+}
+
+func TestErdosRenyiUniform(t *testing.T) {
+	l, err := ErdosRenyi(100, 50000, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, n := Prepare(l, false, 2)
+	deg := degree.Sequential(sorted, n)
+	mean := float64(len(sorted)) / float64(n)
+	// Every node's degree should be within a few sigma of the mean.
+	for u, d := range deg {
+		if math.Abs(float64(d)-mean) > 6*math.Sqrt(mean) {
+			t.Fatalf("node %d degree %d too far from mean %.1f for uniform graph", u, d, mean)
+		}
+	}
+	if _, err := ErdosRenyi(0, 5, 1, 1); err == nil {
+		t.Fatal("want node-count error")
+	}
+}
+
+func TestRing(t *testing.T) {
+	l := Ring(5)
+	want := edgelist.List{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 0}}
+	if !reflect.DeepEqual(l, want) {
+		t.Fatalf("Ring(5) = %v", l)
+	}
+}
+
+func TestPrepare(t *testing.T) {
+	raw := edgelist.List{{U: 3, V: 1}, {U: 0, V: 2}, {U: 3, V: 1}}
+	l, n := Prepare(raw, false, 2)
+	if n != 4 || len(l) != 2 || !l.IsSortedByUV() {
+		t.Fatalf("Prepare: n=%d l=%v", n, l)
+	}
+	sym, _ := Prepare(raw, true, 2)
+	if len(sym) != 4 { // (0,2),(1,3),(2,0),(3,1)
+		t.Fatalf("symmetrized: %v", sym)
+	}
+}
+
+func TestTemporalStream(t *testing.T) {
+	ev, err := TemporalStream(50, 200, 20, 10, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.IsSorted() {
+		t.Fatal("stream not sorted")
+	}
+	if ev.NumFrames() != 10 {
+		t.Fatalf("NumFrames = %d, want 10", ev.NumFrames())
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i] == ev[i-1] {
+			t.Fatal("duplicate event within a frame survived dedup")
+		}
+	}
+	// Deterministic.
+	ev2, _ := TemporalStream(50, 200, 20, 10, 7, 2)
+	if !reflect.DeepEqual(ev, ev2) {
+		t.Fatal("TemporalStream not deterministic")
+	}
+	if _, err := TemporalStream(1, 5, 5, 5, 1, 1); err == nil {
+		t.Fatal("want node-count error")
+	}
+	if _, err := TemporalStream(10, 5, 5, 0, 1, 1); err == nil {
+		t.Fatal("want frame-count error")
+	}
+}
+
+func TestGeneratorsIndependentOfP(t *testing.T) {
+	// The per-chunk seeds depend only on the chunk index, so the same p
+	// yields the same stream; different p is allowed to differ, but p=1 runs
+	// must be stable.
+	a, _ := ErdosRenyi(64, 1000, 5, 1)
+	b, _ := ErdosRenyi(64, 1000, 5, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("p=1 generation unstable")
+	}
+}

@@ -1,0 +1,32 @@
+package gen
+
+// rng is a small deterministic PRNG (splitmix64) so generated workloads are
+// reproducible across platforms and Go versions, unlike math/rand whose
+// stream is not guaranteed stable between releases.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64 pseudo-random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// uint32n returns a uniform value in [0, n); n must be positive.
+func (r *rng) uint32n(n uint32) uint32 {
+	return uint32(r.next() % uint64(n))
+}
+
+// intn returns a uniform value in [0, n); n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

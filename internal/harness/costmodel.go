@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"time"
+
+	"csrgraph/internal/bitpack"
+	"csrgraph/internal/parallel"
+)
+
+// The work-span cost model.
+//
+// The container this reproduction runs in may have a single CPU, where wall
+// clock cannot exhibit a 64-way speed-up. The model mode therefore derives
+// T(p) from the construction's execution DAG: for every phase of the
+// pipeline the per-chunk work is computed with the *same* partitioning the
+// real implementation uses (parallel.Chunks), the phase's parallel time is
+// its largest chunk, and the serial carry/merge steps and barriers are
+// added at full cost. A single cost-per-operation constant is calibrated
+// from a measured p=1 wall-clock run, so the model's absolute scale is
+// honest and its p-scaling is mechanical, not assumed.
+//
+// Phases of BuildPacked (Sections III-A1..3):
+//
+//	degree   — m edge visits, chunked over edges; serial p-entry merge
+//	scan     — two passes over n (in-chunk scan + carry add); serial
+//	           p-entry carry propagation; 2 barriers
+//	fill     — m column copies, chunked over edges
+//	pack iA  — n+1 append operations, chunked; serial merge of the
+//	           per-chunk bit arrays, proportional to total words
+//	pack jA  — m append operations, chunked; serial merge likewise
+//
+// The serial merge is the "inherent sequential step" the paper blames for
+// the steady (rather than linear) decline from 8 to 64 processors.
+
+// CostModel holds the calibrated constants.
+type CostModel struct {
+	// OpNs is the cost of one modeled operation in nanoseconds, calibrated
+	// from a p=1 wall-clock run (Calibrate).
+	OpNs float64
+	// BarrierNs is the fixed cost of one team barrier, covering goroutine
+	// wake-up; a typical Go value is a few microseconds.
+	BarrierNs float64
+	// SpawnNs is the per-goroutine launch cost charged once per processor
+	// per parallel phase.
+	SpawnNs float64
+}
+
+// DefaultBarrierNs and DefaultSpawnNs are typical Go synchronization costs.
+const (
+	DefaultBarrierNs = 2000.0
+	DefaultSpawnNs   = 500.0
+)
+
+// packOpWeight is the relative cost of one bit-append versus one plain
+// array operation (shift/mask/bounds versus a move).
+const packOpWeight = 2.0
+
+// phase describes one parallel phase: total work split over chunks, plus a
+// serial tail executed by a single processor.
+type phase struct {
+	parallelWork int     // items, chunked with parallel.Chunks
+	weight       float64 // cost multiplier per item
+	serialWork   int     // items executed serially at weight 1
+	barriers     int
+}
+
+// constructionPhases returns the modeled phase list of BuildPacked for a
+// graph with n nodes and m edges at processor count p. Widths follow the
+// bit-packing rule so the serial merge grows with the packed payload.
+func constructionPhases(n, m, p int) []phase {
+	wOff := bitpack.WidthFor(uint32(m))
+	wCol := bitpack.WidthFor(uint32(max(n-1, 0)))
+	serialMerge := func(items, width int) int {
+		if p == 1 {
+			return 0 // a single chunk is used as-is, no merge pass
+		}
+		return items * width / 64
+	}
+	return []phase{
+		{parallelWork: m, weight: 1, serialWork: p, barriers: 1},                        // degree (Alg 2-3)
+		{parallelWork: 2 * n, weight: 1, serialWork: p, barriers: 2},                    // scan (Alg 1)
+		{parallelWork: m, weight: 1},                                                    // column fill
+		{parallelWork: n + 1, weight: packOpWeight, serialWork: serialMerge(n+1, wOff)}, // pack iA (Alg 4)
+		{parallelWork: m, weight: packOpWeight, serialWork: serialMerge(m, wCol)},       // pack jA (Alg 4)
+	}
+}
+
+// SimulateConstruction returns the modeled wall time of BuildPacked for a
+// graph with n nodes and m edges on p processors.
+func (cm CostModel) SimulateConstruction(n, m, p int) time.Duration {
+	if p < 1 {
+		p = 1
+	}
+	var ns float64
+	for _, ph := range constructionPhases(n, m, p) {
+		// Parallel part: the phase finishes when its largest chunk does.
+		chunks := parallel.Chunks(ph.parallelWork, p)
+		maxChunk := 0
+		for _, r := range chunks {
+			if r.Len() > maxChunk {
+				maxChunk = r.Len()
+			}
+		}
+		ns += float64(maxChunk) * ph.weight * cm.OpNs
+		ns += float64(ph.serialWork) * cm.OpNs
+		ns += float64(ph.barriers) * cm.BarrierNs
+		if p > 1 {
+			ns += float64(p) * cm.SpawnNs
+		}
+	}
+	return time.Duration(ns)
+}
+
+// totalOps returns the p=1 operation count of the model, used for
+// calibration.
+func totalOps(n, m int) float64 {
+	var ops float64
+	for _, ph := range constructionPhases(n, m, 1) {
+		ops += float64(ph.parallelWork)*ph.weight + float64(ph.serialWork)
+	}
+	return ops
+}
+
+// Calibrate builds a CostModel whose p=1 prediction equals the measured
+// p=1 construction time for a graph of n nodes and m edges.
+func Calibrate(measuredP1 time.Duration, n, m int) CostModel {
+	ops := totalOps(n, m)
+	if ops == 0 {
+		ops = 1
+	}
+	return CostModel{
+		OpNs:      float64(measuredP1.Nanoseconds()) / ops,
+		BarrierNs: DefaultBarrierNs,
+		SpawnNs:   DefaultSpawnNs,
+	}
+}

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"csrgraph/internal/csr"
+)
+
+// Mode selects how construction time at p > 1 is obtained.
+type Mode string
+
+const (
+	// ModeWallClock times the real goroutine implementation with time.Now.
+	// Honest, but cannot show parallel speed-up on a machine with fewer
+	// cores than p.
+	ModeWallClock Mode = "wallclock"
+	// ModeModel runs the real implementation once at p=1 for calibration
+	// and derives T(p) from the work-span cost model (costmodel.go).
+	ModeModel Mode = "model"
+)
+
+// ParseMode validates a mode string.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeWallClock, ModeModel:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("harness: unknown mode %q (want wallclock or model)", s)
+}
+
+// Measurement is one (graph, p) cell of Table II.
+type Measurement struct {
+	Procs    int
+	Time     time.Duration
+	SpeedupP float64 // percent, Table II's last column; 0 for p == 1
+}
+
+// Result holds everything Table II reports for one graph.
+type Result struct {
+	Spec     GraphSpec
+	Scale    int
+	NumNodes int
+	NumEdges int
+	// EdgeListSize is the SNAP-text footprint (the paper's accounting for
+	// Table II's fourth column); EdgeListBinarySize is the 8-bytes-per-edge
+	// in-memory form.
+	EdgeListSize       int64
+	EdgeListBinarySize int64
+	CSRSize            int64
+	Rows               []Measurement
+}
+
+// medianOf runs fn k times and returns the median duration. k is forced
+// odd and at least 1.
+func medianOf(k int, fn func()) time.Duration {
+	if k < 1 {
+		k = 1
+	}
+	if k%2 == 0 {
+		k++
+	}
+	times := make([]time.Duration, k)
+	for i := range times {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[k/2]
+}
+
+// RunConstruction measures packed-CSR construction for one instance across
+// the processor sweep. reps is the median-of-k repetition count.
+func RunConstruction(inst *Instance, procs []int, mode Mode, reps int) (*Result, error) {
+	res := &Result{
+		Spec:               inst.Spec,
+		Scale:              inst.Scale,
+		NumNodes:           inst.NumNodes,
+		NumEdges:           len(inst.Edges),
+		EdgeListSize:       inst.Edges.TextSizeBytes(),
+		EdgeListBinarySize: inst.Edges.SizeBytes(),
+	}
+	pk := csr.BuildPacked(inst.Edges, inst.NumNodes, 1)
+	res.CSRSize = pk.SizeBytes()
+
+	t1 := medianOf(reps, func() { csr.BuildPacked(inst.Edges, inst.NumNodes, 1) })
+	model := Calibrate(t1, inst.NumNodes, len(inst.Edges))
+
+	for _, p := range procs {
+		var t time.Duration
+		switch {
+		case p == 1:
+			t = t1
+		case mode == ModeWallClock:
+			t = medianOf(reps, func() { csr.BuildPacked(inst.Edges, inst.NumNodes, p) })
+		case mode == ModeModel:
+			t = model.SimulateConstruction(inst.NumNodes, len(inst.Edges), p)
+		default:
+			return nil, fmt.Errorf("harness: unknown mode %q", mode)
+		}
+		m := Measurement{Procs: p, Time: t}
+		if p > 1 && t1 > 0 {
+			m.SpeedupP = 100 * float64(t1-t) / float64(t1)
+		}
+		res.Rows = append(res.Rows, m)
+	}
+	return res, nil
+}
+
+// ScalePoint is one measurement of the scaling experiment.
+type ScalePoint struct {
+	Scale    int
+	NumNodes int
+	NumEdges int
+	Time     time.Duration
+	// NsPerEdge is Time divided by the edge count — flat when construction
+	// is linear in m, which the paper's algorithms are.
+	NsPerEdge float64
+}
+
+// RunScaling measures p=1 packed-CSR construction for one registry graph
+// across a series of scale divisors (paper size / scale), demonstrating
+// the linear-work behaviour of the construction pipeline.
+func RunScaling(spec GraphSpec, scales []int, reps, genProcs int) ([]ScalePoint, error) {
+	out := make([]ScalePoint, 0, len(scales))
+	for _, s := range scales {
+		inst, err := spec.Generate(s, genProcs)
+		if err != nil {
+			return nil, err
+		}
+		t := medianOf(reps, func() { csr.BuildPacked(inst.Edges, inst.NumNodes, 1) })
+		pt := ScalePoint{
+			Scale:    s,
+			NumNodes: inst.NumNodes,
+			NumEdges: len(inst.Edges),
+			Time:     t,
+		}
+		if pt.NumEdges > 0 {
+			pt.NsPerEdge = float64(t.Nanoseconds()) / float64(pt.NumEdges)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RunAll generates every registry graph at the given scale and measures the
+// full Table II sweep.
+func RunAll(scale int, procs []int, mode Mode, reps, genProcs int) ([]*Result, error) {
+	var out []*Result
+	for _, spec := range Registry {
+		inst, err := spec.Generate(scale, genProcs)
+		if err != nil {
+			return nil, fmt.Errorf("harness: generate %s: %w", spec.Name, err)
+		}
+		res, err := RunConstruction(inst, procs, mode, reps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQueryComparison(t *testing.T) {
+	g, _ := Find("WebNotreDame")
+	inst, err := g.Generate(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := RunQueryComparison(inst, 2000, 2, 1)
+	if len(results) != 4 {
+		t.Fatalf("%d structures, want 4", len(results))
+	}
+	var packed, edgelist *QueryResult
+	for i := range results {
+		r := &results[i]
+		if r.NeighborQPS <= 0 || r.ExistenceQPS <= 0 || r.SizeBytes <= 0 {
+			t.Fatalf("%s: non-positive metrics %+v", r.Structure, r)
+		}
+		switch r.Structure {
+		case "packed-csr":
+			packed = r
+		case "edgelist":
+			edgelist = r
+		}
+	}
+	if packed == nil || edgelist == nil {
+		t.Fatal("expected structures missing")
+	}
+	// The paper's core size claim must hold on every instance.
+	if packed.SizeBytes >= edgelist.SizeBytes {
+		t.Fatalf("packed CSR %d bytes >= edge list %d bytes", packed.SizeBytes, edgelist.SizeBytes)
+	}
+
+	var buf bytes.Buffer
+	if err := RenderQueryComparison(&buf, g.Name, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"packed-csr", "edgelist", "Neighbors (q/s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// HumanBytes renders a byte count the way Table II does (MB/GB).
+func HumanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// ms renders a duration in milliseconds with Table II's precision.
+func ms(d float64) string { return fmt.Sprintf("%.3f", d) }
+
+// RenderTable2 writes the Table II reproduction.
+func RenderTable2(w io.Writer, results []*Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Graph\tNodes\tEdges\tEdgeList Size\tCSR\tProcs\tTime (ms)\tSpeed-Up (%)")
+	for _, r := range results {
+		for i, m := range r.Rows {
+			name, nodes, edges, el, cs := "", "", "", "", ""
+			if i == 0 {
+				name = r.Spec.Name
+				nodes = fmt.Sprintf("%d", r.NumNodes)
+				edges = fmt.Sprintf("%d", r.NumEdges)
+				el = HumanBytes(r.EdgeListSize)
+				cs = HumanBytes(r.CSRSize)
+			}
+			speed := "-"
+			if m.Procs > 1 {
+				speed = fmt.Sprintf("%.2f", m.SpeedupP)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%s\t%s\n",
+				name, nodes, edges, el, cs, m.Procs,
+				ms(float64(m.Time.Microseconds())/1000), speed)
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderFig6 writes the Figure 6 series: construction time per processor
+// count per graph, one column per graph.
+func RenderFig6(w io.Writer, results []*Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"Procs"}
+	for _, r := range results {
+		header = append(header, r.Spec.Name+" (ms)")
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	if len(results) == 0 {
+		return tw.Flush()
+	}
+	for i, m := range results[0].Rows {
+		row := []string{fmt.Sprintf("%d", m.Procs)}
+		for _, r := range results {
+			row = append(row, ms(float64(r.Rows[i].Time.Microseconds())/1000))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// RenderFig7 writes the Figure 7 series: speed-up (%) per processor count
+// per graph.
+func RenderFig7(w io.Writer, results []*Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"Procs"}
+	for _, r := range results {
+		header = append(header, r.Spec.Name+" (%)")
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	if len(results) == 0 {
+		return tw.Flush()
+	}
+	for i, m := range results[0].Rows {
+		if m.Procs == 1 {
+			continue
+		}
+		row := []string{fmt.Sprintf("%d", m.Procs)}
+		for _, r := range results {
+			row = append(row, fmt.Sprintf("%.2f", r.Rows[i].SpeedupP))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// RenderScaling writes the scaling-experiment table.
+func RenderScaling(w io.Writer, graph string, points []ScalePoint) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Scale (1/x)\tNodes\tEdges\tTime (ms)\tns/edge\n")
+	for _, pt := range points {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%.1f\n",
+			pt.Scale, pt.NumNodes, pt.NumEdges,
+			ms(float64(pt.Time.Microseconds())/1000), pt.NsPerEdge)
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes the full result set as CSV for plotting.
+func RenderCSV(w io.Writer, results []*Result) error {
+	if _, err := fmt.Fprintln(w, "graph,scale,nodes,edges,edgelist_text_bytes,edgelist_binary_bytes,csr_bytes,procs,time_ns,speedup_pct"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, m := range r.Rows {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%.2f\n",
+				r.Spec.Name, r.Scale, r.NumNodes, r.NumEdges,
+				r.EdgeListSize, r.EdgeListBinarySize, r.CSRSize, m.Procs, m.Time.Nanoseconds(), m.SpeedupP); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

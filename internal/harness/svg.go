@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering of the paper's figures. Pure stdlib: hand-written SVG
+// markup, one polyline per graph series, log-ish x positions for the
+// processor counts (which the paper's figures space categorically).
+
+const (
+	svgW, svgH             = 720, 440
+	svgMarginL, svgMarginR = 70, 150
+	svgMarginT, svgMarginB = 40, 50
+)
+
+var seriesColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// RenderFig6SVG draws Figure 6: construction time (ms) vs processors.
+func RenderFig6SVG(w io.Writer, results []*Result) error {
+	return renderSeriesSVG(w, results, "Construction time vs processors (Figure 6)",
+		"time (ms)", func(m Measurement) float64 {
+			return float64(m.Time.Microseconds()) / 1000
+		})
+}
+
+// RenderFig7SVG draws Figure 7: speed-up (%) vs processors.
+func RenderFig7SVG(w io.Writer, results []*Result) error {
+	return renderSeriesSVG(w, results, "Speed-up vs processors (Figure 7)",
+		"speed-up (%)", func(m Measurement) float64 {
+			return m.SpeedupP
+		})
+}
+
+func renderSeriesSVG(w io.Writer, results []*Result, title, yLabel string, y func(Measurement) float64) error {
+	if len(results) == 0 || len(results[0].Rows) == 0 {
+		return fmt.Errorf("harness: no data to plot")
+	}
+	var sb strings.Builder
+	plotW := float64(svgW - svgMarginL - svgMarginR)
+	plotH := float64(svgH - svgMarginT - svgMarginB)
+
+	// Categorical x positions by processor-count index.
+	nx := len(results[0].Rows)
+	xpos := func(i int) float64 {
+		if nx == 1 {
+			return float64(svgMarginL) + plotW/2
+		}
+		return float64(svgMarginL) + plotW*float64(i)/float64(nx-1)
+	}
+	// Y range over all series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range results {
+		for _, m := range r.Rows {
+			v := y(m)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo > 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	ypos := func(v float64) float64 {
+		return float64(svgMarginT) + plotH*(1-(v-lo)/(hi-lo))
+	}
+
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", svgW, svgH)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-size="16" text-anchor="middle">%s</text>`+"\n", svgW/2, title)
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		svgMarginL, svgH-svgMarginB, svgW-svgMarginR, svgH-svgMarginB)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		svgMarginL, svgMarginT, svgMarginL, svgH-svgMarginB)
+	fmt.Fprintf(&sb, `<text x="18" y="%d" font-size="12" transform="rotate(-90 18 %d)" text-anchor="middle">%s</text>`+"\n",
+		svgH/2, svgH/2, yLabel)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle">processors</text>`+"\n",
+		(svgMarginL+svgW-svgMarginR)/2, svgH-12)
+
+	// X tick labels.
+	for i, m := range results[0].Rows {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%d</text>`+"\n",
+			xpos(i), svgH-svgMarginB+18, m.Procs)
+	}
+	// Y tick labels (5 ticks).
+	for t := 0; t <= 4; t++ {
+		v := lo + (hi-lo)*float64(t)/4
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.4g</text>`+"\n",
+			svgMarginL-6, ypos(v)+4, v)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			svgMarginL, ypos(v), svgW-svgMarginR, ypos(v))
+	}
+
+	// Series.
+	for si, r := range results {
+		color := seriesColors[si%len(seriesColors)]
+		points := make([]string, 0, nx)
+		for i, m := range r.Rows {
+			points = append(points, fmt.Sprintf("%.1f,%.1f", xpos(i), ypos(y(m))))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(points, " "), color)
+		for i, m := range r.Rows {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				xpos(i), ypos(y(m)), color)
+		}
+		// Legend.
+		ly := svgMarginT + 18*si
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			svgW-svgMarginR+12, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			svgW-svgMarginR+30, ly+10, r.Spec.Name)
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,191 @@
+package order
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+)
+
+func testGraph(n, m int, seed int64) *csr.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	l := make(edgelist.List, m)
+	for i := range l {
+		l[i] = edgelist.Edge{U: rng.Uint32() % uint32(n), V: rng.Uint32() % uint32(n)}
+	}
+	l.SortByUV(1)
+	l = l.Dedup()
+	return csr.Build(l, n, 1)
+}
+
+func TestIdentity(t *testing.T) {
+	perm := Identity(5)
+	if err := perm.valid(5); err != nil {
+		t.Fatal(err)
+	}
+	m := testGraph(5, 10, 1)
+	out, err := Apply(m, perm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(m) {
+		t.Fatal("identity permutation changed the graph")
+	}
+}
+
+func TestByDegreeOrdersHubsFirst(t *testing.T) {
+	m := testGraph(50, 600, 2)
+	perm := ByDegree(m, 2)
+	if err := perm.valid(50); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Apply(m, perm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degrees must be non-increasing in the new labeling.
+	for u := 1; u < 50; u++ {
+		if out.Degree(uint32(u)) > out.Degree(uint32(u-1)) {
+			t.Fatalf("degree order violated at %d", u)
+		}
+	}
+}
+
+func TestByBFSGroupsLevels(t *testing.T) {
+	// Path 0-1-2-3 plus isolated node 4: BFS order from 0 keeps the path
+	// order and pushes the unreached node last.
+	l := edgelist.List{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	m := csr.Build(l, 5, 1)
+	perm := ByBFS(m, 0, 2)
+	if !reflect.DeepEqual(perm.OldID, []uint32{0, 1, 2, 3, 4}) {
+		t.Fatalf("OldID = %v", perm.OldID)
+	}
+}
+
+// applyReference relabels via the edge list for validation.
+func applyReference(m *csr.Matrix, perm *Permutation) *csr.Matrix {
+	var l edgelist.List
+	for _, e := range m.Edges() {
+		l = append(l, edgelist.Edge{U: perm.NewID[e.U], V: perm.NewID[e.V]})
+	}
+	l.SortByUV(1)
+	return csr.Build(l, m.NumNodes(), 1)
+}
+
+func TestApplyMatchesReference(t *testing.T) {
+	m := testGraph(80, 900, 3)
+	for _, perm := range []*Permutation{ByDegree(m, 2), ByBFS(m, 0, 2)} {
+		want := applyReference(m, perm)
+		for _, p := range []int{1, 4} {
+			got, err := Apply(m, perm, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("p=%d: Apply diverges from edge-list relabeling", p)
+			}
+		}
+	}
+}
+
+func TestApplyRejectsBadPermutation(t *testing.T) {
+	m := testGraph(5, 8, 4)
+	bad := &Permutation{NewID: []uint32{0, 0, 1, 2, 3}, OldID: []uint32{0, 2, 3, 4, 4}}
+	if _, err := Apply(m, bad, 2); err == nil {
+		t.Fatal("want bijection error")
+	}
+	short := &Permutation{NewID: []uint32{0}, OldID: []uint32{0}}
+	if _, err := Apply(m, short, 2); err == nil {
+		t.Fatal("want size error")
+	}
+}
+
+func TestCompareOrderings(t *testing.T) {
+	m := testGraph(200, 3000, 5)
+	results, err := CompareOrderings(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d orderings", len(results))
+	}
+	for _, r := range results {
+		if r.FixedBytes <= 0 || r.DeltaBytes <= 0 {
+			t.Fatalf("%s: non-positive sizes %+v", r.Ordering, r)
+		}
+	}
+	// Fixed-width size is ordering-invariant (same widths, same counts).
+	if results[0].FixedBytes != results[1].FixedBytes {
+		t.Fatalf("fixed-width size changed under reordering: %d vs %d",
+			results[0].FixedBytes, results[1].FixedBytes)
+	}
+}
+
+func TestBFSOrderImprovesDeltaOnLocalGraph(t *testing.T) {
+	// A graph whose natural labels are scrambled: a ring with shuffled
+	// ids. BFS order restores locality, shrinking delta-gamma payloads.
+	const n = 512
+	rng := rand.New(rand.NewSource(6))
+	shuffle := rng.Perm(n)
+	var l edgelist.List
+	for i := 0; i < n; i++ {
+		u, v := uint32(shuffle[i]), uint32(shuffle[(i+1)%n])
+		l = append(l, edgelist.Edge{U: u, V: v}, edgelist.Edge{U: v, V: u})
+	}
+	l.SortByUV(1)
+	l = l.Dedup()
+	m := csr.Build(l, n, 1)
+
+	identity := csr.PackDelta(m, 2).SizeBytes()
+	perm := ByBFS(m, 0, 2)
+	relabeled, err := Apply(m, perm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfsSize := csr.PackDelta(relabeled, 2).SizeBytes()
+	if bfsSize >= identity {
+		t.Fatalf("BFS order should shrink delta coding on a scrambled ring: %d vs %d", bfsSize, identity)
+	}
+}
+
+// Property: Apply preserves the multiset of degrees and the edge count.
+func TestQuickApplyPreservesStructure(t *testing.T) {
+	f := func(pairs []uint16, p uint8) bool {
+		const n = 24
+		l := make(edgelist.List, 0, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			l = append(l, edgelist.Edge{U: uint32(pairs[i]) % n, V: uint32(pairs[i+1]) % n})
+		}
+		l.SortByUV(1)
+		l = l.Dedup()
+		m := csr.Build(l, n, 1)
+		perm := ByDegree(m, int(p))
+		out, err := Apply(m, perm, int(p))
+		if err != nil || out.Validate() != nil || out.NumEdges() != m.NumEdges() {
+			return false
+		}
+		degOld := make([]int, 0, n)
+		degNew := make([]int, 0, n)
+		for u := 0; u < n; u++ {
+			degOld = append(degOld, m.Degree(uint32(u)))
+			degNew = append(degNew, out.Degree(uint32(u)))
+		}
+		countOf := func(xs []int) map[int]int {
+			c := map[int]int{}
+			for _, x := range xs {
+				c[x]++
+			}
+			return c
+		}
+		return reflect.DeepEqual(countOf(degOld), countOf(degNew))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunksBalanced(t *testing.T) {
+	cases := []struct {
+		n, p  int
+		sizes []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{9, 3, []int{3, 3, 3}},
+		{2, 4, []int{1, 1}},
+		{0, 4, nil},
+		{5, 1, []int{5}},
+		{7, 0, []int{7}}, // p<=0 treated as 1
+	}
+	for _, c := range cases {
+		got := Chunks(c.n, c.p)
+		if len(got) != len(c.sizes) {
+			t.Fatalf("Chunks(%d,%d) = %v, want sizes %v", c.n, c.p, got, c.sizes)
+		}
+		prev := 0
+		for i, r := range got {
+			if r.Start != prev {
+				t.Errorf("Chunks(%d,%d)[%d] start = %d, want %d", c.n, c.p, i, r.Start, prev)
+			}
+			if r.Len() != c.sizes[i] {
+				t.Errorf("Chunks(%d,%d)[%d] len = %d, want %d", c.n, c.p, i, r.Len(), c.sizes[i])
+			}
+			prev = r.End
+		}
+		if prev != c.n {
+			t.Errorf("Chunks(%d,%d) covers [0,%d), want [0,%d)", c.n, c.p, prev, c.n)
+		}
+	}
+}
+
+// Property: chunks always tile [0, n) exactly, with sizes differing by at
+// most one.
+func TestQuickChunksTile(t *testing.T) {
+	f := func(n uint16, p uint8) bool {
+		chunks := Chunks(int(n), int(p))
+		prev, min, max := 0, int(n)+1, -1
+		for _, r := range chunks {
+			if r.Start != prev || r.Empty() {
+				return false
+			}
+			prev = r.End
+			if r.Len() < min {
+				min = r.Len()
+			}
+			if r.Len() > max {
+				max = r.Len()
+			}
+		}
+		if prev != int(n) {
+			return false
+		}
+		return len(chunks) == 0 || max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkOf(t *testing.T) {
+	n, p := 103, 7
+	chunks := Chunks(n, p)
+	for c, r := range chunks {
+		for i := r.Start; i < r.End; i++ {
+			if got := ChunkOf(i, n, p); got != c {
+				t.Fatalf("ChunkOf(%d) = %d, want %d", i, got, c)
+			}
+		}
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8, 100} {
+		n := 1000
+		seen := make([]int32, n)
+		For(n, p, func(_ int, r Range) {
+			for i := r.Start; i < r.End; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("p=%d index %d visited %d times", p, i, c)
+			}
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	ForEach(100, 4, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}
+
+func TestTeamRunAllWorkers(t *testing.T) {
+	for _, p := range []int{1, 2, 7} {
+		team := NewTeam(p)
+		ids := make([]bool, p)
+		var mu sync.Mutex
+		team.Run(func(w *Worker) {
+			if w.Procs() != p {
+				t.Errorf("Procs = %d, want %d", w.Procs(), p)
+			}
+			mu.Lock()
+			ids[w.ID()] = true
+			mu.Unlock()
+		})
+		for id, ok := range ids {
+			if !ok {
+				t.Fatalf("p=%d worker %d never ran", p, id)
+			}
+		}
+	}
+}
+
+func TestTeamSyncOrdersPhases(t *testing.T) {
+	const p = 4
+	team := NewTeam(p)
+	var phase1 atomic.Int32
+	fail := make(chan string, p)
+	team.Run(func(w *Worker) {
+		phase1.Add(1)
+		w.Sync()
+		if phase1.Load() != p {
+			fail <- "worker passed barrier before all arrived"
+		}
+		w.Sync() // barrier must be reusable
+	})
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestTeamCriticalIsMutuallyExclusive(t *testing.T) {
+	const p = 8
+	team := NewTeam(p)
+	counter := 0 // intentionally unsynchronized; Critical must protect it
+	team.Run(func(w *Worker) {
+		for i := 0; i < 1000; i++ {
+			w.Critical(func() { counter++ })
+		}
+	})
+	if counter != p*1000 {
+		t.Fatalf("counter = %d, want %d", counter, p*1000)
+	}
+}
+
+func TestBarrierReusableManyRounds(t *testing.T) {
+	const parties, rounds = 3, 50
+	b := NewBarrier(parties)
+	var stage atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parties)
+	for i := 0; i < parties; i++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				stage.Add(1)
+				b.Wait()
+				// After the barrier every party of this round has bumped stage.
+				if got := stage.Load(); got < int64((r+1)*parties) {
+					t.Errorf("round %d: stage = %d, want >= %d", r, got, (r+1)*parties)
+				}
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestChunksNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for negative n")
+		}
+	}()
+	Chunks(-1, 2)
+}

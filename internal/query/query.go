@@ -1,0 +1,132 @@
+// Package query implements Section V of the paper: the parallel querying
+// algorithms over (bit-packed) CSR.
+//
+//   - NeighborsBatch is Algorithm 6 driven by the first "do in parallel" of
+//     Algorithm 9: an array of neighborhood queries is split into p chunks
+//     and each processor answers its chunk by decoding rows from the packed
+//     CSR (GetRowFromCSR).
+//   - EdgesExistBatch is Algorithm 7 driven by the second "do in parallel":
+//     an array of (u, v) existence queries is split into p chunks; each
+//     processor fetches u's row and scans it for v.
+//   - EdgeExistsSplit is Algorithm 8 driven by the third "do in parallel":
+//     a single (u, v) query where u's neighbor list itself is split into p
+//     chunks scanned concurrently; one processor finding v answers true.
+//
+// All functions accept any Source — both the plain csr.Matrix and the
+// bit-packed csr.Packed qualify — so baselines and compressed forms are
+// queried through identical code paths.
+package query
+
+import (
+	"sync/atomic"
+
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/parallel"
+)
+
+// Source is a CSR-shaped graph that can produce a node's neighbor row.
+// Row may return an internal subslice (plain CSR) or decode into dst
+// (packed CSR); callers treat the result as read-only and valid until the
+// next Row call with the same dst.
+type Source interface {
+	NumNodes() int
+	Degree(u edgelist.NodeID) int
+	Row(dst []uint32, u edgelist.NodeID) []uint32
+}
+
+// NeighborsBatch answers an array of neighborhood queries with p
+// processors. Result i holds the neighbors of uNodes[i]. Rows are copied
+// into fresh slices so results remain valid independently of the source.
+func NeighborsBatch(g Source, uNodes []edgelist.NodeID, p int) [][]uint32 {
+	results := make([][]uint32, len(uNodes))
+	parallel.For(len(uNodes), p, func(_ int, r parallel.Range) {
+		var buf []uint32
+		for i := r.Start; i < r.End; i++ {
+			buf = g.Row(buf, uNodes[i])
+			row := make([]uint32, len(buf))
+			copy(row, buf)
+			results[i] = row
+		}
+	})
+	return results
+}
+
+// EdgesExistBatch answers an array of edge-existence queries with p
+// processors: result i reports whether edges[i] exists. Each processor
+// fetches the source node's row once and scans it linearly for the target
+// (Algorithm 7's inner loop).
+func EdgesExistBatch(g Source, edges []edgelist.Edge, p int) []bool {
+	results := make([]bool, len(edges))
+	parallel.For(len(edges), p, func(_ int, r parallel.Range) {
+		var buf []uint32
+		for i := r.Start; i < r.End; i++ {
+			e := edges[i]
+			buf = g.Row(buf, e.U)
+			for _, w := range buf {
+				if w == e.V {
+					results[i] = true
+					break
+				}
+			}
+		}
+	})
+	return results
+}
+
+// EdgesExistBatchBinary is EdgesExistBatch with the binary-search inner
+// loop Section V-B suggests; rows must be sorted (true for CSRs built from
+// sorted edge lists).
+func EdgesExistBatchBinary(g Source, edges []edgelist.Edge, p int) []bool {
+	results := make([]bool, len(edges))
+	parallel.For(len(edges), p, func(_ int, r parallel.Range) {
+		var buf []uint32
+		for i := r.Start; i < r.End; i++ {
+			e := edges[i]
+			buf = g.Row(buf, e.U)
+			lo, hi := 0, len(buf)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if buf[mid] < e.V {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			results[i] = lo < len(buf) && buf[lo] == e.V
+		}
+	})
+	return results
+}
+
+// EdgeExistsSplit answers one edge-existence query by retrieving u's
+// neighbor list and splitting it among p processors (Algorithm 8): each
+// scans its chunk for v, and any processor finding it publishes true. The
+// others exit early once the flag is set.
+func EdgeExistsSplit(g Source, u, v edgelist.NodeID, p int) bool {
+	row := g.Row(nil, u)
+	var found atomic.Bool
+	parallel.For(len(row), p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			if found.Load() {
+				return
+			}
+			if row[i] == v {
+				found.Store(true)
+				return
+			}
+		}
+	})
+	return found.Load()
+}
+
+// CountBatch answers an array of degree queries with p processors; a
+// convenience built on the same dispatch pattern as Algorithm 9.
+func CountBatch(g Source, uNodes []edgelist.NodeID, p int) []int {
+	results := make([]int, len(uNodes))
+	parallel.For(len(uNodes), p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			results[i] = g.Degree(uNodes[i])
+		}
+	})
+	return results
+}

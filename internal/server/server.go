@@ -1,0 +1,202 @@
+// Package server exposes a compressed CSR graph over HTTP — the "social
+// network with millions of users querying at once" scenario of Section V.
+// Incoming query batches are answered with the parallel querying
+// algorithms; responses are JSON.
+//
+// Endpoints:
+//
+//	GET /stats                         graph metadata
+//	GET /neighbors?nodes=1,2,3         Algorithm 6 batch
+//	GET /degree?nodes=1,2,3            degree batch
+//	GET /exists?edges=1:2,3:4          Algorithm 7 batch
+//	GET /bfs?src=7                     hop distances from src
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"csrgraph/internal/algo"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/query"
+)
+
+// maxBatch bounds one request's query count to keep a single request from
+// monopolizing the process.
+const maxBatch = 100_000
+
+// maxBFSNodes bounds the graph size for the BFS endpoint, whose response
+// is O(nodes).
+const maxBFSNodes = 50_000_000
+
+// Handler serves queries over one immutable graph.
+type Handler struct {
+	g     query.Source
+	procs int
+	mux   *http.ServeMux
+}
+
+// New builds a Handler answering from g with the given parallelism.
+func New(g query.Source, procs int) *Handler {
+	if procs < 1 {
+		procs = 1
+	}
+	h := &Handler{g: g, procs: procs, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+	h.mux.HandleFunc("GET /stats", h.stats)
+	h.mux.HandleFunc("GET /neighbors", h.neighbors)
+	h.mux.HandleFunc("GET /degree", h.degree)
+	h.mux.HandleFunc("GET /exists", h.exists)
+	h.mux.HandleFunc("GET /bfs", h.bfs)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"nodes": h.g.NumNodes(),
+		"procs": h.procs,
+	})
+}
+
+func (h *Handler) neighbors(w http.ResponseWriter, r *http.Request) {
+	nodes, err := h.parseNodes(r.URL.Query().Get("nodes"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	results := query.NeighborsBatch(h.g, nodes, h.procs)
+	out := make([]map[string]any, len(nodes))
+	for i, u := range nodes {
+		row := results[i]
+		if row == nil {
+			row = []uint32{}
+		}
+		out[i] = map[string]any{"node": u, "neighbors": row}
+	}
+	writeJSON(w, out)
+}
+
+func (h *Handler) degree(w http.ResponseWriter, r *http.Request) {
+	nodes, err := h.parseNodes(r.URL.Query().Get("nodes"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	results := query.CountBatch(h.g, nodes, h.procs)
+	out := make([]map[string]any, len(nodes))
+	for i, u := range nodes {
+		out[i] = map[string]any{"node": u, "degree": results[i]}
+	}
+	writeJSON(w, out)
+}
+
+func (h *Handler) exists(w http.ResponseWriter, r *http.Request) {
+	edges, err := h.parseEdges(r.URL.Query().Get("edges"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	results := query.EdgesExistBatchBinary(h.g, edges, h.procs)
+	out := make([]map[string]any, len(edges))
+	for i, e := range edges {
+		out[i] = map[string]any{"u": e.U, "v": e.V, "exists": results[i]}
+	}
+	writeJSON(w, out)
+}
+
+func (h *Handler) bfs(w http.ResponseWriter, r *http.Request) {
+	if h.g.NumNodes() > maxBFSNodes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("graph too large for the bfs endpoint (%d nodes)", h.g.NumNodes()))
+		return
+	}
+	nodes, err := h.parseNodes(r.URL.Query().Get("src"))
+	if err != nil || len(nodes) != 1 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("src must be a single node id"))
+		return
+	}
+	dist := algo.BFS(h.g, nodes[0], h.procs)
+	reached := 0
+	for _, d := range dist {
+		if d != algo.Unreached {
+			reached++
+		}
+	}
+	writeJSON(w, map[string]any{"src": nodes[0], "reached": reached, "distances": dist})
+}
+
+func (h *Handler) parseNodes(s string) ([]edgelist.NodeID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing nodes parameter")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > maxBatch {
+		return nil, fmt.Errorf("batch of %d exceeds limit %d", len(parts), maxBatch)
+	}
+	out := make([]edgelist.NodeID, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", part)
+		}
+		if int(v) >= h.g.NumNodes() {
+			return nil, fmt.Errorf("node %d out of range [0,%d)", v, h.g.NumNodes())
+		}
+		out[i] = uint32(v)
+	}
+	return out, nil
+}
+
+func (h *Handler) parseEdges(s string) ([]edgelist.Edge, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing edges parameter")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > maxBatch {
+		return nil, fmt.Errorf("batch of %d exceeds limit %d", len(parts), maxBatch)
+	}
+	out := make([]edgelist.Edge, len(parts))
+	for i, part := range parts {
+		uv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(uv) != 2 {
+			return nil, fmt.Errorf("bad edge %q, want u:v", part)
+		}
+		u, err := strconv.ParseUint(uv[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad edge %q", part)
+		}
+		v, err := strconv.ParseUint(uv[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad edge %q", part)
+		}
+		if int(u) >= h.g.NumNodes() || int(v) >= h.g.NumNodes() {
+			return nil, fmt.Errorf("edge %q out of range [0,%d)", part, h.g.NumNodes())
+		}
+		out[i] = edgelist.Edge{U: uint32(u), V: uint32(v)}
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are already sent; nothing more to do than drop the
+		// connection, which the server does on handler return.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

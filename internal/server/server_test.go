@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+)
+
+func testHandler(t *testing.T) *Handler {
+	t.Helper()
+	l := edgelist.List{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 3},
+	}
+	pk := csr.BuildPacked(l, 4, 2)
+	return New(pk, 2)
+}
+
+func get(t *testing.T, h http.Handler, url string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec, rec.Body.String()
+}
+
+func TestStats(t *testing.T) {
+	rec, body := get(t, testHandler(t), "/stats")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["nodes"].(float64) != 4 {
+		t.Fatalf("stats = %v", out)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	rec, body := get(t, testHandler(t), "/neighbors?nodes=0,3")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var out []struct {
+		Node      uint32   `json:"node"`
+		Neighbors []uint32 `json:"neighbors"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(out[0].Neighbors) != 2 || len(out[1].Neighbors) != 0 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	rec, body := get(t, testHandler(t), "/degree?nodes=0,1,3")
+	if rec.Code != 200 {
+		t.Fatal(body)
+	}
+	var out []struct {
+		Node   uint32 `json:"node"`
+		Degree int    `json:"degree"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Degree != 2 || out[1].Degree != 1 || out[2].Degree != 0 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestExists(t *testing.T) {
+	rec, body := get(t, testHandler(t), "/exists?edges=0:1,1:0,2:3")
+	if rec.Code != 200 {
+		t.Fatal(body)
+	}
+	var out []struct {
+		U, V   uint32
+		Exists bool `json:"exists"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Exists || out[1].Exists || !out[2].Exists {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestBFSEndpoint(t *testing.T) {
+	rec, body := get(t, testHandler(t), "/bfs?src=0")
+	if rec.Code != 200 {
+		t.Fatal(body)
+	}
+	var out struct {
+		Src       uint32  `json:"src"`
+		Reached   int     `json:"reached"`
+		Distances []int32 `json:"distances"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Reached != 4 || out.Distances[3] != 2 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	h := testHandler(t)
+	for _, url := range []string{
+		"/neighbors",           // missing param
+		"/neighbors?nodes=abc", // not a number
+		"/neighbors?nodes=99",  // out of range
+		"/degree?nodes=",       // empty
+		"/exists?edges=1",      // missing colon
+		"/exists?edges=1:x",    // bad v
+		"/exists?edges=9:9",    // out of range
+		"/bfs?src=1,2",         // multiple sources
+		"/bfs",                 // missing
+	} {
+		rec, body := get(t, h, url)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", url, rec.Code, body)
+		}
+		if !strings.Contains(body, "error") {
+			t.Errorf("%s: no error payload: %s", url, body)
+		}
+	}
+}
+
+func TestBatchLimit(t *testing.T) {
+	h := testHandler(t)
+	var sb strings.Builder
+	for i := 0; i <= maxBatch; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('0')
+	}
+	rec, _ := get(t, h, "/neighbors?nodes="+sb.String())
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for oversized batch", rec.Code)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	h := testHandler(t)
+	req := httptest.NewRequest("POST", "/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats = %d, want 405", rec.Code)
+	}
+}

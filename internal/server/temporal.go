@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"csrgraph/internal/tcsr"
+)
+
+// TemporalHandler serves point-in-time queries over a packed differential
+// TCSR (Section IV), batched in parallel.
+//
+// Endpoints:
+//
+//	GET /healthz                          liveness
+//	GET /stats                            frame and node counts
+//	GET /active?queries=u:v:t,...         batched activity queries
+//	GET /neighbors?node=u&frame=t         active neighbors of u at frame t
+type TemporalHandler struct {
+	pt    *tcsr.Packed
+	procs int
+	mux   *http.ServeMux
+}
+
+// NewTemporal builds a TemporalHandler answering from pt.
+func NewTemporal(pt *tcsr.Packed, procs int) *TemporalHandler {
+	if procs < 1 {
+		procs = 1
+	}
+	h := &TemporalHandler{pt: pt, procs: procs, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+	h.mux.HandleFunc("GET /stats", h.stats)
+	h.mux.HandleFunc("GET /active", h.active)
+	h.mux.HandleFunc("GET /neighbors", h.neighbors)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *TemporalHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *TemporalHandler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"nodes":  h.pt.NumNodes(),
+		"frames": h.pt.NumFrames(),
+		"bytes":  h.pt.SizeBytes(),
+		"procs":  h.procs,
+	})
+}
+
+func (h *TemporalHandler) active(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("queries")
+	if raw == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing queries parameter"))
+		return
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) > maxBatch {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(parts), maxBatch))
+		return
+	}
+	queries := make([]tcsr.ActivityQuery, len(parts))
+	for i, part := range parts {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad query %q, want u:v:t", part))
+			return
+		}
+		u, err1 := strconv.ParseUint(fields[0], 10, 32)
+		v, err2 := strconv.ParseUint(fields[1], 10, 32)
+		t, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad query %q", part))
+			return
+		}
+		if t < 0 || t >= h.pt.NumFrames() {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("frame %d out of range [0,%d)", t, h.pt.NumFrames()))
+			return
+		}
+		if int(u) >= h.pt.NumNodes() || int(v) >= h.pt.NumNodes() {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("query %q out of node range [0,%d)", part, h.pt.NumNodes()))
+			return
+		}
+		queries[i] = tcsr.ActivityQuery{U: uint32(u), V: uint32(v), T: t}
+	}
+	results := h.pt.ActiveBatch(queries, h.procs)
+	out := make([]map[string]any, len(queries))
+	for i, q := range queries {
+		out[i] = map[string]any{"u": q.U, "v": q.V, "t": q.T, "active": results[i]}
+	}
+	writeJSON(w, out)
+}
+
+func (h *TemporalHandler) neighbors(w http.ResponseWriter, r *http.Request) {
+	u, err1 := strconv.ParseUint(r.URL.Query().Get("node"), 10, 32)
+	t, err2 := strconv.Atoi(r.URL.Query().Get("frame"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("need numeric node and frame parameters"))
+		return
+	}
+	if int(u) >= h.pt.NumNodes() || t < 0 || t >= h.pt.NumFrames() {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("node %d / frame %d out of range", u, t))
+		return
+	}
+	row := h.pt.ActiveNeighbors(uint32(u), t)
+	if row == nil {
+		row = []uint32{}
+	}
+	writeJSON(w, map[string]any{"node": u, "frame": t, "neighbors": row})
+}

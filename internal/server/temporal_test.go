@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/tcsr"
+)
+
+func temporalHandler(t *testing.T) *TemporalHandler {
+	t.Helper()
+	events := edgelist.TemporalList{
+		{U: 0, V: 1, T: 0}, {U: 1, V: 2, T: 0},
+		{U: 0, V: 1, T: 1}, // deletion
+		{U: 0, V: 1, T: 2}, // re-add
+	}
+	tc, err := tcsr.BuildFromEvents(events, 3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTemporal(tc.Pack(1), 2)
+}
+
+func TestTemporalHealthAndStats(t *testing.T) {
+	h := temporalHandler(t)
+	rec, body := get(t, h, "/healthz")
+	if rec.Code != 200 || body == "" {
+		t.Fatalf("healthz: %d %s", rec.Code, body)
+	}
+	rec, body = get(t, h, "/stats")
+	if rec.Code != 200 {
+		t.Fatal(body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["frames"].(float64) != 3 || out["nodes"].(float64) != 3 {
+		t.Fatalf("stats = %v", out)
+	}
+}
+
+func TestTemporalActiveBatch(t *testing.T) {
+	h := temporalHandler(t)
+	rec, body := get(t, h, "/active?queries=0:1:0,0:1:1,0:1:2,1:2:2")
+	if rec.Code != 200 {
+		t.Fatal(body)
+	}
+	var out []struct {
+		Active bool `json:"active"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, true}
+	for i, w := range want {
+		if out[i].Active != w {
+			t.Fatalf("query %d: active = %v, want %v", i, out[i].Active, w)
+		}
+	}
+}
+
+func TestTemporalNeighbors(t *testing.T) {
+	h := temporalHandler(t)
+	rec, body := get(t, h, "/neighbors?node=0&frame=2")
+	if rec.Code != 200 {
+		t.Fatal(body)
+	}
+	var out struct {
+		Neighbors []uint32 `json:"neighbors"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Neighbors) != 1 || out.Neighbors[0] != 1 {
+		t.Fatalf("neighbors = %v", out.Neighbors)
+	}
+	// Empty row still yields an array, not null.
+	_, body = get(t, h, "/neighbors?node=2&frame=0")
+	if body == "" || body[0] == 0 {
+		t.Fatal("no body")
+	}
+	var out2 struct {
+		Neighbors []uint32 `json:"neighbors"`
+	}
+	if err := json.Unmarshal([]byte(body), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Neighbors == nil {
+		t.Fatal("null neighbors array")
+	}
+}
+
+func TestTemporalBadRequests(t *testing.T) {
+	h := temporalHandler(t)
+	for _, url := range []string{
+		"/active",                   // missing
+		"/active?queries=1:2",       // wrong arity
+		"/active?queries=a:b:c",     // not numeric
+		"/active?queries=0:1:99",    // frame out of range
+		"/active?queries=9:9:0",     // node out of range
+		"/neighbors?node=0",         // missing frame
+		"/neighbors?node=9&frame=0", // node out of range
+		"/neighbors?node=0&frame=9", // frame out of range
+	} {
+		rec, _ := get(t, h, url)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestGraphHandlerHealthz(t *testing.T) {
+	h := testHandler(t)
+	rec, _ := get(t, h, "/healthz")
+	if rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+}

@@ -1,0 +1,218 @@
+package spmatrix
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+)
+
+func buildCSR(edges []edgelist.Edge, n int) *csr.Matrix {
+	l := edgelist.List(edges).Clone()
+	l.SortByUV(1)
+	l = l.Dedup()
+	return csr.Build(l, n, 1)
+}
+
+func randomCSR(n, m int, seed int64) *csr.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]edgelist.Edge, m)
+	for i := range edges {
+		edges[i] = edgelist.Edge{U: rng.Uint32() % uint32(n), V: rng.Uint32() % uint32(n)}
+	}
+	return buildCSR(edges, n)
+}
+
+// toDense expands a CSR into a dense boolean matrix.
+func toDense(m *csr.Matrix) [][]bool {
+	n := m.NumNodes()
+	out := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		out[u] = make([]bool, n)
+		for _, w := range m.Neighbors(uint32(u)) {
+			out[u][w] = true
+		}
+	}
+	return out
+}
+
+func TestSpMV(t *testing.T) {
+	// 0->1, 0->2, 1->2.
+	m := buildCSR([]edgelist.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}}, 3)
+	x := []float64{1, 10, 100}
+	for _, p := range []int{1, 2, 4} {
+		y, err := SpMV(m, x, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{110, 100, 0}
+		if !reflect.DeepEqual(y, want) {
+			t.Fatalf("p=%d: y = %v, want %v", p, y, want)
+		}
+	}
+	if _, err := SpMV(m, []float64{1}, 2); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+func TestSpMVMatchesDense(t *testing.T) {
+	m := randomCSR(80, 500, 1)
+	dense := toDense(m)
+	x := make([]float64, 80)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	y, err := SpMV(m, x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 80; u++ {
+		var want float64
+		for w := 0; w < 80; w++ {
+			if dense[u][w] {
+				want += x[w]
+			}
+		}
+		if math.Abs(y[u]-want) > 1e-9 {
+			t.Fatalf("y[%d] = %g, want %g", u, y[u], want)
+		}
+	}
+}
+
+func TestSpGEMMMatchesDense(t *testing.T) {
+	a := randomCSR(50, 300, 3)
+	b := randomCSR(50, 300, 4)
+	da, db := toDense(a), toDense(b)
+	for _, p := range []int{1, 2, 8} {
+		c, err := SpGEMM(a, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("p=%d: result invalid: %v", p, err)
+		}
+		dc := toDense(c)
+		for u := 0; u < 50; u++ {
+			for w := 0; w < 50; w++ {
+				want := false
+				for k := 0; k < 50 && !want; k++ {
+					want = da[u][k] && db[k][w]
+				}
+				if dc[u][w] != want {
+					t.Fatalf("p=%d: C[%d][%d] = %v, want %v", p, u, w, dc[u][w], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSpGEMMDimensionMismatch(t *testing.T) {
+	a := buildCSR([]edgelist.Edge{{U: 0, V: 1}}, 2)
+	b := buildCSR([]edgelist.Edge{{U: 0, V: 1}}, 3)
+	if _, err := SpGEMM(a, b, 2); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+func TestSquareIsTwoHop(t *testing.T) {
+	// 0->1->2->3: square has 0->2 and 1->3.
+	m := buildCSR([]edgelist.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}, 4)
+	sq := Square(m, 2)
+	if !sq.HasEdge(0, 2) || !sq.HasEdge(1, 3) || sq.HasEdge(0, 3) || sq.NumEdges() != 2 {
+		t.Fatalf("square edges: %v", sq.Edges())
+	}
+}
+
+func TestTransposeSmall(t *testing.T) {
+	m := buildCSR([]edgelist.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 2, V: 1}}, 3)
+	for _, p := range []int{1, 2, 4} {
+		tr := Transpose(m, p)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 0) || !tr.HasEdge(1, 2) || tr.NumEdges() != 3 {
+			t.Fatalf("p=%d: transpose edges %v", p, tr.Edges())
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := randomCSR(120, 2000, 5)
+	for _, p := range []int{1, 3, 16} {
+		back := Transpose(Transpose(m, p), p)
+		if !back.Equal(m) {
+			t.Fatalf("p=%d: transpose(transpose(A)) != A", p)
+		}
+	}
+}
+
+func TestTransposeEmptyAndEdgeless(t *testing.T) {
+	empty := &csr.Matrix{RowOffsets: make([]uint32, 6), Cols: nil}
+	// 5 nodes, no edges.
+	tr := Transpose(&csr.Matrix{RowOffsets: make([]uint32, 6)}, 4)
+	if tr.NumEdges() != 0 || tr.NumNodes() != 5 {
+		t.Fatalf("edgeless transpose: n=%d m=%d", tr.NumNodes(), tr.NumEdges())
+	}
+	_ = empty
+}
+
+func TestRowOf(t *testing.T) {
+	off := []uint32{0, 2, 2, 5, 6}
+	cases := map[int]int{0: 0, 1: 0, 2: 2, 3: 2, 4: 2, 5: 3}
+	for i, want := range cases {
+		if got := rowOf(off, i); got != want {
+			t.Errorf("rowOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSortUint32(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 2, 9, 100} {
+		xs := make([]uint32, n)
+		for i := range xs {
+			xs[i] = rng.Uint32() % 50
+		}
+		sortUint32(xs)
+		for i := 1; i < n; i++ {
+			if xs[i] < xs[i-1] {
+				t.Fatalf("n=%d unsorted", n)
+			}
+		}
+	}
+}
+
+// Property: transpose preserves edge count and flips every edge; SpGEMM
+// result is independent of p.
+func TestQuickTransposeAndSpGEMM(t *testing.T) {
+	f := func(pairs []uint16, p uint8) bool {
+		const n = 24
+		edges := make([]edgelist.Edge, 0, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			edges = append(edges, edgelist.Edge{U: uint32(pairs[i]) % n, V: uint32(pairs[i+1]) % n})
+		}
+		m := buildCSR(edges, n)
+		tr := Transpose(m, int(p))
+		if tr.NumEdges() != m.NumEdges() || tr.Validate() != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for _, w := range m.Neighbors(uint32(u)) {
+				if !tr.HasEdgeBinary(w, uint32(u)) {
+					return false
+				}
+			}
+		}
+		sq1 := Square(m, 1)
+		sqp := Square(m, int(p))
+		return sq1.Equal(sqp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

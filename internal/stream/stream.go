@@ -1,0 +1,230 @@
+// Package stream maintains a CSR graph under a stream of edge additions
+// and deletions — the paper's motivating scenario of networks that change
+// "due to graph evolution" faster than they can be recompressed, and the
+// streaming setting of the authors' prior work (refs [3], [4]).
+//
+// CSR is a static format: one inserted edge shifts the whole neighbor
+// array. The Builder therefore buffers updates and folds them in batch:
+// Flush merges the pending additions and deletions into every affected
+// row in parallel and rebuilds the offset array with the parallel prefix
+// sum — the same machinery as initial construction, amortized over the
+// batch.
+package stream
+
+import (
+	"sync"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/prefixsum"
+)
+
+// Builder accumulates edge updates against a base CSR. It is safe for
+// concurrent use; Flush and Snapshot serialize against updates.
+type Builder struct {
+	mu       sync.Mutex
+	base     *csr.Matrix
+	numNodes int
+	procs    int
+	adds     map[edgelist.Edge]struct{}
+	dels     map[edgelist.Edge]struct{}
+}
+
+// NewBuilder starts from an existing CSR (may be nil for an empty graph).
+// numNodes fixes the current node-id space; additions may extend it.
+func NewBuilder(base *csr.Matrix, numNodes, procs int) *Builder {
+	if base == nil {
+		base = &csr.Matrix{RowOffsets: make([]uint32, numNodes+1)}
+	}
+	if n := base.NumNodes(); n > numNodes {
+		numNodes = n
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	return &Builder{
+		base:     base,
+		numNodes: numNodes,
+		procs:    procs,
+		adds:     make(map[edgelist.Edge]struct{}),
+		dels:     make(map[edgelist.Edge]struct{}),
+	}
+}
+
+// Add buffers edge insertions. Adding an edge cancels a pending deletion
+// of it.
+func (b *Builder) Add(edges ...edgelist.Edge) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range edges {
+		delete(b.dels, e)
+		b.adds[e] = struct{}{}
+		if int(e.U) >= b.numNodes {
+			b.numNodes = int(e.U) + 1
+		}
+		if int(e.V) >= b.numNodes {
+			b.numNodes = int(e.V) + 1
+		}
+	}
+}
+
+// Delete buffers edge removals. Deleting an edge cancels a pending
+// insertion of it.
+func (b *Builder) Delete(edges ...edgelist.Edge) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range edges {
+		delete(b.adds, e)
+		b.dels[e] = struct{}{}
+	}
+}
+
+// Pending returns the buffered addition and deletion counts.
+func (b *Builder) Pending() (adds, dels int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.adds), len(b.dels)
+}
+
+// NumNodes returns the current node-id space (including buffered nodes).
+func (b *Builder) NumNodes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.numNodes
+}
+
+// Flush folds all pending updates into the base CSR and returns it. After
+// Flush the pending buffers are empty. The merge is row-parallel:
+// additions are grouped per source, each affected row is merged (base ∪
+// adds) \ dels, untouched rows are reused as views, and the offsets are
+// rebuilt with the parallel prefix sum.
+func (b *Builder) Flush() *csr.Matrix {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.adds) == 0 && len(b.dels) == 0 && b.base.NumNodes() == b.numNodes {
+		return b.base
+	}
+	n := b.numNodes
+	// Group pending updates by source row.
+	addRows := make(map[uint32][]uint32, len(b.adds))
+	for e := range b.adds {
+		addRows[e.U] = append(addRows[e.U], e.V)
+	}
+	delRows := make(map[uint32]map[uint32]struct{}, len(b.dels))
+	for e := range b.dels {
+		set := delRows[e.U]
+		if set == nil {
+			set = make(map[uint32]struct{})
+			delRows[e.U] = set
+		}
+		set[e.V] = struct{}{}
+	}
+	rows := make([][]uint32, n)
+	baseN := b.base.NumNodes()
+	parallel.For(n, b.procs, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			var baseRow []uint32
+			if u < baseN {
+				baseRow = b.base.Neighbors(uint32(u))
+			}
+			adds, hasAdds := addRows[uint32(u)]
+			dels := delRows[uint32(u)]
+			if !hasAdds && dels == nil {
+				rows[u] = baseRow // view, no copy
+				continue
+			}
+			if hasAdds {
+				sortUint32(adds)
+			}
+			rows[u] = mergeRow(baseRow, adds, dels)
+		}
+	})
+	deg := make([]uint32, n)
+	parallel.For(n, b.procs, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			deg[u] = uint32(len(rows[u]))
+		}
+	})
+	off := prefixsum.Offsets(deg, b.procs)
+	cols := make([]uint32, off[n])
+	parallel.For(n, b.procs, func(_ int, r parallel.Range) {
+		for u := r.Start; u < r.End; u++ {
+			copy(cols[off[u]:off[u+1]], rows[u])
+		}
+	})
+	b.base = &csr.Matrix{RowOffsets: off, Cols: cols}
+	b.adds = make(map[edgelist.Edge]struct{})
+	b.dels = make(map[edgelist.Edge]struct{})
+	return b.base
+}
+
+// Snapshot flushes and returns the current CSR.
+func (b *Builder) Snapshot() *csr.Matrix { return b.Flush() }
+
+// HasEdge answers an existence query against the logical current state
+// (base plus pending updates) without flushing.
+func (b *Builder) HasEdge(u, v edgelist.NodeID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := edgelist.Edge{U: u, V: v}
+	if _, ok := b.adds[e]; ok {
+		return true
+	}
+	if _, ok := b.dels[e]; ok {
+		return false
+	}
+	if int(u) >= b.base.NumNodes() {
+		return false
+	}
+	return b.base.HasEdgeBinary(u, v)
+}
+
+// mergeRow returns (base ∪ adds) \ dels as a sorted deduplicated slice.
+// base and adds must be sorted.
+func mergeRow(base, adds []uint32, dels map[uint32]struct{}) []uint32 {
+	out := make([]uint32, 0, len(base)+len(adds))
+	i, j := 0, 0
+	push := func(v uint32) {
+		if _, dead := dels[v]; dead {
+			return
+		}
+		if len(out) > 0 && out[len(out)-1] == v {
+			return
+		}
+		out = append(out, v)
+	}
+	for i < len(base) && j < len(adds) {
+		switch {
+		case base[i] == adds[j]:
+			push(base[i])
+			i++
+			j++
+		case base[i] < adds[j]:
+			push(base[i])
+			i++
+		default:
+			push(adds[j])
+			j++
+		}
+	}
+	for ; i < len(base); i++ {
+		push(base[i])
+	}
+	for ; j < len(adds); j++ {
+		push(adds[j])
+	}
+	return out
+}
+
+// sortUint32 sorts ascending in place (rows in one batch are short;
+// insertion sort with a shell gap handles the occasional long one).
+func sortUint32(xs []uint32) {
+	for gap := len(xs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(xs); i++ {
+			for j := i; j >= gap && xs[j] < xs[j-gap]; j -= gap {
+				xs[j], xs[j-gap] = xs[j-gap], xs[j]
+			}
+		}
+	}
+}

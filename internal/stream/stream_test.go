@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+)
+
+func baseCSR() *csr.Matrix {
+	l := edgelist.List{{U: 0, V: 1}, {U: 0, V: 3}, {U: 1, V: 2}}
+	return csr.Build(l, 4, 1)
+}
+
+func TestFlushAdds(t *testing.T) {
+	b := NewBuilder(baseCSR(), 4, 2)
+	b.Add(edgelist.Edge{U: 0, V: 2}, edgelist.Edge{U: 2, V: 0})
+	m := b.Flush()
+	if !reflect.DeepEqual(m.Neighbors(0), []uint32{1, 2, 3}) {
+		t.Fatalf("Neighbors(0) = %v", m.Neighbors(0))
+	}
+	if !m.HasEdge(2, 0) {
+		t.Fatal("added edge missing")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a, d := b.Pending(); a != 0 || d != 0 {
+		t.Fatal("pending not cleared")
+	}
+}
+
+func TestFlushDeletes(t *testing.T) {
+	b := NewBuilder(baseCSR(), 4, 2)
+	b.Delete(edgelist.Edge{U: 0, V: 3})
+	m := b.Flush()
+	if m.HasEdge(0, 3) {
+		t.Fatal("deleted edge survived")
+	}
+	if !reflect.DeepEqual(m.Neighbors(0), []uint32{1}) {
+		t.Fatalf("Neighbors(0) = %v", m.Neighbors(0))
+	}
+}
+
+func TestAddCancelsDeleteAndViceVersa(t *testing.T) {
+	b := NewBuilder(baseCSR(), 4, 1)
+	e := edgelist.Edge{U: 0, V: 1}
+	b.Delete(e)
+	b.Add(e)
+	if !b.Flush().HasEdge(0, 1) {
+		t.Fatal("add after delete should keep the edge")
+	}
+	b.Add(edgelist.Edge{U: 3, V: 0})
+	b.Delete(edgelist.Edge{U: 3, V: 0})
+	if b.Flush().HasEdge(3, 0) {
+		t.Fatal("delete after add should drop the edge")
+	}
+}
+
+func TestNodeSpaceGrowth(t *testing.T) {
+	b := NewBuilder(baseCSR(), 4, 2)
+	b.Add(edgelist.Edge{U: 9, V: 0})
+	if b.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", b.NumNodes())
+	}
+	m := b.Flush()
+	if m.NumNodes() != 10 || !m.HasEdge(9, 0) {
+		t.Fatal("flush did not grow node space")
+	}
+}
+
+func TestNilBase(t *testing.T) {
+	b := NewBuilder(nil, 3, 2)
+	b.Add(edgelist.Edge{U: 0, V: 2})
+	m := b.Flush()
+	if m.NumNodes() != 3 || !m.HasEdge(0, 2) {
+		t.Fatal("nil base flush wrong")
+	}
+}
+
+func TestHasEdgeUnflushed(t *testing.T) {
+	b := NewBuilder(baseCSR(), 4, 1)
+	if !b.HasEdge(0, 1) {
+		t.Fatal("base edge invisible")
+	}
+	b.Add(edgelist.Edge{U: 2, V: 3})
+	if !b.HasEdge(2, 3) {
+		t.Fatal("pending add invisible")
+	}
+	b.Delete(edgelist.Edge{U: 0, V: 1})
+	if b.HasEdge(0, 1) {
+		t.Fatal("pending delete invisible")
+	}
+	if b.HasEdge(99, 0) {
+		t.Fatal("out-of-range node must be edgeless")
+	}
+}
+
+func TestFlushNoopReturnsSameMatrix(t *testing.T) {
+	base := baseCSR()
+	b := NewBuilder(base, 4, 1)
+	if b.Flush() != base {
+		t.Fatal("no-op flush should return the base unchanged")
+	}
+}
+
+func TestDeleteNonexistentIsNoop(t *testing.T) {
+	b := NewBuilder(baseCSR(), 4, 2)
+	b.Delete(edgelist.Edge{U: 3, V: 3})
+	m := b.Flush()
+	if m.NumEdges() != 3 {
+		t.Fatalf("edge count changed: %d", m.NumEdges())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	b := NewBuilder(nil, 100, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Add(edgelist.Edge{U: uint32(w), V: uint32(i % 100)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := b.Flush()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 8; w++ {
+		if m.Degree(uint32(w)) != 100 {
+			t.Fatalf("row %d degree = %d, want 100", w, m.Degree(uint32(w)))
+		}
+	}
+}
+
+// Property: a random interleaving of adds and deletes flushed in batches
+// equals the set-based reference.
+func TestQuickStreamMatchesSet(t *testing.T) {
+	f := func(ops []uint16, flushMask uint8) bool {
+		const n = 20
+		b := NewBuilder(nil, n, 2)
+		ref := map[edgelist.Edge]struct{}{}
+		for i := 0; i+2 < len(ops); i += 3 {
+			e := edgelist.Edge{U: uint32(ops[i]) % n, V: uint32(ops[i+1]) % n}
+			if ops[i+2]%2 == 0 {
+				b.Add(e)
+				ref[e] = struct{}{}
+			} else {
+				b.Delete(e)
+				delete(ref, e)
+			}
+			if ops[i+2]%uint16(flushMask|1) == 0 {
+				b.Flush() // intermediate flushes must not change semantics
+			}
+		}
+		m := b.Flush()
+		if m.NumEdges() != len(ref) {
+			return false
+		}
+		for e := range ref {
+			if !m.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeBatchMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	var l edgelist.List
+	for i := 0; i < 5000; i++ {
+		l = append(l, edgelist.Edge{U: rng.Uint32() % 500, V: rng.Uint32() % 500})
+	}
+	l.SortByUV(1)
+	l = l.Dedup()
+	base := csr.Build(l, 500, 2)
+	b := NewBuilder(base, 500, 4)
+	// Delete a third of the edges, add a fresh batch.
+	ref := map[edgelist.Edge]struct{}{}
+	for _, e := range l {
+		ref[e] = struct{}{}
+	}
+	for i, e := range l {
+		if i%3 == 0 {
+			b.Delete(e)
+			delete(ref, e)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		e := edgelist.Edge{U: rng.Uint32() % 500, V: rng.Uint32() % 500}
+		b.Add(e)
+		ref[e] = struct{}{}
+	}
+	m := b.Flush()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEdges() != len(ref) {
+		t.Fatalf("edges = %d, want %d", m.NumEdges(), len(ref))
+	}
+	for e := range ref {
+		if !m.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v missing after merge", e)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package tcsr
+
+import (
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/edgelist"
+)
+
+func checkpointFixture(t *testing.T) (*Temporal, edgelist.TemporalList) {
+	t.Helper()
+	events := randomEvents(1200, 40, 24, 77)
+	tc, err := BuildFromEvents(events, 40, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc, events
+}
+
+func TestCheckpointedMatchesPlain(t *testing.T) {
+	tc, _ := checkpointFixture(t)
+	for _, interval := range []int{1, 3, 5, 24, 100} {
+		ck, err := NewCheckpointed(tc, interval, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := uint32(0); u < 40; u += 3 {
+			for v := uint32(0); v < 40; v += 7 {
+				for tf := 0; tf < 24; tf += 5 {
+					if ck.Active(u, v, tf) != tc.Active(u, v, tf) {
+						t.Fatalf("interval=%d: Active(%d,%d,%d) diverges", interval, u, v, tf)
+					}
+				}
+			}
+		}
+		for u := uint32(0); u < 40; u += 11 {
+			for tf := 0; tf < 24; tf += 6 {
+				if !reflect.DeepEqual(ck.ActiveNeighbors(u, tf), tc.ActiveNeighbors(u, tf)) {
+					t.Fatalf("interval=%d: ActiveNeighbors(%d,%d) diverges", interval, u, tf)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointedSpaceGrowsWithDensity(t *testing.T) {
+	tc, _ := checkpointFixture(t)
+	ck1, _ := NewCheckpointed(tc, 1, 2) // checkpoint every frame
+	ck8, _ := NewCheckpointed(tc, 8, 2) // sparse checkpoints
+	if ck1.SizeBytes() <= ck8.SizeBytes() {
+		t.Fatalf("denser checkpoints should cost more: %d vs %d", ck1.SizeBytes(), ck8.SizeBytes())
+	}
+	if ck8.SizeBytes() <= tc.SizeBytes() {
+		t.Fatal("checkpoints must add space over the pure differential")
+	}
+}
+
+func TestCheckpointedErrors(t *testing.T) {
+	tc, _ := checkpointFixture(t)
+	if _, err := NewCheckpointed(tc, 0, 2); err == nil {
+		t.Fatal("want error for interval 0")
+	}
+	ck, _ := NewCheckpointed(tc, 4, 2)
+	if ck.Interval() != 4 || ck.NumFrames() != 24 {
+		t.Fatal("metadata wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range frame")
+		}
+	}()
+	ck.Active(0, 1, 99)
+}
+
+func TestCheckpointedEmptyTemporal(t *testing.T) {
+	tc, err := BuildFromEvents(nil, 5, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := NewCheckpointed(tc, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.NumFrames() != 0 || ck.SizeBytes() != 0 {
+		t.Fatal("empty checkpointed structure wrong")
+	}
+}
+
+func TestActiveBatch(t *testing.T) {
+	tc, _ := checkpointFixture(t)
+	pt := tc.Pack(2)
+	queries := make([]ActivityQuery, 0, 200)
+	for u := uint32(0); u < 40; u += 2 {
+		for tf := 0; tf < 24; tf += 3 {
+			queries = append(queries, ActivityQuery{U: u, V: (u + 1) % 40, T: tf})
+		}
+	}
+	for _, p := range []int{1, 4, 16} {
+		got := pt.ActiveBatch(queries, p)
+		got2 := tc.ActiveBatch(queries, p)
+		for i, q := range queries {
+			want := tc.Active(q.U, q.V, q.T)
+			if got[i] != want || got2[i] != want {
+				t.Fatalf("p=%d: batch result %d diverges", p, i)
+			}
+		}
+	}
+}
+
+func TestActiveNeighborsBatch(t *testing.T) {
+	tc, _ := checkpointFixture(t)
+	pt := tc.Pack(2)
+	queries := []NeighborQuery{{U: 0, T: 0}, {U: 5, T: 10}, {U: 39, T: 23}}
+	for _, p := range []int{1, 3} {
+		got := pt.ActiveNeighborsBatch(queries, p)
+		for i, q := range queries {
+			want := tc.ActiveNeighbors(q.U, q.T)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("p=%d: neighbor batch %d = %v, want %v", p, i, got[i], want)
+			}
+		}
+	}
+}

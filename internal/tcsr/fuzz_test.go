@@ -1,0 +1,48 @@
+package tcsr
+
+import (
+	"bytes"
+	"testing"
+
+	"csrgraph/internal/edgelist"
+)
+
+// FuzzReadPacked: the temporal file reader must reject corrupt input with
+// an error, never a panic, and accepted input must be safely queryable.
+func FuzzReadPacked(f *testing.F) {
+	events := edgelist.TemporalList{
+		{U: 0, V: 1, T: 0}, {U: 1, V: 2, T: 1}, {U: 0, V: 1, T: 2},
+	}
+	tc, err := BuildFromEvents(events, 3, 3, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tc.Pack(1).WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:10])
+	flipped := append([]byte{}, good...)
+	flipped[6] ^= 0x7F
+	f.Add(flipped)
+	f.Add([]byte("TCSR"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt, err := ReadPacked(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		frames := pt.NumFrames()
+		if frames == 0 {
+			return
+		}
+		nodes := pt.NumNodes()
+		for u := 0; u < nodes && u < 16; u++ {
+			_ = pt.ActiveNeighbors(uint32(u), frames-1)
+		}
+		if nodes > 0 {
+			_ = pt.Active(0, 0, frames-1)
+		}
+	})
+}

@@ -1,0 +1,332 @@
+// Package tcsr implements Section IV of the paper: parallel construction of
+// the time-evolving differential CSR (the paper's TPCSR/TCSR).
+//
+// A time-evolving graph is a sequence of frames. The paper's input is a
+// time-sorted list of (u, v, t) triples where a triple means edge (u, v)
+// *changed state* at frame t — "if the edge appears again later in another
+// time-frame, the edge is considered to be deactivated". The stored form is
+// differential: frame 0 is an absolute CSR snapshot, every later frame is a
+// CSR of the edges that toggled in that frame. An edge is active at frame t
+// iff it occurs an odd number of times in frames 0..t (the parity rule of
+// Section IV).
+//
+// Construction is parallel in two ways, mirroring Algorithm 5:
+//
+//   - from a toggle-event stream, the event list is divided among p
+//     processors, each builds CSRs for the frames inside its chunk, and
+//     frames that straddle a chunk boundary are merged afterwards ("merge
+//     overflowing CSRs between chunks") — see BuildFromEvents;
+//   - from a series of absolute snapshots, the differential pass runs over
+//     chunks of frames exactly like the chunked prefix sum (Figure 5): each
+//     chunk differences its interior frame pairs locally, and the one
+//     boundary pair per chunk is handled after the barrier — see
+//     BuildFromSnapshots.
+package tcsr
+
+import (
+	"fmt"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/parallel"
+)
+
+// Temporal is the differential time-evolving CSR. Frame 0 holds the
+// absolute snapshot at t=0; frame i>0 holds the toggle set between frame
+// i-1 and frame i. Both are plain CSR matrices; Pack converts them to the
+// bit-packed form Algorithm 5 returns.
+type Temporal struct {
+	numNodes int
+	frames   []*csr.Matrix
+}
+
+// NumFrames returns the number of time-frames.
+func (tc *Temporal) NumFrames() int { return len(tc.frames) }
+
+// NumNodes returns the node-id space size.
+func (tc *Temporal) NumNodes() int { return tc.numNodes }
+
+// Frame returns the raw differential CSR of frame t (frame 0 is absolute).
+func (tc *Temporal) Frame(t int) *csr.Matrix { return tc.frames[t] }
+
+// BuildFromEvents constructs the differential TCSR from a (t, u, v)-sorted
+// toggle-event list using p processors. Because the events of one frame are
+// already the frame's toggle set, the differential form is the per-frame
+// event CSRs themselves; parallelism divides the event list into chunks,
+// builds each chunk's frame CSRs privately, and merges the at-most-one
+// frame that overlaps each chunk boundary.
+func BuildFromEvents(events edgelist.TemporalList, numNodes, numFrames, p int) (*Temporal, error) {
+	if !events.IsSorted() {
+		return nil, fmt.Errorf("tcsr: event list must be sorted by (t, u, v)")
+	}
+	if nf := events.NumFrames(); nf > numFrames {
+		numFrames = nf
+	}
+	if numFrames == 0 {
+		return &Temporal{numNodes: numNodes}, nil
+	}
+	// Slice the event list by frame. Frame starts are found per chunk in
+	// parallel; a frame spanning a boundary is detected because both chunks
+	// see part of it — exactly the overlap Algorithm 5 merges. Here the
+	// merge is positional: the frame's full extent is the union of the
+	// parts, computed from the per-chunk first/last frame markers.
+	bounds := frameBounds(events, numFrames, p)
+	frames := make([]*csr.Matrix, numFrames)
+	parallel.ForEach(numFrames, p, func(t int) {
+		part := events[bounds[t]:bounds[t+1]]
+		frameEdges := make(edgelist.List, len(part))
+		for i, ev := range part {
+			frameEdges[i] = edgelist.Edge{U: ev.U, V: ev.V}
+		}
+		// Events within a frame are (u, v)-sorted by the input invariant.
+		frames[t] = csr.BuildSequential(frameEdges, numNodes)
+	})
+	return &Temporal{numNodes: numNodes, frames: frames}, nil
+}
+
+// frameBounds computes, in parallel over p chunks of the event list, the
+// start index of every frame: bounds[t] is the first event with frame >= t,
+// bounds[numFrames] = len(events).
+func frameBounds(events edgelist.TemporalList, numFrames, p int) []int {
+	bounds := make([]int, numFrames+1)
+	for t := range bounds {
+		bounds[t] = -1
+	}
+	bounds[numFrames] = len(events)
+	chunks := parallel.Chunks(len(events), p)
+	parallel.For(len(events), len(chunks), func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			// The first event of a frame is where the frame id changes; only
+			// the chunk containing that position writes the bound, so the
+			// writes are disjoint.
+			if i == 0 || events[i].T != events[i-1].T {
+				bounds[events[i].T] = i
+			}
+		}
+	})
+	// Frames with no events get the next frame's start (empty range). Walk
+	// backwards filling gaps; frame 0 with no events starts at 0.
+	for t := numFrames - 1; t >= 0; t-- {
+		if bounds[t] < 0 {
+			bounds[t] = bounds[t+1]
+		}
+	}
+	return bounds
+}
+
+// BuildFromSnapshots constructs the differential TCSR from a series of
+// absolute per-frame edge sets (each sorted by (u, v)). This is the
+// Figure 5 pipeline: frames are divided into p chunks; each processor
+// differences the consecutive frame pairs interior to its chunk; the first
+// frame of every chunk is differenced against the last frame of the
+// previous chunk after the barrier (the carry propagation step); chunk 0's
+// first frame is kept absolute.
+func BuildFromSnapshots(snapshots []edgelist.List, numNodes, p int) *Temporal {
+	frames := make([]*csr.Matrix, len(snapshots))
+	if len(snapshots) == 0 {
+		return &Temporal{numNodes: numNodes}
+	}
+	chunks := parallel.Chunks(len(snapshots), p)
+	team := parallel.NewTeam(len(chunks))
+	team.Run(func(w *parallel.Worker) {
+		r := chunks[w.ID()]
+		// Interior pairs: frame i differenced against frame i-1.
+		for t := r.Start + 1; t < r.End; t++ {
+			frames[t] = csr.BuildSequential(symmetricDiff(snapshots[t-1], snapshots[t]), numNodes)
+		}
+		w.Sync()
+		// Boundary: the chunk's first frame. Chunk 0 keeps it absolute; the
+		// rest difference it against the predecessor chunk's last snapshot,
+		// which is read-only input, so no further synchronization is needed
+		// after the barrier.
+		if w.ID() == 0 {
+			frames[0] = csr.BuildSequential(snapshots[0], numNodes)
+		} else {
+			frames[r.Start] = csr.BuildSequential(symmetricDiff(snapshots[r.Start-1], snapshots[r.Start]), numNodes)
+		}
+	})
+	return &Temporal{numNodes: numNodes, frames: frames}
+}
+
+// symmetricDiff returns the sorted symmetric difference of two sorted edge
+// lists: the toggle set that transforms a into b.
+func symmetricDiff(a, b edgelist.List) edgelist.List {
+	out := make(edgelist.List, 0)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i].Less(b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Snapshot reconstructs the absolute sorted edge list active at frame t by
+// folding the differential frames 0..t with the parity rule: an edge is
+// active iff it occurs an odd number of times.
+func (tc *Temporal) Snapshot(t int) edgelist.List {
+	if t < 0 || t >= len(tc.frames) {
+		panic(fmt.Sprintf("tcsr: frame %d out of range [0,%d)", t, len(tc.frames)))
+	}
+	cur := tc.frames[0].Edges()
+	for i := 1; i <= t; i++ {
+		cur = symmetricDiff(cur, tc.frames[i].Edges())
+	}
+	return cur
+}
+
+// SnapshotParallel reconstructs the absolute edge list at frame t with p
+// processors: the differential frames 0..t are folded with a parallel tree
+// reduction — symmetric difference is associative and commutative under
+// the parity rule, so chunks of frames reduce independently and the chunk
+// results merge pairwise, mirroring how Figure 5's construction divides
+// frames among processors.
+func (tc *Temporal) SnapshotParallel(t, p int) edgelist.List {
+	if t < 0 || t >= len(tc.frames) {
+		panic(fmt.Sprintf("tcsr: frame %d out of range [0,%d)", t, len(tc.frames)))
+	}
+	chunks := parallel.Chunks(t+1, p)
+	if len(chunks) <= 1 {
+		return tc.Snapshot(t)
+	}
+	partials := make([]edgelist.List, len(chunks))
+	parallel.For(t+1, len(chunks), func(c int, r parallel.Range) {
+		cur := tc.frames[r.Start].Edges()
+		for i := r.Start + 1; i < r.End; i++ {
+			cur = symmetricDiff(cur, tc.frames[i].Edges())
+		}
+		partials[c] = cur
+	})
+	// Pairwise reduction rounds over the chunk partials.
+	for len(partials) > 1 {
+		half := (len(partials) + 1) / 2
+		next := make([]edgelist.List, half)
+		parallel.ForEach(half, p, func(i int) {
+			if 2*i+1 < len(partials) {
+				next[i] = symmetricDiff(partials[2*i], partials[2*i+1])
+			} else {
+				next[i] = partials[2*i]
+			}
+		})
+		partials = next
+	}
+	return partials[0]
+}
+
+// Active reports whether edge (u, v) is active at frame t: the parity of
+// its occurrence count over differential frames 0..t. Each frame lookup is
+// a binary search over that frame's CSR row.
+func (tc *Temporal) Active(u, v edgelist.NodeID, t int) bool {
+	if t < 0 || t >= len(tc.frames) {
+		panic(fmt.Sprintf("tcsr: frame %d out of range [0,%d)", t, len(tc.frames)))
+	}
+	count := 0
+	for i := 0; i <= t; i++ {
+		if int(u) < tc.frames[i].NumNodes() && tc.frames[i].HasEdgeBinary(u, v) {
+			count++
+		}
+	}
+	return count%2 == 1
+}
+
+// ActiveNeighbors returns the sorted neighbors of u active at frame t, by
+// parity-merging u's rows across differential frames 0..t.
+func (tc *Temporal) ActiveNeighbors(u edgelist.NodeID, t int) []uint32 {
+	if t < 0 || t >= len(tc.frames) {
+		panic(fmt.Sprintf("tcsr: frame %d out of range [0,%d)", t, len(tc.frames)))
+	}
+	parity := make(map[uint32]int)
+	for i := 0; i <= t; i++ {
+		if int(u) >= tc.frames[i].NumNodes() {
+			continue
+		}
+		for _, v := range tc.frames[i].Neighbors(u) {
+			parity[v]++
+		}
+	}
+	out := make([]uint32, 0, len(parity))
+	for v, c := range parity {
+		if c%2 == 1 {
+			out = append(out, v)
+		}
+	}
+	sortUint32(out)
+	return out
+}
+
+func sortUint32(xs []uint32) {
+	// Insertion sort is fine for typical row sizes; fall back to a simple
+	// quicksort for long rows.
+	if len(xs) < 32 {
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		return
+	}
+	quickSortUint32(xs)
+}
+
+func quickSortUint32(xs []uint32) {
+	for len(xs) > 16 {
+		pivot := xs[len(xs)/2]
+		i, j := 0, len(xs)-1
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if j > len(xs)-i {
+			quickSortUint32(xs[i:])
+			xs = xs[:j+1]
+		} else {
+			quickSortUint32(xs[:j+1])
+			xs = xs[i:]
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// SizeBytes returns the total uncompressed differential footprint.
+func (tc *Temporal) SizeBytes() int64 {
+	var total int64
+	for _, f := range tc.frames {
+		total += f.SizeBytes()
+	}
+	return total
+}
+
+// FullSnapshotSizeBytes returns what storing every frame as an absolute CSR
+// would cost — the "space-consuming" baseline Section IV motivates the
+// differential form against.
+func (tc *Temporal) FullSnapshotSizeBytes() int64 {
+	var total int64
+	for t := range tc.frames {
+		snap := tc.Snapshot(t)
+		total += int64(len(tc.frames[t].RowOffsets))*4 + int64(len(snap))*4
+	}
+	return total
+}

@@ -1,0 +1,49 @@
+package csrgraph
+
+import (
+	"csrgraph/internal/stream"
+)
+
+// StreamBuilder maintains a graph under a stream of edge additions and
+// deletions, folding them into the CSR in parallel batches — the paper's
+// graph-evolution setting. It is safe for concurrent use.
+type StreamBuilder struct {
+	b     *stream.Builder
+	procs int
+}
+
+// NewStreamBuilder starts an empty evolving graph.
+func NewStreamBuilder(opts ...Option) *StreamBuilder {
+	c := buildConfig(opts)
+	return &StreamBuilder{b: stream.NewBuilder(nil, c.numNodes, c.procs), procs: c.procs}
+}
+
+// StreamFrom starts an evolving graph from an existing Graph.
+func StreamFrom(g *Graph, opts ...Option) *StreamBuilder {
+	c := buildConfig(opts)
+	n := c.numNodes
+	if g.NumNodes() > n {
+		n = g.NumNodes()
+	}
+	return &StreamBuilder{b: stream.NewBuilder(g.m, n, c.procs), procs: c.procs}
+}
+
+// Add buffers edge insertions.
+func (s *StreamBuilder) Add(edges ...Edge) { s.b.Add(edges...) }
+
+// Delete buffers edge removals.
+func (s *StreamBuilder) Delete(edges ...Edge) { s.b.Delete(edges...) }
+
+// Pending returns the buffered addition and deletion counts.
+func (s *StreamBuilder) Pending() (adds, dels int) { return s.b.Pending() }
+
+// HasEdge answers against the logical state (base plus pending updates)
+// without flushing.
+func (s *StreamBuilder) HasEdge(u, v NodeID) bool { return s.b.HasEdge(u, v) }
+
+// Snapshot folds all pending updates in parallel and returns the current
+// graph. The returned Graph is immutable; later updates do not affect it
+// until the next Snapshot.
+func (s *StreamBuilder) Snapshot() *Graph {
+	return &Graph{m: s.b.Flush(), procs: s.procs}
+}

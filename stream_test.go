@@ -1,0 +1,60 @@
+package csrgraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStreamBuilderPublic(t *testing.T) {
+	s := NewStreamBuilder(WithProcs(2), WithNumNodes(5))
+	s.Add(Edge{U: 0, V: 1}, Edge{U: 1, V: 2})
+	if !s.HasEdge(0, 1) {
+		t.Fatal("pending edge invisible")
+	}
+	g := s.Snapshot()
+	if g.NumEdges() != 2 || !g.HasEdge(1, 2) {
+		t.Fatal("snapshot wrong")
+	}
+	// Snapshot is immutable against later updates.
+	s.Delete(Edge{U: 0, V: 1})
+	if !g.HasEdge(0, 1) {
+		t.Fatal("old snapshot mutated")
+	}
+	g2 := s.Snapshot()
+	if g2.HasEdge(0, 1) {
+		t.Fatal("delete not applied")
+	}
+}
+
+func TestStreamFromExistingGraph(t *testing.T) {
+	g, err := Build([]Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StreamFrom(g, WithProcs(2))
+	s.Add(Edge{U: 2, V: 0})
+	g2 := s.Snapshot()
+	if !g2.HasEdge(2, 0) || !g2.HasEdge(0, 1) {
+		t.Fatal("merge with base failed")
+	}
+	if got := g2.Neighbors(2); !reflect.DeepEqual(got, []uint32{0}) {
+		t.Fatalf("Neighbors(2) = %v", got)
+	}
+	if a, d := s.Pending(); a != 0 || d != 0 {
+		t.Fatal("pending not drained")
+	}
+}
+
+func TestStreamSnapshotFeedsAnalytics(t *testing.T) {
+	s := NewStreamBuilder(WithProcs(2))
+	s.Add(Edge{U: 0, V: 1}, Edge{U: 1, V: 0}, Edge{U: 1, V: 2}, Edge{U: 2, V: 1})
+	g := s.Snapshot()
+	dist := g.BFS(0, 2)
+	if dist[2] != 2 {
+		t.Fatalf("dist = %v", dist)
+	}
+	cg := g.Compress()
+	if cg.NumEdges() != 4 {
+		t.Fatal("compression of streamed graph failed")
+	}
+}

@@ -1,0 +1,35 @@
+package csrgraph
+
+import "csrgraph/internal/gen"
+
+// Synthetic workload generators, exposed so applications and examples can
+// produce realistic inputs without external datasets. All generators are
+// deterministic for a fixed seed.
+
+// GenerateRMAT returns numEdges directed edges over a 2^scale node space
+// with Graph500's social-network R-MAT parameters: heavy-tailed degrees
+// like LiveJournal/Pokec/Orkut. The result may contain duplicates and
+// self-loops, like a raw crawl; Build handles both.
+func GenerateRMAT(scale, numEdges int, seed uint64, procs int) ([]Edge, error) {
+	return gen.RMAT(scale, numEdges, gen.DefaultRMAT, seed, orDefault(procs, 1))
+}
+
+// GeneratePowerLaw returns numEdges edges over numNodes nodes whose degree
+// distribution follows a power law with the given exponent (2.1-2.5 is
+// social-network-like).
+func GeneratePowerLaw(numNodes, numEdges int, gamma float64, seed uint64, procs int) ([]Edge, error) {
+	return gen.ChungLu(numNodes, numEdges, gamma, seed, orDefault(procs, 1))
+}
+
+// GenerateUniform returns numEdges uniformly random directed edges over
+// numNodes nodes (an Erdős-Rényi-style graph).
+func GenerateUniform(numNodes, numEdges int, seed uint64, procs int) ([]Edge, error) {
+	return gen.ErdosRenyi(numNodes, numEdges, seed, orDefault(procs, 1))
+}
+
+// GenerateTemporal returns a sorted toggle-event stream: baseEdges edges
+// at frame 0, then churnEdges toggles (additions, deletions and
+// re-additions) per later frame.
+func GenerateTemporal(numNodes, baseEdges, churnEdges, numFrames int, seed uint64, procs int) ([]TemporalEdge, error) {
+	return gen.TemporalStream(numNodes, baseEdges, churnEdges, numFrames, seed, orDefault(procs, 1))
+}
