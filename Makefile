@@ -3,15 +3,26 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-quick fuzz experiments clean
+# Benchmark time per sub-benchmark for the bench-json snapshot; raise for
+# lower-variance trajectory points.
+BENCHTIME ?= 100ms
 
-all: build vet test
+.PHONY: all build test test-race race vet fmt bench bench-quick bench-json fuzz experiments clean
+
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Race-detect the concurrency hot spots on every verify pass: the parallel
+# worker pool, the batched query dispatch, and PackDirect's atomic-OR merge
+# are exactly the code the detector should be watching. `race` below covers
+# the whole tree but is too slow for the default loop.
+test-race:
+	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/...
 
 race:
 	$(GO) test -race ./...
@@ -30,8 +41,17 @@ bench:
 bench-quick:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# Snapshot the tier-1 benchmark suite (root package: Table II, Fig 6/7,
+# query throughput, ablations) as BENCH_<date>.json — one file per run, the
+# perf trajectory this repo accumulates. cmd/benchjson filters the -json
+# event stream down to benchmark results with all metrics.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . \
+		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
+
 # Short fuzzing pass over every fuzz target.
 fuzz:
+	$(GO) test -fuzz FuzzUnpackKernels -fuzztime 15s ./internal/bitarray/
 	$(GO) test -fuzz FuzzReadText -fuzztime 15s ./internal/edgelist/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/edgelist/
 	$(GO) test -fuzz FuzzReadTemporalText -fuzztime 15s ./internal/edgelist/

@@ -11,6 +11,10 @@
 //	BenchmarkQueryThroughput — Section V's motivation: batched query
 //	    throughput on compressed CSR versus the edge-list and
 //	    adjacency-list baselines.
+//	BenchmarkPackedRowDecode — the raw GetRowFromCSR hot loop the
+//	    width-specialized unpack kernels accelerate (see also
+//	    BenchmarkUnpackWidths in internal/bitarray and
+//	    BenchmarkParallelForOverhead in internal/parallel).
 //	BenchmarkScanAblation, BenchmarkEdgeExistenceAblation,
 //	BenchmarkTCSRConstruction — the DESIGN.md §5 ablations.
 //
@@ -157,6 +161,25 @@ func BenchmarkQueryThroughput(b *testing.B) {
 				query.EdgesExistBatchBinary(s.g, probes, 4)
 			}
 			b.ReportMetric(float64(nq)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkPackedRowDecode measures the raw packed-row decode loop —
+// GetRowFromCSR over every row, sequentially, no batching or result
+// copies — isolating the bit-unpack kernels from query dispatch. The
+// edges/s metric is rows' total neighbors decoded per second.
+func BenchmarkPackedRowDecode(b *testing.B) {
+	for _, inst := range benchSetup(b) {
+		pk := csr.BuildPacked(inst.Edges, inst.NumNodes, 4)
+		b.Run(inst.Spec.Name, func(b *testing.B) {
+			var buf []uint32
+			for i := 0; i < b.N; i++ {
+				for u := 0; u < pk.NumNodes(); u++ {
+					buf = pk.Row(buf, edgelist.NodeID(u))
+				}
+			}
+			b.ReportMetric(float64(pk.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
 		})
 	}
 }

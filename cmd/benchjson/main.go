@@ -1,0 +1,126 @@
+// Command benchjson converts a `go test -bench -json` event stream (stdin)
+// into a compact JSON array of benchmark results (stdout), one object per
+// benchmark with its iteration count and every reported metric (ns/op,
+// B/op, allocs/op, MB/s, and custom b.ReportMetric units). It backs the
+// `make bench-json` target that snapshots the tier-1 benchmark suite into
+// BENCH_<date>.json files, the repo's perf-trajectory record.
+//
+//	go test -run '^$' -bench . -benchmem -json . | benchjson > BENCH_2026-08-06.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event schema we consume.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results, err := run(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark results\n", results)
+}
+
+// run decodes the event stream from r and writes the JSON array to w,
+// returning the number of benchmark results emitted.
+func run(r io.Reader, w io.Writer) (int, error) {
+	// Output events may split lines arbitrarily, so buffer per package and
+	// parse complete lines at the end.
+	buffers := map[string]*strings.Builder{}
+	var order []string
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var ev testEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return 0, fmt.Errorf("decoding -json stream: %w", err)
+		}
+		if ev.Action != "output" || ev.Output == "" {
+			continue
+		}
+		buf, ok := buffers[ev.Package]
+		if !ok {
+			buf = &strings.Builder{}
+			buffers[ev.Package] = buf
+			order = append(order, ev.Package)
+		}
+		buf.WriteString(ev.Output)
+	}
+	var results []Result
+	for _, pkg := range order {
+		for _, line := range strings.Split(buffers[pkg].String(), "\n") {
+			if res, ok := parseBenchLine(pkg, line); ok {
+				results = append(results, res)
+			}
+		}
+	}
+	sortResults(results) // stable order for diffing trajectory files
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if results == nil {
+		results = []Result{} // emit [] rather than null
+	}
+	return len(results), enc.Encode(results)
+}
+
+// parseBenchLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op   3.5 queries/s
+//
+// returning ok=false for anything else (test chatter, headers, summaries).
+func parseBenchLine(pkg, line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		metrics[fields[i+1]] = val
+	}
+	if _, ok := metrics["ns/op"]; !ok {
+		return Result{}, false
+	}
+	return Result{Package: pkg, Name: fields[0], Iterations: iters, Metrics: metrics}, true
+}
+
+// sortResults orders results by package then name so successive snapshots
+// diff cleanly even when package scheduling reorders the stream.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Package != rs[j].Package {
+			return rs[i].Package < rs[j].Package
+		}
+		return rs[i].Name < rs[j].Name
+	})
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		want Result
+	}{
+		{
+			line: "BenchmarkUnpackWidths/kernel/w=8/aligned-4 \t 30285 \t 1978 ns/op \t 2070.26 MB/s",
+			ok:   true,
+			want: Result{Package: "p", Name: "BenchmarkUnpackWidths/kernel/w=8/aligned-4", Iterations: 30285,
+				Metrics: map[string]float64{"ns/op": 1978, "MB/s": 2070.26}},
+		},
+		{
+			line: "BenchmarkQueryThroughput/exists/packed-4 139 370612 ns/op 11052541 queries/s 12 B/op 3 allocs/op",
+			ok:   true,
+			want: Result{Package: "p", Name: "BenchmarkQueryThroughput/exists/packed-4", Iterations: 139,
+				Metrics: map[string]float64{"ns/op": 370612, "queries/s": 11052541, "B/op": 12, "allocs/op": 3}},
+		},
+		{line: "goos: linux", ok: false},
+		{line: "PASS", ok: false},
+		{line: "BenchmarkBroken abc 12 ns/op", ok: false},
+		{line: "BenchmarkNoMetric 100 fast", ok: false},
+		{line: "", ok: false},
+	}
+	for _, c := range cases {
+		got, ok := parseBenchLine("p", c.line)
+		if ok != c.ok {
+			t.Errorf("parse(%q): ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if got.Name != c.want.Name || got.Iterations != c.want.Iterations || len(got.Metrics) != len(c.want.Metrics) {
+			t.Errorf("parse(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+		for unit, val := range c.want.Metrics {
+			if got.Metrics[unit] != val {
+				t.Errorf("parse(%q): metric %q = %v, want %v", c.line, unit, got.Metrics[unit], val)
+			}
+		}
+	}
+}
+
+// TestRunEndToEnd feeds a synthetic `go test -json` stream, including an
+// Output event split mid-line, and checks the emitted JSON array.
+func TestRunEndToEnd(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"example/a"}`,
+		`{"Action":"output","Package":"example/a","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"example/a","Output":"BenchmarkFoo-4 \t 1000"}`,
+		`{"Action":"output","Package":"example/a","Output":" \t 250 ns/op \t 16 B/op \t 2 allocs/op\n"}`,
+		`{"Action":"output","Package":"example/b","Output":"BenchmarkBar-4 50 99.5 ns/op\n"}`,
+		`{"Action":"output","Package":"example/a","Output":"PASS\n"}`,
+		`{"Action":"pass","Package":"example/a"}`,
+	}, "\n")
+	var out strings.Builder
+	n, err := run(strings.NewReader(stream), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("run returned %d results, want 2", n)
+	}
+	var results []Result
+	if err := json.Unmarshal([]byte(out.String()), &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if results[0].Name != "BenchmarkFoo-4" || results[0].Metrics["ns/op"] != 250 || results[0].Metrics["allocs/op"] != 2 {
+		t.Errorf("unexpected first result: %+v", results[0])
+	}
+	if results[1].Package != "example/b" || results[1].Metrics["ns/op"] != 99.5 {
+		t.Errorf("unexpected second result: %+v", results[1])
+	}
+}
+
+// TestRunEmptyStream emits an empty array, not null.
+func TestRunEmptyStream(t *testing.T) {
+	var out strings.Builder
+	n, err := run(strings.NewReader(""), &out)
+	if err != nil || n != 0 {
+		t.Fatalf("run = (%d, %v), want (0, nil)", n, err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("empty stream output = %q, want []", got)
+	}
+}

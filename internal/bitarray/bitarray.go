@@ -152,6 +152,17 @@ func (a *Array) Uint(pos, width int) uint64 {
 	return hi<<rest | lo
 }
 
+// UintAligned reads `width` bits at position pos like Uint, but requires
+// that the value not straddle a word boundary — guaranteed whenever
+// 64%width == 0 and pos%width == 0, the invariant on the packed-CSR
+// random-access path. It skips Uint's range check and two-word branch; an
+// out-of-bounds word index still panics, but a caller violating the
+// no-straddle precondition gets garbage bits, so this is strictly an
+// internal fast path for checked callers.
+func (a *Array) UintAligned(pos, width int) uint64 {
+	return (a.words[pos>>6] >> (wordBits - width - (pos & 63))) & maskFor(width)
+}
+
 func maskFor(width int) uint64 {
 	if width >= 64 {
 		return ^uint64(0)

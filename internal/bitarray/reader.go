@@ -52,34 +52,3 @@ func (r *Reader) Seek(pos int) {
 	}
 	r.pos = pos
 }
-
-// UnpackUints bulk-decodes count fixed-width values (width in [1,32])
-// starting at bit pos into dst, which must have room. It is the hot path
-// of packed-CSR row decoding: a rolling 64-bit window over the backing
-// words replaces per-value bounds checks and shifts.
-func (a *Array) UnpackUints(dst []uint32, pos, width, count int) {
-	if count == 0 {
-		return
-	}
-	if width < 1 || width > 32 {
-		panic(fmt.Sprintf("bitarray: bulk width %d out of range [1,32]", width))
-	}
-	if pos < 0 || pos+width*count > a.n {
-		panic(fmt.Sprintf("bitarray: bulk range [%d,%d) out of bounds [0,%d)", pos, pos+width*count, a.n))
-	}
-	mask := uint64(1)<<width - 1
-	words := a.words
-	for i := 0; i < count; i++ {
-		w, off := pos/wordBits, pos%wordBits
-		room := wordBits - off
-		var v uint64
-		if width <= room {
-			v = words[w] >> (room - width)
-		} else {
-			rest := width - room
-			v = words[w]<<rest | words[w+1]>>(wordBits-rest)
-		}
-		dst[i] = uint32(v & mask)
-		pos += width
-	}
-}

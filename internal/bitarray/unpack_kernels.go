@@ -1,0 +1,287 @@
+// Width-specialized bulk unpack kernels — the decode hot path of the
+// bit-packed CSR (Section V's GetRowFromCSR runs through here for every
+// row of every batched query).
+//
+// UnpackUints dispatches on the bit width through a [33]-entry kernel
+// table. Widths that divide 64 evenly (1, 2, 4, 8, 16, 32) get dedicated
+// kernels that, once the cursor is word-aligned, decode a whole 64-bit
+// word per load — 64/width values with no per-value bounds logic and no
+// straddle branch (a value can only straddle a word boundary when its bit
+// offset is not a multiple of the width, which never happens on the CSR
+// path where element i lives at bit i*width). Every other width gets a
+// constant-width instantiation of the buffered rolling-window loop
+// (generated in unpack_kernels_widths.go), which loads each backing word
+// exactly once with the width folded into immediate shifts; the variable-
+// width unpackBuffered below backs the specialized kernels' unaligned-
+// start fallback.
+//
+// unpackGeneric is the original per-value loop, kept verbatim as the
+// reference implementation: the differential tests and FuzzUnpackKernels
+// assert every kernel agrees with it (and with per-value Uint reads) on
+// arbitrary widths, positions, and counts.
+package bitarray
+
+import "fmt"
+
+// unpackKernel bulk-decodes count values of a fixed width starting at bit
+// pos of words into dst. The caller guarantees bounds.
+type unpackKernel func(dst []uint32, words []uint64, pos, count int)
+
+// unpackKernels maps width -> kernel. Entry 0 is nil (width 0 never
+// dispatches); entries 1..32 are always non-nil.
+var unpackKernels [33]unpackKernel
+
+func init() {
+	// Widths dividing 64: whole-word unrolled kernels (this file). All
+	// other widths: constant-width buffered kernels (unpack_kernels_widths.go).
+	unpackKernels = [33]unpackKernel{
+		1: unpack1, 2: unpack2, 4: unpack4, 8: unpack8, 16: unpack16, 32: unpack32,
+		3: unpackW3, 5: unpackW5, 6: unpackW6, 7: unpackW7,
+		9: unpackW9, 10: unpackW10, 11: unpackW11, 12: unpackW12,
+		13: unpackW13, 14: unpackW14, 15: unpackW15, 17: unpackW17,
+		18: unpackW18, 19: unpackW19, 20: unpackW20, 21: unpackW21,
+		22: unpackW22, 23: unpackW23, 24: unpackW24, 25: unpackW25,
+		26: unpackW26, 27: unpackW27, 28: unpackW28, 29: unpackW29,
+		30: unpackW30, 31: unpackW31,
+	}
+}
+
+// UnpackUints bulk-decodes count fixed-width values (width in [1,32])
+// starting at bit pos into dst, which must have room. It is the hot path
+// of packed-CSR row decoding, dispatching to a width-specialized kernel.
+func (a *Array) UnpackUints(dst []uint32, pos, width, count int) {
+	if count == 0 {
+		return
+	}
+	if width < 1 || width > 32 {
+		panic(fmt.Sprintf("bitarray: bulk width %d out of range [1,32]", width))
+	}
+	if pos < 0 || pos+width*count > a.n {
+		panic(fmt.Sprintf("bitarray: bulk range [%d,%d) out of bounds [0,%d)", pos, pos+width*count, a.n))
+	}
+	unpackKernels[width](dst[:count], a.words, pos, count)
+}
+
+// unpackGeneric is the pre-kernel rolling-window loop, kept as the
+// reference implementation for differential testing.
+func unpackGeneric(dst []uint32, words []uint64, pos, width, count int) {
+	mask := uint64(1)<<width - 1
+	for i := 0; i < count; i++ {
+		w, off := pos/wordBits, pos%wordBits
+		room := wordBits - off
+		var v uint64
+		if width <= room {
+			v = words[w] >> (room - width)
+		} else {
+			rest := width - room
+			v = words[w]<<rest | words[w+1]>>(wordBits-rest)
+		}
+		dst[i] = uint32(v & mask)
+		pos += width
+	}
+}
+
+// unpackBuffered decodes through a left-aligned 64-bit bit buffer: each
+// backing word is loaded exactly once, and the common no-refill iteration
+// is two shifts and a subtract. It serves every width without a dedicated
+// kernel and the unaligned starts the specialized kernels bail out on.
+func unpackBuffered(dst []uint32, words []uint64, pos, width, count int) {
+	w := pos >> 6
+	off := pos & 63
+	buf := words[w] << off // valid bits left-aligned, zeros below
+	avail := 64 - off
+	w++
+	for i := 0; i < count; i++ {
+		var v uint64
+		if avail >= width {
+			v = buf >> (64 - width)
+			buf <<= width
+			avail -= width
+		} else {
+			// Top `avail` bits of the value come from buf (its lower bits
+			// are already zero); the remaining `need` come from the next
+			// word, which also refills the buffer.
+			v = buf >> (64 - width)
+			need := width - avail
+			next := words[w]
+			w++
+			v |= next >> (64 - need)
+			buf = next << need
+			avail = 64 - need
+		}
+		dst[i] = uint32(v)
+	}
+}
+
+// The power-of-two kernels below share one shape: if the start position is
+// not value-aligned (pos % width != 0) alignment with a word boundary is
+// unreachable and they fall back to unpackBuffered; otherwise they decode
+// head values up to the next word boundary, then whole words at 64/width
+// values per load, then the tail from a single final word.
+
+func unpack1(dst []uint32, words []uint64, pos, count int) {
+	i := 0
+	for ; pos&63 != 0 && i < count; i++ {
+		dst[i] = uint32(words[pos>>6]>>(63-(pos&63))) & 1
+		pos++
+	}
+	w := pos >> 6
+	for ; i+64 <= count; i += 64 {
+		x := words[w]
+		w++
+		for j := 0; j < 64; j++ {
+			dst[i+j] = uint32(x>>(63-j)) & 1
+		}
+	}
+	if i < count {
+		x := words[w]
+		for j := 0; i < count; i, j = i+1, j+1 {
+			dst[i] = uint32(x>>(63-j)) & 1
+		}
+	}
+}
+
+func unpack2(dst []uint32, words []uint64, pos, count int) {
+	if pos&1 != 0 {
+		unpackBuffered(dst, words, pos, 2, count)
+		return
+	}
+	i := 0
+	for ; pos&63 != 0 && i < count; i++ {
+		dst[i] = uint32(words[pos>>6]>>(62-(pos&63))) & 3
+		pos += 2
+	}
+	w := pos >> 6
+	for ; i+32 <= count; i += 32 {
+		x := words[w]
+		w++
+		for j := 0; j < 32; j++ {
+			dst[i+j] = uint32(x>>(62-2*j)) & 3
+		}
+	}
+	if i < count {
+		x := words[w]
+		for shift := 62; i < count; i, shift = i+1, shift-2 {
+			dst[i] = uint32(x>>shift) & 3
+		}
+	}
+}
+
+func unpack4(dst []uint32, words []uint64, pos, count int) {
+	if pos&3 != 0 {
+		unpackBuffered(dst, words, pos, 4, count)
+		return
+	}
+	i := 0
+	for ; pos&63 != 0 && i < count; i++ {
+		dst[i] = uint32(words[pos>>6]>>(60-(pos&63))) & 0xf
+		pos += 4
+	}
+	w := pos >> 6
+	for ; i+16 <= count; i += 16 {
+		x := words[w]
+		w++
+		dst[i+0] = uint32(x >> 60)
+		dst[i+1] = uint32(x>>56) & 0xf
+		dst[i+2] = uint32(x>>52) & 0xf
+		dst[i+3] = uint32(x>>48) & 0xf
+		dst[i+4] = uint32(x>>44) & 0xf
+		dst[i+5] = uint32(x>>40) & 0xf
+		dst[i+6] = uint32(x>>36) & 0xf
+		dst[i+7] = uint32(x>>32) & 0xf
+		dst[i+8] = uint32(x>>28) & 0xf
+		dst[i+9] = uint32(x>>24) & 0xf
+		dst[i+10] = uint32(x>>20) & 0xf
+		dst[i+11] = uint32(x>>16) & 0xf
+		dst[i+12] = uint32(x>>12) & 0xf
+		dst[i+13] = uint32(x>>8) & 0xf
+		dst[i+14] = uint32(x>>4) & 0xf
+		dst[i+15] = uint32(x) & 0xf
+	}
+	if i < count {
+		x := words[w]
+		for shift := 60; i < count; i, shift = i+1, shift-4 {
+			dst[i] = uint32(x>>shift) & 0xf
+		}
+	}
+}
+
+func unpack8(dst []uint32, words []uint64, pos, count int) {
+	if pos&7 != 0 {
+		unpackBuffered(dst, words, pos, 8, count)
+		return
+	}
+	i := 0
+	for ; pos&63 != 0 && i < count; i++ {
+		dst[i] = uint32(words[pos>>6]>>(56-(pos&63))) & 0xff
+		pos += 8
+	}
+	w := pos >> 6
+	for ; i+8 <= count; i += 8 {
+		x := words[w]
+		w++
+		dst[i+0] = uint32(x >> 56)
+		dst[i+1] = uint32(x>>48) & 0xff
+		dst[i+2] = uint32(x>>40) & 0xff
+		dst[i+3] = uint32(x>>32) & 0xff
+		dst[i+4] = uint32(x>>24) & 0xff
+		dst[i+5] = uint32(x>>16) & 0xff
+		dst[i+6] = uint32(x>>8) & 0xff
+		dst[i+7] = uint32(x) & 0xff
+	}
+	if i < count {
+		x := words[w]
+		for shift := 56; i < count; i, shift = i+1, shift-8 {
+			dst[i] = uint32(x>>shift) & 0xff
+		}
+	}
+}
+
+func unpack16(dst []uint32, words []uint64, pos, count int) {
+	if pos&15 != 0 {
+		unpackBuffered(dst, words, pos, 16, count)
+		return
+	}
+	i := 0
+	for ; pos&63 != 0 && i < count; i++ {
+		dst[i] = uint32(words[pos>>6]>>(48-(pos&63))) & 0xffff
+		pos += 16
+	}
+	w := pos >> 6
+	for ; i+4 <= count; i += 4 {
+		x := words[w]
+		w++
+		dst[i+0] = uint32(x >> 48)
+		dst[i+1] = uint32(x>>32) & 0xffff
+		dst[i+2] = uint32(x>>16) & 0xffff
+		dst[i+3] = uint32(x) & 0xffff
+	}
+	if i < count {
+		x := words[w]
+		for shift := 48; i < count; i, shift = i+1, shift-16 {
+			dst[i] = uint32(x>>shift) & 0xffff
+		}
+	}
+}
+
+func unpack32(dst []uint32, words []uint64, pos, count int) {
+	if pos&31 != 0 {
+		unpackBuffered(dst, words, pos, 32, count)
+		return
+	}
+	i := 0
+	if pos&63 != 0 { // start in a word's low half
+		dst[0] = uint32(words[pos>>6])
+		i, pos = 1, pos+32
+	}
+	w := pos >> 6
+	for ; i+2 <= count; i += 2 {
+		x := words[w]
+		w++
+		dst[i+0] = uint32(x >> 32)
+		dst[i+1] = uint32(x)
+	}
+	if i < count {
+		dst[i] = uint32(words[w] >> 32)
+	}
+}

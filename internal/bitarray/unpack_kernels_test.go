@@ -1,0 +1,154 @@
+package bitarray
+
+import (
+	"fmt"
+	"testing"
+)
+
+// xorshift64 is the deterministic filler used to build test arrays.
+func xorshift64(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}
+
+func randomArray(nbits int, seed uint64) *Array {
+	a := New(nbits)
+	for a.Len() < nbits {
+		take := nbits - a.Len()
+		if take > 64 {
+			take = 64
+		}
+		a.AppendBits(xorshift64(&seed)>>(64-take), take)
+	}
+	return a
+}
+
+// checkUnpack asserts the dispatched kernel, the generic reference loop,
+// and per-value Uint reads all agree on one (pos, width, count) triple.
+func checkUnpack(t *testing.T, a *Array, pos, width, count int) {
+	t.Helper()
+	got := make([]uint32, count)
+	a.UnpackUints(got, pos, width, count)
+	ref := make([]uint32, count)
+	unpackGeneric(ref, a.Words(), pos, width, count)
+	for i := 0; i < count; i++ {
+		want := uint32(a.Uint(pos+i*width, width))
+		if ref[i] != want {
+			t.Fatalf("width=%d pos=%d: unpackGeneric[%d] = %d, Uint = %d", width, pos, i, ref[i], want)
+		}
+		if got[i] != want {
+			t.Fatalf("width=%d pos=%d: kernel[%d] = %d, want %d", width, pos, i, got[i], want)
+		}
+	}
+}
+
+// TestUnpackKernelsMatchGeneric sweeps every width over element-aligned
+// starts (the CSR hot path), word-straddling starts, and bit-unaligned
+// starts (which force the specialized kernels onto their fallback).
+func TestUnpackKernelsMatchGeneric(t *testing.T) {
+	for width := 1; width <= 32; width++ {
+		a := randomArray(width*300+65, uint64(width)*0x9e3779b97f4a7c15+1)
+		for _, start := range []int{0, 1, 2, 3, 5, 7, 17, 63, 64, 65, 100, 255} {
+			for _, count := range []int{0, 1, 2, 3, 7, 63, 64, 65, 128, 130, 200} {
+				// Element-aligned start (pos multiple of width).
+				if pos := start * width; pos+count*width <= a.Len() {
+					checkUnpack(t, a, pos, width, count)
+				}
+				// Arbitrary bit offset (pos not a multiple of width).
+				if pos := start; pos+count*width <= a.Len() {
+					checkUnpack(t, a, pos, width, count)
+				}
+			}
+		}
+	}
+}
+
+// TestUnpackKernelTableComplete pins the dispatch invariant UnpackUints
+// relies on: a kernel for every legal width.
+func TestUnpackKernelTableComplete(t *testing.T) {
+	if unpackKernels[0] != nil {
+		t.Error("width 0 must not have a kernel")
+	}
+	for w := 1; w <= 32; w++ {
+		if unpackKernels[w] == nil {
+			t.Errorf("no kernel for width %d", w)
+		}
+	}
+}
+
+// FuzzUnpackKernels differentially fuzzes the dispatched kernels against
+// unpackGeneric and per-value Uint reads over random widths, positions,
+// and counts.
+func FuzzUnpackKernels(f *testing.F) {
+	f.Add(uint64(1), 5, 0, 10)
+	f.Add(uint64(42), 32, 32, 3)
+	f.Add(uint64(7), 1, 63, 130)
+	f.Add(uint64(9), 17, 3, 64)
+	f.Add(uint64(11), 8, 8, 9)
+	f.Fuzz(func(t *testing.T, seed uint64, width, pos, count int) {
+		width = 1 + abs(width)%32
+		count = abs(count) % 4096
+		const nbits = 4096*32 + 64
+		pos = abs(pos) % (nbits - width*count + 1)
+		a := randomArray(nbits, seed|1)
+
+		got := make([]uint32, count)
+		a.UnpackUints(got, pos, width, count)
+		ref := make([]uint32, count)
+		unpackGeneric(ref, a.Words(), pos, width, count)
+		for i := 0; i < count; i++ {
+			if want := uint32(a.Uint(pos+i*width, width)); got[i] != want || ref[i] != want {
+				t.Fatalf("seed=%d width=%d pos=%d count=%d: value %d kernel=%d generic=%d uint=%d",
+					seed, width, pos, count, i, got[i], ref[i], want)
+			}
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // math.MinInt
+			return 0
+		}
+		return -x
+	}
+	return x
+}
+
+// BenchmarkUnpackWidths sweeps the kernel table over every width with
+// element-aligned starts, both on a word boundary ("aligned") and mid-word
+// ("straddling"), against the generic reference loop. b.SetBytes reports
+// decoded payload bits as bytes so ns/op converts to decode bandwidth.
+func BenchmarkUnpackWidths(b *testing.B) {
+	const count = 4096
+	dst := make([]uint32, count)
+	for width := 1; width <= 32; width++ {
+		a := randomArray(width*(count+128)+64, uint64(width)+3)
+		// "aligned": bit 0, a word boundary. "straddle": element 1, which
+		// for widths not dividing 64 leaves values straddling word
+		// boundaries throughout (and for dividing widths exercises the
+		// head/tail paths).
+		starts := []struct {
+			name string
+			pos  int
+		}{{"aligned", 0}, {"straddle", width}}
+		for _, s := range starts {
+			b.Run(fmt.Sprintf("kernel/w=%d/%s", width, s.name), func(b *testing.B) {
+				b.SetBytes(int64(width * count / 8))
+				for i := 0; i < b.N; i++ {
+					a.UnpackUints(dst, s.pos, width, count)
+				}
+			})
+			b.Run(fmt.Sprintf("generic/w=%d/%s", width, s.name), func(b *testing.B) {
+				b.SetBytes(int64(width * count / 8))
+				for i := 0; i < b.N; i++ {
+					unpackGeneric(dst, a.Words(), s.pos, width, count)
+				}
+			})
+		}
+	}
+}

@@ -66,6 +66,15 @@ type Packed struct {
 	width int
 	n     int
 	bits  *bitarray.Array
+	// aligned records 64%width == 0: element i at bit i*width can never
+	// straddle a word boundary, so Get may use the single-word fast path.
+	aligned bool
+}
+
+// newPacked wraps a finished bit array, deriving the alignment flag; every
+// constructor and the deserializer funnel through it.
+func newPacked(width, n int, bits *bitarray.Array) *Packed {
+	return &Packed{width: width, n: n, bits: bits, aligned: 64%width == 0}
 }
 
 // Pack encodes vals using p processors per Algorithm 4: compute the global
@@ -89,7 +98,7 @@ func Pack(vals []uint32, p int) *Packed {
 	for _, part := range parts {
 		merged.AppendArray(part)
 	}
-	return &Packed{width: width, n: len(vals), bits: merged}
+	return newPacked(width, len(vals), merged)
 }
 
 // PackSequential encodes vals on one processor; the reference for Pack.
@@ -150,7 +159,7 @@ func PackDirect(vals []uint32, p int) *Packed {
 		plain[i] = words[i].Load()
 	}
 	a := bitarray.FromWords(plain, totalBits)
-	return &Packed{width: width, n: len(vals), bits: a}
+	return newPacked(width, len(vals), a)
 }
 
 func packWithWidth(vals []uint32, width int) *Packed {
@@ -158,7 +167,7 @@ func packWithWidth(vals []uint32, width int) *Packed {
 	for _, v := range vals {
 		a.AppendBits(uint64(v), width)
 	}
-	return &Packed{width: width, n: len(vals), bits: a}
+	return newPacked(width, len(vals), a)
 }
 
 // Len returns the number of packed values.
@@ -173,10 +182,15 @@ func (pk *Packed) Bits() *bitarray.Array { return pk.bits }
 // SizeBytes returns the payload footprint in bytes.
 func (pk *Packed) SizeBytes() int64 { return int64(pk.bits.SizeBytes()) }
 
-// Get returns element i.
+// Get returns element i. When the width divides 64 the value cannot
+// straddle a word boundary and the read is a single load-shift-mask
+// (bitarray.UintAligned) instead of Uint's two-word branch.
 func (pk *Packed) Get(i int) uint32 {
 	if i < 0 || i >= pk.n {
 		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, pk.n))
+	}
+	if pk.aligned {
+		return uint32(pk.bits.UintAligned(i*pk.width, pk.width))
 	}
 	return uint32(pk.bits.Uint(i*pk.width, pk.width))
 }
@@ -192,14 +206,7 @@ func (pk *Packed) Slice(dst []uint32, start, count int) []uint32 {
 		dst = make([]uint32, count)
 	}
 	dst = dst[:count]
-	if pk.width <= 32 {
-		pk.bits.UnpackUints(dst, start*pk.width, pk.width, count)
-		return dst
-	}
-	r := bitarray.NewReader(pk.bits, start*pk.width)
-	for i := range dst {
-		dst[i] = uint32(r.ReadUint(pk.width))
-	}
+	pk.bits.UnpackUints(dst, start*pk.width, pk.width, count)
 	return dst
 }
 
@@ -236,10 +243,11 @@ func (pk *Packed) UnmarshalBinary(data []byte) error {
 	}
 	width := int(binary.LittleEndian.Uint64(data[4:12]))
 	n := int(binary.LittleEndian.Uint64(data[12:20]))
-	// The bound on n both rejects nonsense and makes width*n below safe
-	// from overflow (64 * 2^56 < 2^63).
+	// Values are uint32, so no valid encoder emits a width above 32; the
+	// bound on n both rejects nonsense and makes width*n below safe from
+	// overflow (32 * 2^56 < 2^63).
 	const maxLen = 1 << 56
-	if width < 1 || width > 64 || n < 0 || n > maxLen {
+	if width < 1 || width > 32 || n < 0 || n > maxLen {
 		return fmt.Errorf("bitpack: implausible header width=%d n=%d", width, n)
 	}
 	var a bitarray.Array
@@ -249,6 +257,6 @@ func (pk *Packed) UnmarshalBinary(data []byte) error {
 	if a.Len() != width*n {
 		return fmt.Errorf("bitpack: payload %d bits, want %d", a.Len(), width*n)
 	}
-	pk.width, pk.n, pk.bits = width, n, &a
+	*pk = *newPacked(width, n, &a)
 	return nil
 }

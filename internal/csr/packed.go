@@ -70,13 +70,18 @@ func (pk *Packed) Degree(u edgelist.NodeID) int {
 
 // Row decodes u's neighbor list into dst (grown as needed) and returns it.
 // This is GetRowFromCSR from ref [28]: seek to the row's bit offset and
-// decode degree-many numBits-wide values.
+// decode degree-many numBits-wide values. The decode runs through the
+// width-specialized bulk kernels in internal/bitarray (packed values are
+// uint32, so the width is always in [1,32] and the kernel table covers
+// every case).
 func (pk *Packed) Row(dst []uint32, u edgelist.NodeID) []uint32 {
 	start, end := pk.RowBounds(u)
 	return pk.cols.Slice(dst, start, end-start)
 }
 
 // Neighbor returns the i-th neighbor of u without decoding the whole row.
+// For widths dividing 64 the read is a single aligned word access (see
+// bitpack.Packed.Get).
 func (pk *Packed) Neighbor(u edgelist.NodeID, i int) uint32 {
 	start, end := pk.RowBounds(u)
 	if i < 0 || start+i >= end {

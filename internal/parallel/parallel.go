@@ -8,6 +8,18 @@
 // "processor" is a goroutine. All helpers degrade gracefully to sequential
 // execution when p == 1, so correctness tests can compare p=1 against p>1
 // outputs directly.
+//
+// Execution substrate: For and ForEach with p > 1 dispatch onto a lazily
+// started package-level Pool — a persistent set of GOMAXPROCS workers
+// parked on a channel — instead of spawning goroutines per call, so the
+// ~30 batched-query and construction call sites pay wake-ups, not spawns.
+// Pool.For uses caller-participates scheduling (the submitting goroutine
+// claims chunks alongside the workers), which keeps nested parallel-for
+// calls deadlock-free and preserves the p == 1 inline fast path; NewPool
+// builds private pools for callers that want isolation. Bodies must not
+// assume all chunks run concurrently — a body that blocks waiting on a
+// sibling chunk needs Team, whose barrier semantics guarantee one
+// goroutine per worker.
 package parallel
 
 import (
@@ -73,10 +85,26 @@ func ChunkOf(i, n, p int) int {
 	panic(fmt.Sprintf("parallel: index %d not in [0,%d)", i, n))
 }
 
-// For runs body over [0, n) split into at most p chunks, one goroutine per
-// chunk, and waits for all of them. body receives the chunk index and range.
-// With p == 1 (or n small) it runs inline on the calling goroutine.
+// For runs body over [0, n) split into at most p chunks and waits for all
+// of them. body receives the chunk index and range. With p == 1 (or n
+// small) it runs inline on the calling goroutine; otherwise the chunks are
+// executed on the package's persistent worker pool (see Pool), avoiding a
+// goroutine spawn and WaitGroup teardown per call.
 func For(n, p int, body func(chunk int, r Range)) {
+	if p <= 1 || n <= 1 {
+		// Inline fast path that never touches (or lazily creates) the pool.
+		for c, r := range Chunks(n, p) {
+			body(c, r)
+		}
+		return
+	}
+	defaultPool().For(n, p, body)
+}
+
+// forSpawn is the pre-pool implementation — one goroutine spawned per chunk
+// per call. Kept as the baseline BenchmarkParallelForOverhead measures the
+// pool against.
+func forSpawn(n, p int, body func(chunk int, r Range)) {
 	chunks := Chunks(n, p)
 	if len(chunks) <= 1 {
 		for c, r := range chunks {

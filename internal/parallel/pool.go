@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent team of worker goroutines that executes parallel-for
+// jobs without the per-call goroutine spawn and WaitGroup teardown of the
+// fork-join For. Workers park on a channel receive between jobs, so an idle
+// pool costs nothing but p blocked goroutines.
+//
+// Scheduling is caller-participates: For enqueues a job descriptor (a body,
+// a chunk list, and an atomic chunk cursor), wakes up to len(chunks)-1
+// workers with non-blocking sends, and then claims chunks itself alongside
+// them until none remain. Because the caller drains every unclaimed chunk
+// before waiting, it only ever waits on chunks actively executing in
+// workers — never on queued work — which makes nested Pool.For calls from
+// inside a body deadlock-free by induction: a nested caller likewise runs
+// its own job to completion. If the wake queue is full the caller simply
+// does more of the work itself; parallelism degrades, correctness does not.
+type Pool struct {
+	p       int
+	jobs    chan *job
+	closing sync.Once
+}
+
+// job is one parallel-for invocation: every participant (workers plus the
+// submitting caller) loops claiming chunks via next; the participant that
+// finishes the last chunk closes fin.
+type job struct {
+	body   func(chunk int, r Range)
+	chunks []Range
+	next   atomic.Int64
+	done   atomic.Int64
+	fin    chan struct{}
+}
+
+func (j *job) run() {
+	n := int64(len(j.chunks))
+	for {
+		c := j.next.Add(1) - 1
+		if c >= n {
+			return
+		}
+		j.body(int(c), j.chunks[c])
+		if j.done.Add(1) == n {
+			close(j.fin)
+		}
+	}
+}
+
+// NewPool starts a pool of p workers; p <= 0 is treated as 1.
+func NewPool(p int) *Pool {
+	if p <= 0 {
+		p = 1
+	}
+	pl := &Pool{p: p, jobs: make(chan *job, 4*p)}
+	for i := 0; i < p; i++ {
+		go pl.worker()
+	}
+	return pl
+}
+
+func (pl *Pool) worker() {
+	for j := range pl.jobs {
+		j.run()
+	}
+}
+
+// Size returns the number of workers.
+func (pl *Pool) Size() int { return pl.p }
+
+// For runs body over [0, n) split into at most p chunks with the same
+// (chunk, Range) contract as the package-level For. With one chunk (p == 1
+// or n <= 1) it runs inline on the calling goroutine with no allocation or
+// synchronization.
+func (pl *Pool) For(n, p int, body func(chunk int, r Range)) {
+	chunks := Chunks(n, p)
+	if len(chunks) <= 1 {
+		for c, r := range chunks {
+			body(c, r)
+		}
+		return
+	}
+	j := &job{body: body, chunks: chunks, fin: make(chan struct{})}
+	// Wake at most len(chunks)-1 workers: the caller is the remaining
+	// participant. Sends are non-blocking; a full queue just means the
+	// caller claims a larger share below. Workers that dequeue j after all
+	// chunks are claimed see an exhausted cursor and return immediately.
+wake:
+	for i := 1; i < len(chunks); i++ {
+		select {
+		case pl.jobs <- j:
+		default:
+			break wake
+		}
+	}
+	j.run()
+	<-j.fin
+}
+
+// ForEach runs body(i) for every i in [0, n) using at most p chunks.
+func (pl *Pool) ForEach(n, p int, body func(i int)) {
+	pl.For(n, p, func(_ int, r Range) {
+		for i := r.Start; i < r.End; i++ {
+			body(i)
+		}
+	})
+}
+
+// Close parks no new work and lets the workers exit. Jobs already enqueued
+// still complete (their callers also execute them). Close is idempotent;
+// For on a closed pool panics like any send on a closed channel, so only
+// close pools that have quiesced — the package-level shared pool is never
+// closed.
+func (pl *Pool) Close() {
+	pl.closing.Do(func() { close(pl.jobs) })
+}
+
+var (
+	sharedPoolOnce sync.Once
+	sharedPool     *Pool
+)
+
+// defaultPool lazily starts the package-level pool the exported For/ForEach
+// helpers dispatch through, sized to GOMAXPROCS. Lazy so that programs that
+// only ever run with p == 1 never spawn a worker.
+func defaultPool() *Pool {
+	sharedPoolOnce.Do(func() { sharedPool = NewPool(DefaultProcs()) })
+	return sharedPool
+}
