@@ -7,7 +7,7 @@ GO ?= go
 # lower-variance trajectory points.
 BENCHTIME ?= 100ms
 
-.PHONY: all build test test-race race vet fmt bench bench-quick bench-json fuzz experiments clean
+.PHONY: all build test test-race race vet fmt bench bench-quick bench-json bench-compare fuzz experiments clean
 
 all: build vet test test-race
 
@@ -18,11 +18,12 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency hot spots on every verify pass: the parallel
-# worker pool, the batched query dispatch, and PackDirect's atomic-OR merge
-# are exactly the code the detector should be watching. `race` below covers
-# the whole tree but is too slow for the default loop.
+# worker pool, the batched query dispatch, PackDirect's atomic-OR merge,
+# and the radix sort's chunked histogram/scatter passes are exactly the
+# code the detector should be watching. `race` below covers the whole tree
+# but is too slow for the default loop.
 test-race:
-	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/...
+	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/...
 
 race:
 	$(GO) test -race ./...
@@ -47,10 +48,17 @@ bench-quick:
 # event stream down to benchmark results with all metrics.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . \
-		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
+		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d)$(BENCH_SUFFIX).json
+
+# Radix-vs-merge construction-sort delta table: runs BenchmarkSortByUV's
+# algo= variants and pairs them through cmd/benchcompare.
+bench-compare:
+	$(GO) test -run '^$$' -bench BenchmarkSortByUV -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchcompare
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
+	$(GO) test -fuzz FuzzRadixSort -fuzztime 15s ./internal/radix/
 	$(GO) test -fuzz FuzzUnpackKernels -fuzztime 15s ./internal/bitarray/
 	$(GO) test -fuzz FuzzReadText -fuzztime 15s ./internal/edgelist/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/edgelist/

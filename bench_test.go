@@ -268,9 +268,7 @@ func BenchmarkTCSRConstruction(b *testing.B) {
 // LiveJournal stand-in (symmetrized), on both the plain and packed CSR.
 func BenchmarkAnalytics(b *testing.B) {
 	inst := benchSetup(b)[0]
-	sym := inst.Edges.Symmetrize()
-	sym.SortByUV(4)
-	sym = sym.Dedup()
+	sym := inst.Edges.Prepared(true, 4)
 	n := sym.NumNodes()
 	m := csr.Build(sym, n, 4)
 	pk := csr.PackMatrix(m, 4)

@@ -1,0 +1,107 @@
+// Command benchcompare reads `go test -bench` text output on stdin, pairs
+// sub-benchmarks that differ only in an "algo=<name>" path element (e.g.
+// algo=merge vs algo=radix), and prints a delta table: ns/op for each
+// algorithm and the baseline/candidate speedup. It backs `make
+// bench-compare`, the construction-sort regression gate.
+//
+//	go test -bench BenchmarkSortByUV . | benchcompare
+//	go test -bench BenchmarkSortByUV . | benchcompare -baseline merge -new radix
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches "BenchmarkName/sub/parts-8   5   123456 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+func main() {
+	baseline := flag.String("baseline", "merge", "algo= label of the baseline variant")
+	candidate := flag.String("new", "radix", "algo= label of the new variant")
+	flag.Parse()
+
+	if err := run(os.Stdin, os.Stdout, *baseline, *candidate); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}
+
+// stripAlgo removes the "algo=<label>" path element and the trailing
+// "-<procs>" suffix, returning the pairing key and the algo label.
+func stripAlgo(name string) (key, algo string) {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	parts := strings.Split(name, "/")
+	kept := parts[:0]
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, "algo="); ok {
+			algo = v
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, "/"), algo
+}
+
+func run(in *os.File, out *os.File, baseline, candidate string) error {
+	// nsPerOp[key][algo] = ns/op of the variant.
+	nsPerOp := map[string]map[string]float64{}
+	var order []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		key, algo := stripAlgo(m[1])
+		if algo == "" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		if nsPerOp[key] == nil {
+			nsPerOp[key] = map[string]float64{}
+			order = append(order, key)
+		}
+		nsPerOp[key][algo] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no benchmark lines with an algo= variant on stdin")
+	}
+	sort.Strings(order)
+
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-55s %15s %15s %9s\n", "benchmark", baseline+" ns/op", candidate+" ns/op", "speedup")
+	paired := 0
+	for _, key := range order {
+		base, okB := nsPerOp[key][baseline]
+		cand, okC := nsPerOp[key][candidate]
+		if !okB || !okC {
+			fmt.Fprintf(w, "%-55s missing %s or %s variant\n", key, baseline, candidate)
+			continue
+		}
+		fmt.Fprintf(w, "%-55s %15.0f %15.0f %8.2fx\n", key, base, cand, base/cand)
+		paired++
+	}
+	if paired == 0 {
+		return fmt.Errorf("no benchmark had both %s and %s variants", baseline, candidate)
+	}
+	return nil
+}

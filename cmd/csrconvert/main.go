@@ -44,12 +44,8 @@ func run(args []string) error {
 		return err
 	}
 	rawSize := l.SizeBytes()
-	if *symmetrize {
-		l = l.Symmetrize()
-	}
 	start := time.Now()
-	l.SortByUV(*procs)
-	l = l.Dedup()
+	l = l.Prepared(*symmetrize, *procs)
 	m := csr.Build(l, l.NumNodes(), *procs)
 	switch *ordering {
 	case "none":

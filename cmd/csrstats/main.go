@@ -59,11 +59,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if *symmetrize {
-			l = l.Symmetrize()
-		}
-		l.SortByUV(*procs)
-		l = l.Dedup()
+		l = l.Prepared(*symmetrize, *procs)
 		m := csr.Build(l, l.NumNodes(), *procs)
 		g = m
 		sizeBytes = m.SizeBytes()

@@ -67,17 +67,13 @@ type Graph struct {
 
 // Build constructs a Graph from an edge list. The input is copied, sorted
 // in parallel, and deduplicated; it may be in any order and contain
-// duplicates.
+// duplicates. The whole front end runs as one fused pipeline: edges (and
+// their reverses, under WithSymmetrize) are packed straight into radix
+// sort keys, sorted, and deduplicated while unpacking — no intermediate
+// symmetrized or cloned edge list is materialized.
 func Build(edges []Edge, opts ...Option) (*Graph, error) {
 	c := buildConfig(opts)
-	l := edgelist.List(edges)
-	if c.symmetrize {
-		l = l.Symmetrize()
-	} else {
-		l = l.Clone()
-	}
-	l.SortByUV(c.procs)
-	l = l.Dedup()
+	l := edgelist.List(edges).Prepared(c.symmetrize, c.procs)
 	numNodes := l.NumNodes()
 	if c.numNodes > 0 {
 		if c.numNodes < numNodes {

@@ -63,11 +63,10 @@ func Build(l edgelist.List, numNodes, p int) *Matrix {
 }
 
 // FromEdgeList sorts (in parallel), dedups and builds in one call, for
-// callers starting from an arbitrary edge list.
+// callers starting from an arbitrary edge list. The sort+dedup front end
+// runs fused over radix keys (edgelist.List.Prepared).
 func FromEdgeList(l edgelist.List, p int) *Matrix {
-	sorted := l.Clone()
-	sorted.SortByUV(p)
-	sorted = sorted.Dedup()
+	sorted := l.Prepared(false, p)
 	return Build(sorted, sorted.NumNodes(), p)
 }
 

@@ -5,12 +5,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 
 	"csrgraph/internal/bitpack"
 	"csrgraph/internal/edgelist"
 	"csrgraph/internal/parallel"
 	"csrgraph/internal/prefixsum"
+	"csrgraph/internal/radix"
 )
 
 // The paper's CSR definition (Section III) includes a third array for
@@ -33,38 +33,54 @@ type WeightedMatrix struct {
 // processors. The input is copied and sorted by (u, v); among duplicate
 // (u, v) pairs the *last* weight in the input order wins, like repeated
 // map assignment.
+//
+// Edges never materialize as a sorted WeightedEdge copy: the (u, v) pairs
+// are packed into uint64 radix keys with the weights riding along as the
+// payload of radix.SortKV — LSD radix is stable by construction, so "last
+// wins" stays well defined without the sort.SliceStable closure this
+// replaced — and the CSR arrays are then filled straight from the sorted
+// key/payload buffers (the vA array is the payload buffer itself).
 func BuildWeighted(edges []WeightedEdge, numNodes, p int) (*WeightedMatrix, error) {
-	sorted := make([]WeightedEdge, len(edges))
-	copy(sorted, edges)
-	// Stable sort keeps input order within equal (u, v) so "last wins" is
-	// well defined.
-	sort.SliceStable(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.U != b.U {
-			return a.U < b.U
+	n := len(edges)
+	keys := make([]uint64, n)
+	vals := make([]uint32, n)
+	chunks := parallel.Chunks(n, p)
+	nc := len(chunks)
+	maxs := make([]uint32, nc)
+	parallel.For(n, nc, func(c int, r parallel.Range) {
+		var mx uint32
+		for i := r.Start; i < r.End; i++ {
+			e := edges[i]
+			keys[i] = uint64(e.U)<<32 | uint64(e.V)
+			vals[i] = e.W
+			if e.U > mx {
+				mx = e.U
+			}
+			if e.V > mx {
+				mx = e.V
+			}
 		}
-		return a.V < b.V
+		maxs[c] = mx
 	})
-	// Dedup keeping the last of each run.
-	out := sorted[:0]
-	for i, e := range sorted {
-		if i > 0 && e.U == out[len(out)-1].U && e.V == out[len(out)-1].V {
-			out[len(out)-1] = e
+	maxNode := 0
+	for _, mx := range maxs {
+		if int(mx)+1 > maxNode {
+			maxNode = int(mx) + 1
+		}
+	}
+	radix.SortKV(keys, vals, make([]uint64, n), make([]uint32, n), p)
+	// Dedup keeping the last of each equal-key run, compacting in place.
+	w := 0
+	for i := 0; i < n; i++ {
+		if w > 0 && keys[i] == keys[w-1] {
+			vals[w-1] = vals[i]
 			continue
 		}
-		out = append(out, e)
+		keys[w], vals[w] = keys[i], vals[i]
+		w++
 	}
-	sorted = out
+	keys, vals = keys[:w], vals[:w]
 
-	maxNode := 0
-	for _, e := range sorted {
-		if int(e.U) >= maxNode {
-			maxNode = int(e.U) + 1
-		}
-		if int(e.V) >= maxNode {
-			maxNode = int(e.V) + 1
-		}
-	}
 	if numNodes == 0 {
 		numNodes = maxNode
 	}
@@ -73,16 +89,14 @@ func BuildWeighted(edges []WeightedEdge, numNodes, p int) (*WeightedMatrix, erro
 	}
 
 	deg := make([]uint32, numNodes)
-	for _, e := range sorted {
-		deg[e.U]++
+	for _, k := range keys {
+		deg[k>>32]++
 	}
 	off := prefixsum.Offsets(deg, p)
-	cols := make([]uint32, len(sorted))
-	vals := make([]uint32, len(sorted))
-	parallel.For(len(sorted), p, func(_ int, r parallel.Range) {
+	cols := make([]uint32, w)
+	parallel.For(w, p, func(_ int, r parallel.Range) {
 		for i := r.Start; i < r.End; i++ {
-			cols[i] = sorted[i].V
-			vals[i] = sorted[i].W
+			cols[i] = uint32(keys[i])
 		}
 	})
 	return &WeightedMatrix{Matrix: Matrix{RowOffsets: off, Cols: cols}, Vals: vals}, nil

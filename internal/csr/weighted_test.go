@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
+
+	"csrgraph/internal/prefixsum"
 )
 
 func weightedFixture() []WeightedEdge {
@@ -206,5 +209,83 @@ func TestQuickWeightedBuild(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// buildWeightedReference is the pre-radix BuildWeighted pipeline
+// (sort.SliceStable + last-wins dedup over a copied edge slice), kept as
+// the differential reference for the fused SortKV path.
+func buildWeightedReference(edges []WeightedEdge, numNodes int) (*WeightedMatrix, error) {
+	sorted := make([]WeightedEdge, len(edges))
+	copy(sorted, edges)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	out := sorted[:0]
+	for i, e := range sorted {
+		if i > 0 && e.U == out[len(out)-1].U && e.V == out[len(out)-1].V {
+			out[len(out)-1] = e
+			continue
+		}
+		out = append(out, e)
+	}
+	sorted = out
+	maxNode := 0
+	for _, e := range sorted {
+		if int(e.U) >= maxNode {
+			maxNode = int(e.U) + 1
+		}
+		if int(e.V) >= maxNode {
+			maxNode = int(e.V) + 1
+		}
+	}
+	if numNodes == 0 {
+		numNodes = maxNode
+	}
+	deg := make([]uint32, numNodes)
+	for _, e := range sorted {
+		deg[e.U]++
+	}
+	off := prefixsum.Offsets(deg, 1)
+	cols := make([]uint32, len(sorted))
+	vals := make([]uint32, len(sorted))
+	for i, e := range sorted {
+		cols[i] = e.V
+		vals[i] = e.W
+	}
+	return &WeightedMatrix{Matrix: Matrix{RowOffsets: off, Cols: cols}, Vals: vals}, nil
+}
+
+// TestBuildWeightedMatchesStableReference differentially tests the radix
+// SortKV build against the retained comparison-sort reference, with heavy
+// duplicate (u, v) runs so "last weight wins" is genuinely exercised.
+func TestBuildWeightedMatchesStableReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{0, 1, 100, 5000} {
+		edges := make([]WeightedEdge, n)
+		for i := range edges {
+			edges[i] = WeightedEdge{
+				U: uint32(rng.Intn(40)),
+				V: uint32(rng.Intn(40)),
+				W: uint32(rng.Intn(1000)),
+			}
+		}
+		want, err := buildWeightedReference(edges, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 4} {
+			got, err := BuildWeighted(edges, 0, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("n=%d p=%d: BuildWeighted disagrees with stable-sort reference", n, p)
+			}
+		}
 	}
 }

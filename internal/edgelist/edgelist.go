@@ -63,26 +63,38 @@ func (l List) IsSortedByUV() bool {
 	return sort.SliceIsSorted(l, func(i, j int) bool { return l[i].Less(l[j]) })
 }
 
-// SortByUV sorts the list by (U, V) in place using p processors: each chunk
-// is sorted independently, then chunks are merged pairwise. With p == 1 it
-// falls back to the standard library sort.
+// SortByUV sorts the list by (U, V) in place using p processors, via the
+// parallel LSD radix sort over packed (u<<32 | v) keys (internal/radix).
+// See Prepared for the fused sort+dedup(+symmetrize) construction path.
 func (l List) SortByUV(p int) {
+	sortEdgesRadix(l, p)
+}
+
+// SortByUVMerge is the retained comparison-sort baseline: per-chunk
+// sort.Slice followed by pairwise parallel merges. It is kept (like
+// bitarray's unpackGeneric) as the differential-test reference and the
+// benchmark baseline the radix path is measured against.
+func (l List) SortByUVMerge(p int) {
 	parallelSort(l, p, func(a, b Edge) bool { return a.Less(b) })
 }
 
-// Dedup removes consecutive duplicate edges from a sorted list and returns
-// the shortened list. The receiver's backing array is reused.
+// Dedup removes consecutive duplicate edges from a sorted list by in-place
+// compaction and returns the shortened list as a sub-slice of l — no
+// second edge list is allocated. The result aliases l's backing array, and
+// l's elements beyond the returned length are left in an unspecified
+// order; callers that need the original list intact must Clone first.
 func (l List) Dedup() List {
 	if len(l) == 0 {
 		return l
 	}
-	out := l[:1]
-	for _, e := range l[1:] {
-		if e != out[len(out)-1] {
-			out = append(out, e)
+	w := 1
+	for i := 1; i < len(l); i++ {
+		if l[i] != l[w-1] {
+			l[w] = l[i]
+			w++
 		}
 	}
-	return out
+	return l[:w]
 }
 
 // Symmetrize returns a new list containing every edge and its reverse,
@@ -176,8 +188,15 @@ func (l TemporalList) IsSorted() bool {
 	return sort.SliceIsSorted(l, func(i, j int) bool { return l[i].less(l[j]) })
 }
 
-// Sort establishes the (T, U, V) order in place using p processors.
+// Sort establishes the (T, U, V) order in place using p processors, via
+// the 128-bit key-tuple radix sort (internal/radix).
 func (l TemporalList) Sort(p int) {
+	sortTemporalRadix(l, p)
+}
+
+// SortMerge is the retained comparison-sort baseline for temporal lists;
+// see SortByUVMerge.
+func (l TemporalList) SortMerge(p int) {
 	parallelSort(l, p, func(a, b TemporalEdge) bool { return a.less(b) })
 }
 

@@ -1,0 +1,213 @@
+package edgelist
+
+import (
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/radix"
+)
+
+// This file is the radix-sort construction path: (u, v) edges packed into
+// uint64 keys and (u, v, t) triples into 128-bit key tuples, sorted by
+// internal/radix, with the surrounding symmetrize/dedup steps fused onto
+// the key buffers so Build-style pipelines stop making full intermediate
+// edge-list copies. The comparison-based merge sort survives in
+// edgelist.go as SortByUVMerge/SortMerge, the differential-test and
+// benchmark baseline.
+
+// key packs an edge into the 64-bit sort key whose ascending order is the
+// (U, V) order.
+func (e Edge) key() uint64 { return uint64(e.U)<<32 | uint64(e.V) }
+
+// edgeOf unpacks a sort key back into an edge.
+func edgeOf(k uint64) Edge { return Edge{U: NodeID(k >> 32), V: NodeID(k)} }
+
+// sortEdgesRadix sorts l by (U, V) in place via the packed-key radix sort.
+func sortEdgesRadix(l List, p int) {
+	n := len(l)
+	if n < 2 {
+		return
+	}
+	keys := make([]uint64, n)
+	scratch := make([]uint64, n)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			keys[i] = l[i].key()
+		}
+	})
+	radix.Sort64(keys, scratch, p)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			l[i] = edgeOf(keys[i])
+		}
+	})
+}
+
+// Prepared returns a sorted, deduplicated copy of l, optionally
+// symmetrized — the construction pipeline's front end in one fused pass
+// structure. Instead of materializing Symmetrize/Clone lists and a second
+// dedup list, edges (and their reverses, when symmetrizing) are packed
+// straight into the radix key buffer, sorted there, and deduplicated while
+// unpacking into the exactly-sized result. l itself is never modified.
+func (l List) Prepared(symmetrize bool, p int) List {
+	n := len(l)
+	if n == 0 {
+		return List{}
+	}
+	chunks := parallel.Chunks(n, p)
+	nc := len(chunks)
+	total := n
+	var revOff []int
+	if symmetrize {
+		// Count reverse edges (self-loops contribute none) per chunk, then
+		// place chunk c's reverses at n+revOff[c] so the pack stays
+		// write-disjoint across chunks.
+		revOff = make([]int, nc+1)
+		parallel.For(n, nc, func(c int, r parallel.Range) {
+			cnt := 0
+			for i := r.Start; i < r.End; i++ {
+				if l[i].U != l[i].V {
+					cnt++
+				}
+			}
+			revOff[c+1] = cnt
+		})
+		for c := 0; c < nc; c++ {
+			revOff[c+1] += revOff[c]
+		}
+		total = n + revOff[nc]
+	}
+	keys := make([]uint64, total)
+	scratch := make([]uint64, total)
+	parallel.For(n, nc, func(c int, r parallel.Range) {
+		w := 0
+		if symmetrize {
+			w = n + revOff[c]
+		}
+		for i := r.Start; i < r.End; i++ {
+			e := l[i]
+			keys[i] = e.key()
+			if symmetrize && e.U != e.V {
+				keys[w] = uint64(e.V)<<32 | uint64(e.U)
+				w++
+			}
+		}
+	})
+	radix.Sort64(keys, scratch, p)
+	return dedupKeys(keys, p)
+}
+
+// dedupKeys compacts consecutive duplicates of a sorted key array and
+// unpacks the survivors into a fresh, exactly-sized List — dedup and
+// decode fused into one parallel pass pair (count uniques, scan, write).
+func dedupKeys(keys []uint64, p int) List {
+	n := len(keys)
+	if n == 0 {
+		return List{}
+	}
+	chunks := parallel.Chunks(n, p)
+	nc := len(chunks)
+	// kept[c+1] counts chunk c's uniques; an element survives iff it
+	// differs from its predecessor (chunk boundaries read the neighbouring
+	// chunk's last key, which is stable during this read-only phase).
+	kept := make([]int, nc+1)
+	parallel.For(n, nc, func(c int, r parallel.Range) {
+		cnt := 0
+		for i := r.Start; i < r.End; i++ {
+			if i == 0 || keys[i] != keys[i-1] {
+				cnt++
+			}
+		}
+		kept[c+1] = cnt
+	})
+	for c := 0; c < nc; c++ {
+		kept[c+1] += kept[c]
+	}
+	out := make(List, kept[nc])
+	parallel.For(n, nc, func(c int, r parallel.Range) {
+		w := kept[c]
+		for i := r.Start; i < r.End; i++ {
+			if i == 0 || keys[i] != keys[i-1] {
+				out[w] = edgeOf(keys[i])
+				w++
+			}
+		}
+	})
+	return out
+}
+
+// loKey packs the node pair of a temporal event; together with T as the
+// high word it forms the 128-bit (T, U, V) sort key.
+func (e TemporalEdge) loKey() uint64 { return uint64(e.U)<<32 | uint64(e.V) }
+
+// packTemporal fills the (hi, lo) key tuple arrays for l.
+func packTemporal(l TemporalList, hi, lo []uint64, p int) {
+	parallel.For(len(l), p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			hi[i] = uint64(l[i].T)
+			lo[i] = l[i].loKey()
+		}
+	})
+}
+
+// temporalOf unpacks a (hi, lo) key tuple back into an event.
+func temporalOf(hi, lo uint64) TemporalEdge {
+	return TemporalEdge{U: NodeID(lo >> 32), V: NodeID(lo), T: Timestamp(hi)}
+}
+
+// sortTemporalRadix establishes the (T, U, V) order in place via the
+// 128-bit key-tuple radix sort.
+func sortTemporalRadix(l TemporalList, p int) {
+	n := len(l)
+	if n < 2 {
+		return
+	}
+	hi := make([]uint64, n)
+	lo := make([]uint64, n)
+	packTemporal(l, hi, lo, p)
+	radix.Sort128(hi, lo, make([]uint64, n), make([]uint64, n), p)
+	parallel.For(n, p, func(_ int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			l[i] = temporalOf(hi[i], lo[i])
+		}
+	})
+}
+
+// Prepared returns a sorted, deduplicated copy of the event list — the
+// temporal counterpart of List.Prepared: events are packed into key
+// tuples, sorted, and exact-duplicate triples are dropped while unpacking
+// into the exactly-sized result. l itself is never modified.
+func (l TemporalList) Prepared(p int) TemporalList {
+	n := len(l)
+	if n == 0 {
+		return TemporalList{}
+	}
+	hi := make([]uint64, n)
+	lo := make([]uint64, n)
+	packTemporal(l, hi, lo, p)
+	radix.Sort128(hi, lo, make([]uint64, n), make([]uint64, n), p)
+	chunks := parallel.Chunks(n, p)
+	nc := len(chunks)
+	kept := make([]int, nc+1)
+	parallel.For(n, nc, func(c int, r parallel.Range) {
+		cnt := 0
+		for i := r.Start; i < r.End; i++ {
+			if i == 0 || hi[i] != hi[i-1] || lo[i] != lo[i-1] {
+				cnt++
+			}
+		}
+		kept[c+1] = cnt
+	})
+	for c := 0; c < nc; c++ {
+		kept[c+1] += kept[c]
+	}
+	out := make(TemporalList, kept[nc])
+	parallel.For(n, nc, func(c int, r parallel.Range) {
+		w := kept[c]
+		for i := r.Start; i < r.End; i++ {
+			if i == 0 || hi[i] != hi[i-1] || lo[i] != lo[i-1] {
+				out[w] = temporalOf(hi[i], lo[i])
+				w++
+			}
+		}
+	})
+	return out
+}

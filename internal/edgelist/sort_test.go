@@ -1,0 +1,190 @@
+package edgelist
+
+import (
+	"math"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// sortCases enumerates the ISSUE's differential edge cases: empty, single
+// edge, all-equal, ids near MaxUint32, already-sorted and reverse-sorted,
+// plus random lists with duplicates and self-loops.
+func sortCases() map[string]List {
+	s := uint64(0x6a09e667f3bcc909)
+	next := func() uint32 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return uint32(s >> 32)
+	}
+	cases := map[string]List{
+		"empty":     {},
+		"single":    {{U: 3, V: 1}},
+		"all-equal": {{U: 9, V: 9}, {U: 9, V: 9}, {U: 9, V: 9}, {U: 9, V: 9}},
+		"near-max": {
+			{U: math.MaxUint32, V: math.MaxUint32},
+			{U: math.MaxUint32 - 1, V: math.MaxUint32},
+			{U: math.MaxUint32, V: 0},
+			{U: 0, V: math.MaxUint32},
+		},
+	}
+	random := make(List, 5000)
+	for i := range random {
+		random[i] = Edge{U: next() % 300, V: next() % 300}
+	}
+	cases["random-dups"] = random
+
+	wide := make(List, 3000)
+	for i := range wide {
+		wide[i] = Edge{U: next(), V: next()}
+	}
+	cases["random-full-ids"] = wide
+
+	asc := make(List, 2000)
+	for i := range asc {
+		asc[i] = Edge{U: uint32(i / 4), V: uint32(i % 4)}
+	}
+	cases["already-sorted"] = asc
+
+	desc := slices.Clone(asc)
+	slices.Reverse(desc)
+	cases["reverse-sorted"] = desc
+	return cases
+}
+
+// TestSortByUVDifferential checks the radix path against both the stdlib
+// sort and the retained merge-sort baseline.
+func TestSortByUVDifferential(t *testing.T) {
+	for name, l := range sortCases() {
+		want := slices.Clone(l)
+		sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+		for _, p := range []int{1, 2, 7} {
+			radixed := slices.Clone(l)
+			radixed.SortByUV(p)
+			if !slices.Equal(radixed, want) {
+				t.Errorf("%s p=%d: SortByUV disagrees with sort.Slice", name, p)
+			}
+			merged := slices.Clone(l)
+			merged.SortByUVMerge(p)
+			if !slices.Equal(merged, want) {
+				t.Errorf("%s p=%d: SortByUVMerge disagrees with sort.Slice", name, p)
+			}
+		}
+	}
+}
+
+// preparedReference is the unfused pipeline Prepared replaces.
+func preparedReference(l List, symmetrize bool) List {
+	if symmetrize {
+		l = l.Symmetrize()
+	} else {
+		l = l.Clone()
+	}
+	sort.Slice(l, func(i, j int) bool { return l[i].Less(l[j]) })
+	return l.Dedup()
+}
+
+func TestPreparedMatchesUnfusedPipeline(t *testing.T) {
+	for name, l := range sortCases() {
+		for _, symmetrize := range []bool{false, true} {
+			want := preparedReference(slices.Clone(l), symmetrize)
+			if len(want) == 0 {
+				want = List{}
+			}
+			for _, p := range []int{1, 4} {
+				orig := slices.Clone(l)
+				got := orig.Prepared(symmetrize, p)
+				if !slices.Equal(got, want) {
+					t.Errorf("%s sym=%v p=%d: Prepared disagrees with symmetrize+sort+dedup", name, symmetrize, p)
+				}
+				if !slices.Equal(orig, l) {
+					t.Errorf("%s sym=%v p=%d: Prepared modified its receiver", name, symmetrize, p)
+				}
+			}
+		}
+	}
+}
+
+func TestDedupInPlace(t *testing.T) {
+	l := List{{U: 1, V: 1}, {U: 1, V: 1}, {U: 2, V: 0}, {U: 2, V: 0}, {U: 2, V: 1}}
+	got := l.Dedup()
+	want := List{{U: 1, V: 1}, {U: 2, V: 0}, {U: 2, V: 1}}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Dedup = %v, want %v", got, want)
+	}
+	// The compacted result must alias the receiver's backing array.
+	if &got[0] != &l[0] {
+		t.Error("Dedup allocated a new backing array")
+	}
+}
+
+func temporalSortCases() map[string]TemporalList {
+	s := uint64(0xbb67ae8584caa73b)
+	next := func() uint32 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return uint32(s >> 32)
+	}
+	cases := map[string]TemporalList{
+		"empty":  {},
+		"single": {{U: 1, V: 2, T: 3}},
+		"near-max": {
+			{U: math.MaxUint32, V: math.MaxUint32, T: math.MaxUint32},
+			{U: math.MaxUint32, V: math.MaxUint32, T: 0},
+			{U: 0, V: math.MaxUint32, T: math.MaxUint32},
+		},
+	}
+	random := make(TemporalList, 4000)
+	for i := range random {
+		random[i] = TemporalEdge{U: next() % 100, V: next() % 100, T: next() % 20}
+	}
+	cases["random-dups"] = random
+	return cases
+}
+
+func TestTemporalSortDifferential(t *testing.T) {
+	for name, l := range temporalSortCases() {
+		want := slices.Clone(l)
+		sort.Slice(want, func(i, j int) bool { return want[i].less(want[j]) })
+		for _, p := range []int{1, 4} {
+			radixed := slices.Clone(l)
+			radixed.Sort(p)
+			if !slices.Equal(radixed, want) {
+				t.Errorf("%s p=%d: TemporalList.Sort disagrees with sort.Slice", name, p)
+			}
+			merged := slices.Clone(l)
+			merged.SortMerge(p)
+			if !slices.Equal(merged, want) {
+				t.Errorf("%s p=%d: TemporalList.SortMerge disagrees with sort.Slice", name, p)
+			}
+		}
+	}
+}
+
+func TestTemporalPreparedMatchesUnfusedPipeline(t *testing.T) {
+	for name, l := range temporalSortCases() {
+		want := slices.Clone(l)
+		sort.Slice(want, func(i, j int) bool { return want[i].less(want[j]) })
+		dedup := want[:0]
+		for i, e := range want {
+			if i == 0 || e != want[i-1] {
+				dedup = append(dedup, e)
+			}
+		}
+		if len(dedup) == 0 {
+			dedup = TemporalList{}
+		}
+		for _, p := range []int{1, 4} {
+			orig := slices.Clone(l)
+			got := orig.Prepared(p)
+			if !slices.Equal(got, dedup) {
+				t.Errorf("%s p=%d: TemporalList.Prepared disagrees with sort+dedup", name, p)
+			}
+			if !slices.Equal(orig, l) {
+				t.Errorf("%s p=%d: TemporalList.Prepared modified its receiver", name, p)
+			}
+		}
+	}
+}

@@ -145,13 +145,11 @@ func Ring(numNodes int) edgelist.List {
 }
 
 // Prepare sorts, dedups and (optionally) symmetrizes a raw generated list,
-// returning a construction-ready edge list and the node count.
+// returning a construction-ready edge list and the node count. It runs the
+// fused radix pipeline (edgelist.List.Prepared) rather than separate
+// symmetrize/sort/dedup passes.
 func Prepare(l edgelist.List, symmetrize bool, p int) (edgelist.List, int) {
-	if symmetrize {
-		l = l.Symmetrize()
-	}
-	l.SortByUV(p)
-	l = l.Dedup()
+	l = l.Prepared(symmetrize, p)
 	return l, l.NumNodes()
 }
 

@@ -1,0 +1,75 @@
+package radix
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// benchKeys builds n pseudo-random (u<<32|v) keys over an id space of
+// idBits bits, so byte skipping sees realistic graph shapes.
+func benchKeys(n, idBits int) []uint64 {
+	seed := uint64(0x2545F4914F6CDD1D)
+	mask := uint64(1)<<idBits - 1
+	keys := make([]uint64, n)
+	for i := range keys {
+		u := xorshift64(&seed) & mask
+		v := xorshift64(&seed) & mask
+		keys[i] = u<<32 | v
+	}
+	return keys
+}
+
+// BenchmarkSort64 measures the raw key sort against the stdlib comparison
+// sort at graph-realistic id widths (20-bit ids skip 4 of 8 passes).
+func BenchmarkSort64(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		for _, idBits := range []int{20, 32} {
+			keys := benchKeys(n, idBits)
+			scratch := make([]uint64, n)
+			work := make([]uint64, n)
+			for _, p := range []int{1, 4} {
+				b.Run(fmt.Sprintf("radix/n=%d/idbits=%d/p=%d", n, idBits, p), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						copy(work, keys)
+						Sort64(work, scratch, p)
+					}
+				})
+			}
+			b.Run(fmt.Sprintf("stdlib/n=%d/idbits=%d", n, idBits), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					copy(work, keys)
+					slices.Sort(work)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSortKV measures the payload-carrying sort against the stable
+// stdlib sort it replaced in csr.BuildWeighted.
+func BenchmarkSortKV(b *testing.B) {
+	const n = 1 << 20
+	keys := benchKeys(n, 20)
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(i)
+	}
+	workK, workV := make([]uint64, n), make([]uint32, n)
+	kScratch, vScratch := make([]uint64, n), make([]uint32, n)
+	b.Run("radix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(workK, keys)
+			copy(workV, vals)
+			SortKV(workK, workV, kScratch, vScratch, 4)
+		}
+	})
+	b.Run("slicestable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(workK, keys)
+			copy(workV, vals)
+			sort.SliceStable(workK, func(x, y int) bool { return workK[x] < workK[y] })
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package radix
+
+import (
+	"encoding/binary"
+	"slices"
+	"testing"
+)
+
+// FuzzRadixSort mirrors bitarray's FuzzUnpackKernels: arbitrary bytes
+// become a key array (with a fuzzed processor count), and the radix result
+// must match the stdlib sort of the same input. Sort64 and SortKV share
+// the pass machinery, so both are driven from one corpus; SortKV's payload
+// is the original index, which doubles as a stability check.
+func FuzzRadixSort(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, procs uint8) {
+		p := int(procs%16) + 1
+		n := len(data) / 8
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = binary.LittleEndian.Uint64(data[i*8:])
+		}
+
+		got := slices.Clone(keys)
+		Sort64(got, make([]uint64, n), p)
+		want := slices.Clone(keys)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("Sort64 disagrees with slices.Sort (n=%d p=%d)", n, p)
+		}
+
+		// SortKV: same keys, index payload; keys must sort identically and
+		// equal keys must keep ascending (input-order) indices.
+		kvKeys := slices.Clone(keys)
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = uint32(i)
+		}
+		SortKV(kvKeys, vals, make([]uint64, n), make([]uint32, n), p)
+		if !slices.Equal(kvKeys, want) {
+			t.Fatalf("SortKV keys disagree with slices.Sort (n=%d p=%d)", n, p)
+		}
+		for i := 1; i < n; i++ {
+			if kvKeys[i] == kvKeys[i-1] && vals[i] <= vals[i-1] {
+				t.Fatalf("SortKV unstable at %d: key %d indices %d, %d", i, kvKeys[i], vals[i-1], vals[i])
+			}
+		}
+	})
+}

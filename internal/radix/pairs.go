@@ -1,0 +1,160 @@
+package radix
+
+import "csrgraph/internal/parallel"
+
+// SortKV stably sorts keys ascending with a uint32 payload carried
+// alongside: whenever keys[i] moves, vals[i] moves with it. Stability makes
+// "last weight wins" dedup well defined downstream. kScratch and vScratch
+// must be at least len(keys) long; the sorted data always ends in
+// keys/vals.
+func SortKV(keys []uint64, vals []uint32, kScratch []uint64, vScratch []uint32, p int) {
+	n := len(keys)
+	if len(vals) != n {
+		panic("radix: keys and vals lengths differ")
+	}
+	checkArgs(n, min(len(kScratch), len(vScratch)))
+	if n <= insertionCutoff {
+		insertionKV(keys, vals)
+		return
+	}
+	chunks := parallel.Chunks(n, p)
+	nc := len(chunks)
+	and, or := reduceAndOr(keys, chunks)
+	shifts := varyingShifts(and, or)
+	if len(shifts) == 0 {
+		return
+	}
+	counts := make([]uint32, numBuckets*nc)
+	srcK, dstK := keys, kScratch[:n]
+	srcV, dstV := vals, vScratch[:n]
+	for _, shift := range shifts {
+		parallel.For(n, nc, func(c int, r parallel.Range) {
+			var h [numBuckets]uint32
+			for _, k := range srcK[r.Start:r.End] {
+				h[(k>>shift)&0xff]++
+			}
+			for d := 0; d < numBuckets; d++ {
+				counts[d*nc+c] = h[d]
+			}
+		})
+		scatterOffsets(counts, p)
+		parallel.For(n, nc, func(c int, r parallel.Range) {
+			var cur [numBuckets]uint32
+			for d := 0; d < numBuckets; d++ {
+				cur[d] = counts[d*nc+c]
+			}
+			for i := r.Start; i < r.End; i++ {
+				k := srcK[i]
+				d := (k >> shift) & 0xff
+				w := cur[d]
+				dstK[w] = k
+				dstV[w] = srcV[i]
+				cur[d] = w + 1
+			}
+		})
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if len(shifts)%2 == 1 {
+		parallel.For(n, p, func(_ int, r parallel.Range) {
+			copy(keys[r.Start:r.End], srcK[r.Start:r.End])
+			copy(vals[r.Start:r.End], srcV[r.Start:r.End])
+		})
+	}
+}
+
+// insertionKV is the stable small-input path for SortKV: the strict ">"
+// keeps equal keys in input order.
+func insertionKV(keys []uint64, vals []uint32) {
+	for i := 1; i < len(keys); i++ {
+		k, v := keys[i], vals[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1], vals[j+1] = keys[j], vals[j]
+			j--
+		}
+		keys[j+1], vals[j+1] = k, v
+	}
+}
+
+// Sort128 stably sorts the parallel arrays (hi, lo) as 128-bit keys
+// hi<<64 | lo, ascending — the temporal triple order (t, u, v) with hi = t
+// and lo = u<<32 | v. LSD passes run over the varying bytes of lo first,
+// then of hi; both scratch arrays must be at least len(hi) long, and the
+// sorted data always ends in hi/lo.
+func Sort128(hi, lo, hiScratch, loScratch []uint64, p int) {
+	n := len(hi)
+	if len(lo) != n {
+		panic("radix: hi and lo lengths differ")
+	}
+	checkArgs(n, min(len(hiScratch), len(loScratch)))
+	if n <= insertionCutoff {
+		insertion128(hi, lo)
+		return
+	}
+	chunks := parallel.Chunks(n, p)
+	nc := len(chunks)
+	loAnd, loOr := reduceAndOr(lo, chunks)
+	hiAnd, hiOr := reduceAndOr(hi, chunks)
+	loShifts := varyingShifts(loAnd, loOr)
+	hiShifts := varyingShifts(hiAnd, hiOr)
+	passes := len(loShifts) + len(hiShifts)
+	if passes == 0 {
+		return
+	}
+	counts := make([]uint32, numBuckets*nc)
+	srcH, dstH := hi, hiScratch[:n]
+	srcL, dstL := lo, loScratch[:n]
+	pass := func(digits []uint64, shift uint) {
+		parallel.For(n, nc, func(c int, r parallel.Range) {
+			var h [numBuckets]uint32
+			for _, k := range digits[r.Start:r.End] {
+				h[(k>>shift)&0xff]++
+			}
+			for d := 0; d < numBuckets; d++ {
+				counts[d*nc+c] = h[d]
+			}
+		})
+		scatterOffsets(counts, p)
+		parallel.For(n, nc, func(c int, r parallel.Range) {
+			var cur [numBuckets]uint32
+			for d := 0; d < numBuckets; d++ {
+				cur[d] = counts[d*nc+c]
+			}
+			for i := r.Start; i < r.End; i++ {
+				d := (digits[i] >> shift) & 0xff
+				w := cur[d]
+				dstH[w] = srcH[i]
+				dstL[w] = srcL[i]
+				cur[d] = w + 1
+			}
+		})
+		srcH, dstH = dstH, srcH
+		srcL, dstL = dstL, srcL
+	}
+	for _, shift := range loShifts {
+		pass(srcL, shift)
+	}
+	for _, shift := range hiShifts {
+		pass(srcH, shift)
+	}
+	if passes%2 == 1 {
+		parallel.For(n, p, func(_ int, r parallel.Range) {
+			copy(hi[r.Start:r.End], srcH[r.Start:r.End])
+			copy(lo[r.Start:r.End], srcL[r.Start:r.End])
+		})
+	}
+}
+
+// insertion128 is the small-input path for Sort128.
+func insertion128(hi, lo []uint64) {
+	for i := 1; i < len(hi); i++ {
+		h, l := hi[i], lo[i]
+		j := i - 1
+		for j >= 0 && (hi[j] > h || (hi[j] == h && lo[j] > l)) {
+			hi[j+1], lo[j+1] = hi[j], lo[j]
+			j--
+		}
+		hi[j+1], lo[j+1] = h, l
+	}
+}

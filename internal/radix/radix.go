@@ -1,0 +1,171 @@
+// Package radix implements the parallel LSD (least-significant-digit) radix
+// sort the construction pipeline funnels through: edge lists packed into
+// uint64 keys (u<<32 | v), weighted edges as a key plus a uint32 payload,
+// and temporal (u, v, t) triples as 128-bit key tuples.
+//
+// Each byte-radix pass is a parallel counting sort with the same chunked
+// shape as the paper's algorithms:
+//
+//  1. every processor histograms the current digit of its chunk into a
+//     private 256-bucket count array;
+//  2. the per-chunk counts, laid out digit-major (digit d of chunk c at
+//     index d*numChunks+c), are turned into scatter start offsets by one
+//     exclusive prefix sum — internal/prefixsum's Algorithm 1, the same
+//     scan that builds CSR row offsets;
+//  3. every processor re-walks its chunk and scatters elements to their
+//     final positions for this digit, bumping private cursors.
+//
+// Chunks are scanned in order and the offset layout orders equal digits by
+// chunk, so every pass — and therefore the whole sort — is stable. Before
+// sorting, an AND/OR reduction over the keys finds the bytes that actually
+// vary; constant bytes cannot affect the order and their passes are
+// skipped, so a graph with 2^20 nodes sorts (u, v) keys in 5 passes (bytes
+// 0-2 of v, bytes 4-6 of u) instead of 8, and small time-frame counts sort
+// in 1.
+//
+// The comparison-based merge sort this package replaces survives as
+// edgelist's SortByUVMerge/SortMerge, the differential-test and benchmark
+// baseline — the same retention policy as bitarray's unpackGeneric.
+package radix
+
+import (
+	"math"
+
+	"csrgraph/internal/parallel"
+	"csrgraph/internal/prefixsum"
+)
+
+const (
+	// numBuckets is the radix: one byte per pass.
+	numBuckets = 256
+
+	// insertionCutoff is the length below which a plain insertion sort
+	// beats the histogram/scan/scatter machinery.
+	insertionCutoff = 64
+)
+
+// maxLen bounds the input length so the uint32 scatter offsets cannot
+// overflow. Edge lists at this scale would not fit in memory anyway.
+const maxLen = math.MaxUint32
+
+// varyingShifts returns the bit shifts (LSB first) of the key bytes that
+// differ somewhere in the input, given the AND and OR reductions of all
+// keys. A byte is constant — and its pass skippable — iff its AND and OR
+// agree.
+func varyingShifts(and, or uint64) []uint {
+	shifts := make([]uint, 0, 8)
+	for s := uint(0); s < 64; s += 8 {
+		if (and>>s)&0xff != (or>>s)&0xff {
+			shifts = append(shifts, s)
+		}
+	}
+	return shifts
+}
+
+// reduceAndOr computes the AND and OR of all keys in parallel.
+func reduceAndOr(keys []uint64, chunks []parallel.Range) (and, or uint64) {
+	nc := len(chunks)
+	ands := make([]uint64, nc)
+	ors := make([]uint64, nc)
+	parallel.For(len(keys), nc, func(c int, r parallel.Range) {
+		a, o := ^uint64(0), uint64(0)
+		for _, k := range keys[r.Start:r.End] {
+			a &= k
+			o |= k
+		}
+		ands[c], ors[c] = a, o
+	})
+	and, or = ^uint64(0), 0
+	for c := 0; c < nc; c++ {
+		and &= ands[c]
+		or |= ors[c]
+	}
+	return and, or
+}
+
+// scatterOffsets converts the digit-major histogram matrix into scatter
+// start offsets with one exclusive prefix sum (internal/prefixsum's
+// Algorithm 1 scan).
+func scatterOffsets(counts []uint32, p int) {
+	prefixsum.Exclusive(counts, p)
+}
+
+// insertion64 sorts a short key slice in place.
+func insertion64(keys []uint64) {
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1] = keys[j]
+			j--
+		}
+		keys[j+1] = k
+	}
+}
+
+// checkArgs validates the shared preconditions of the Sort entry points.
+func checkArgs(n, scratchLen int) {
+	if scratchLen < n {
+		panic("radix: scratch buffer smaller than input")
+	}
+	if n > maxLen {
+		panic("radix: input longer than 2^32-1 elements")
+	}
+}
+
+// Sort64 sorts keys ascending, in place, using p processors and scratch
+// (len(scratch) >= len(keys)) as the ping-pong buffer. The sorted data
+// always ends in keys; scratch contents are unspecified afterwards.
+func Sort64(keys, scratch []uint64, p int) {
+	n := len(keys)
+	checkArgs(n, len(scratch))
+	if n <= insertionCutoff {
+		insertion64(keys)
+		return
+	}
+	chunks := parallel.Chunks(n, p)
+	nc := len(chunks)
+	and, or := reduceAndOr(keys, chunks)
+	shifts := varyingShifts(and, or)
+	if len(shifts) == 0 {
+		return // all keys equal
+	}
+	counts := make([]uint32, numBuckets*nc)
+	src, dst := keys, scratch[:n]
+	for _, shift := range shifts {
+		// Phase 1: per-chunk digit histograms into the digit-major layout.
+		parallel.For(n, nc, func(c int, r parallel.Range) {
+			var h [numBuckets]uint32
+			for _, k := range src[r.Start:r.End] {
+				h[(k>>shift)&0xff]++
+			}
+			for d := 0; d < numBuckets; d++ {
+				counts[d*nc+c] = h[d]
+			}
+		})
+		// Phase 2: one exclusive scan turns counts into scatter offsets —
+		// counts[d*nc+c] becomes the first output index for digit d in
+		// chunk c (Algorithm 1 again, on the histogram matrix).
+		scatterOffsets(counts, p)
+		// Phase 3: stable scatter; chunks walk in order with private
+		// cursors, so equal digits keep their relative order.
+		parallel.For(n, nc, func(c int, r parallel.Range) {
+			var cur [numBuckets]uint32
+			for d := 0; d < numBuckets; d++ {
+				cur[d] = counts[d*nc+c]
+			}
+			for _, k := range src[r.Start:r.End] {
+				d := (k >> shift) & 0xff
+				dst[cur[d]] = k
+				cur[d]++
+			}
+		})
+		src, dst = dst, src
+	}
+	if len(shifts)%2 == 1 {
+		// Data ended in scratch; copy it home in parallel.
+		parallel.For(n, p, func(_ int, r parallel.Range) {
+			copy(keys[r.Start:r.End], src[r.Start:r.End])
+		})
+	}
+}

@@ -1,0 +1,204 @@
+package radix
+
+import (
+	"math"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// xorshift64 is the deterministic filler used to build test inputs.
+func xorshift64(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}
+
+// testKeys enumerates the edge-case key distributions the differential
+// tests sweep: the ISSUE's empty / single / all-equal / near-MaxUint32
+// node ids / sorted / reverse-sorted cases plus byte-skip shapes.
+func testKeys() map[string][]uint64 {
+	cases := map[string][]uint64{
+		"empty":  {},
+		"single": {42},
+		"two":    {7, 3},
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	full := make([]uint64, 10_000)
+	for i := range full {
+		full[i] = xorshift64(&seed)
+	}
+	cases["random-full-range"] = full
+
+	// Small node-id space: only low bytes vary, so most passes skip.
+	small := make([]uint64, 10_000)
+	for i := range small {
+		u := xorshift64(&seed) % 1000
+		v := xorshift64(&seed) % 1000
+		small[i] = u<<32 | v
+	}
+	cases["random-small-ids"] = small
+
+	// Node ids near MaxUint32 in both halves.
+	huge := make([]uint64, 5_000)
+	for i := range huge {
+		u := uint64(math.MaxUint32) - xorshift64(&seed)%16
+		v := uint64(math.MaxUint32) - xorshift64(&seed)%16
+		huge[i] = u<<32 | v
+	}
+	cases["ids-near-maxuint32"] = huge
+
+	equal := make([]uint64, 3_000)
+	for i := range equal {
+		equal[i] = 0xdeadbeefcafe
+	}
+	cases["all-equal"] = equal
+
+	sorted := make([]uint64, 8_000)
+	for i := range sorted {
+		sorted[i] = uint64(i) * 7
+	}
+	cases["already-sorted"] = sorted
+
+	rev := make([]uint64, 8_000)
+	for i := range rev {
+		rev[i] = uint64(len(rev)-i) * 13
+	}
+	cases["reverse-sorted"] = rev
+
+	// Straddles the insertion cutoff.
+	tiny := make([]uint64, insertionCutoff+1)
+	for i := range tiny {
+		tiny[i] = xorshift64(&seed) % 97
+	}
+	cases["cutoff-boundary"] = tiny
+	return cases
+}
+
+func TestSort64MatchesReference(t *testing.T) {
+	for name, keys := range testKeys() {
+		for _, p := range []int{1, 2, 4, 8} {
+			got := slices.Clone(keys)
+			scratch := make([]uint64, len(keys))
+			Sort64(got, scratch, p)
+			want := slices.Clone(keys)
+			slices.Sort(want)
+			if !slices.Equal(got, want) {
+				t.Errorf("%s p=%d: Sort64 disagrees with slices.Sort", name, p)
+			}
+		}
+	}
+}
+
+func TestSortKVMatchesStableReference(t *testing.T) {
+	seed := uint64(11)
+	for _, n := range []int{0, 1, 2, insertionCutoff, insertionCutoff + 1, 5_000} {
+		keys := make([]uint64, n)
+		vals := make([]uint32, n)
+		for i := range keys {
+			// Few distinct keys so duplicate runs are long and stability
+			// is actually exercised.
+			keys[i] = xorshift64(&seed) % 50
+			vals[i] = uint32(i)
+		}
+		for _, p := range []int{1, 3, 8} {
+			gotK := slices.Clone(keys)
+			gotV := slices.Clone(vals)
+			SortKV(gotK, gotV, make([]uint64, n), make([]uint32, n), p)
+
+			type kv struct {
+				k uint64
+				v uint32
+			}
+			ref := make([]kv, n)
+			for i := range ref {
+				ref[i] = kv{keys[i], vals[i]}
+			}
+			sort.SliceStable(ref, func(i, j int) bool { return ref[i].k < ref[j].k })
+			for i := range ref {
+				if gotK[i] != ref[i].k || gotV[i] != ref[i].v {
+					t.Fatalf("n=%d p=%d: SortKV[%d] = (%d,%d), stable reference (%d,%d)",
+						n, p, i, gotK[i], gotV[i], ref[i].k, ref[i].v)
+				}
+			}
+		}
+	}
+}
+
+func TestSort128MatchesReference(t *testing.T) {
+	seed := uint64(23)
+	for _, n := range []int{0, 1, 2, insertionCutoff + 5, 10_000} {
+		hi := make([]uint64, n)
+		lo := make([]uint64, n)
+		for i := range hi {
+			hi[i] = xorshift64(&seed) % 30 // few frames: hi passes mostly skip
+			lo[i] = xorshift64(&seed)
+		}
+		for _, p := range []int{1, 4} {
+			gotH := slices.Clone(hi)
+			gotL := slices.Clone(lo)
+			Sort128(gotH, gotL, make([]uint64, n), make([]uint64, n), p)
+
+			type pair struct{ h, l uint64 }
+			ref := make([]pair, n)
+			for i := range ref {
+				ref[i] = pair{hi[i], lo[i]}
+			}
+			sort.Slice(ref, func(i, j int) bool {
+				if ref[i].h != ref[j].h {
+					return ref[i].h < ref[j].h
+				}
+				return ref[i].l < ref[j].l
+			})
+			for i := range ref {
+				if gotH[i] != ref[i].h || gotL[i] != ref[i].l {
+					t.Fatalf("n=%d p=%d: Sort128[%d] = (%d,%d), want (%d,%d)",
+						n, p, i, gotH[i], gotL[i], ref[i].h, ref[i].l)
+				}
+			}
+		}
+	}
+}
+
+func TestVaryingShifts(t *testing.T) {
+	cases := []struct {
+		and, or uint64
+		want    int
+	}{
+		{0, 0, 0},                          // all zero: nothing varies
+		{^uint64(0), ^uint64(0), 0},        // all ones: nothing varies
+		{0, 0xff, 1},                       // only byte 0 varies
+		{0, ^uint64(0), 8},                 // everything varies
+		{0x00ff, 0xffff, 1},                // byte 0 constant, byte 1 varies
+		{0, 0xffff_ffff, 4},                // low half varies (32-bit ids)
+		{0x7<<56 | 0x1, 0x7<<56 | 0xff, 1}, // constant top byte skipped
+		{0, 1 << 63, 1},                    // sign-bit-only variation
+	}
+	for _, c := range cases {
+		if got := len(varyingShifts(c.and, c.or)); got != c.want {
+			t.Errorf("varyingShifts(%#x, %#x): %d passes, want %d", c.and, c.or, got, c.want)
+		}
+	}
+}
+
+func TestSortPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	keys := make([]uint64, 100)
+	expectPanic("short scratch", func() { Sort64(keys, make([]uint64, 10), 2) })
+	expectPanic("kv length mismatch", func() {
+		SortKV(keys, make([]uint32, 99), make([]uint64, 100), make([]uint32, 100), 2)
+	})
+	expectPanic("128 length mismatch", func() {
+		Sort128(keys, make([]uint64, 99), make([]uint64, 100), make([]uint64, 100), 2)
+	})
+}

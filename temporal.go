@@ -23,18 +23,11 @@ type TemporalGraph struct {
 
 // BuildTemporal constructs a TemporalGraph from toggle events. The input
 // is copied and sorted by (time, u, v); duplicate events within one frame
-// are removed (a doubled toggle is a no-op).
+// are removed (a doubled toggle is a no-op). Sorting and dedup run fused
+// over the radix key tuples (see edgelist.TemporalList.Prepared).
 func BuildTemporal(events []TemporalEdge, numFrames int, opts ...Option) (*TemporalGraph, error) {
 	c := buildConfig(opts)
-	l := make(edgelist.TemporalList, len(events))
-	copy(l, events)
-	l.Sort(c.procs)
-	dedup := l[:0]
-	for i, e := range l {
-		if i == 0 || e != l[i-1] {
-			dedup = append(dedup, e)
-		}
-	}
+	dedup := edgelist.TemporalList(events).Prepared(c.procs)
 	numNodes := 0
 	if len(dedup) > 0 {
 		numNodes = int(dedup.MaxNode()) + 1
@@ -60,9 +53,7 @@ func BuildTemporalFromSnapshots(snapshots [][]Edge, opts ...Option) (*TemporalGr
 	numNodes := 0
 	lists := make([]edgelist.List, len(snapshots))
 	for i, s := range snapshots {
-		l := edgelist.List(s).Clone()
-		l.SortByUV(c.procs)
-		l = l.Dedup()
+		l := edgelist.List(s).Prepared(false, c.procs)
 		lists[i] = l
 		if n := l.NumNodes(); n > numNodes {
 			numNodes = n
