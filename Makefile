@@ -7,7 +7,7 @@ GO ?= go
 # lower-variance trajectory points.
 BENCHTIME ?= 100ms
 
-.PHONY: all build test test-race race vet fmt bench bench-quick bench-json bench-compare fuzz experiments clean
+.PHONY: all build test test-race race vet fmt bench bench-quick bench-json bench-compare bench-compare-query fuzz experiments clean
 
 all: build vet test test-race
 
@@ -55,6 +55,14 @@ bench-json:
 bench-compare:
 	$(GO) test -run '^$$' -bench BenchmarkSortByUV -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchcompare
+
+# Query-engine delta tables: zero-decode search vs the linear baseline
+# (algo= variants) and warm vs cold hot-row cache (cache= variants).
+bench-compare-query:
+	$(GO) test -run '^$$' -bench 'BenchmarkEdgesExistBatch|BenchmarkNeighborsBatch' \
+		-benchtime $(BENCHTIME) . | tee /tmp/benchq.txt \
+		| $(GO) run ./cmd/benchcompare -baseline linear -new search
+	$(GO) run ./cmd/benchcompare -key cache -baseline cold -new warm < /tmp/benchq.txt
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

@@ -1,17 +1,32 @@
-// Command benchcompare reads `go test -bench` text output on stdin, pairs
-// sub-benchmarks that differ only in an "algo=<name>" path element (e.g.
-// algo=merge vs algo=radix), and prints a delta table: ns/op for each
-// algorithm and the baseline/candidate speedup. It backs `make
-// bench-compare`, the construction-sort regression gate.
+// Command benchcompare diffs benchmark results two ways.
+//
+// Variant mode (default, stdin): reads `go test -bench` text output, pairs
+// sub-benchmarks that differ only in a "<key>=<label>" path element (the
+// key defaults to "algo", e.g. algo=merge vs algo=radix; -key cache pairs
+// cache=cold vs cache=warm), and prints a delta table: ns/op for each
+// variant and the baseline/candidate speedup. It backs `make
+// bench-compare` (construction-sort regression gate) and `make
+// bench-compare-query` (query-engine gate).
 //
 //	go test -bench BenchmarkSortByUV . | benchcompare
 //	go test -bench BenchmarkSortByUV . | benchcompare -baseline merge -new radix
+//	go test -bench BenchmarkNeighborsBatch . | benchcompare -key cache -baseline cold -new warm
+//
+// Snapshot mode (two positional args): reads two BENCH_*.json trajectory
+// files written by `make bench-json` (cmd/benchjson's format), pairs
+// results by package+name, and prints the ns/op delta per benchmark —
+// the cross-PR regression view.
+//
+//	benchcompare BENCH_2026-08-06b.json BENCH_2026-08-06c.json
+//	benchcompare -filter 'EdgesExistBatch|NeighborsBatch' old.json new.json
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -23,19 +38,30 @@ import (
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
 
 func main() {
-	baseline := flag.String("baseline", "merge", "algo= label of the baseline variant")
-	candidate := flag.String("new", "radix", "algo= label of the new variant")
+	baseline := flag.String("baseline", "merge", "label of the baseline variant (variant mode)")
+	candidate := flag.String("new", "radix", "label of the new variant (variant mode)")
+	key := flag.String("key", "algo", "path-element key the variants differ in (variant mode)")
+	filter := flag.String("filter", "", "regexp limiting compared benchmarks (snapshot mode)")
 	flag.Parse()
 
-	if err := run(os.Stdin, os.Stdout, *baseline, *candidate); err != nil {
+	var err error
+	switch flag.NArg() {
+	case 0:
+		err = run(os.Stdin, os.Stdout, *key, *baseline, *candidate)
+	case 2:
+		err = runSnapshots(os.Stdout, flag.Arg(0), flag.Arg(1), *filter)
+	default:
+		err = fmt.Errorf("want no args (variant mode, stdin) or two snapshot files, got %d", flag.NArg())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(1)
 	}
 }
 
-// stripAlgo removes the "algo=<label>" path element and the trailing
-// "-<procs>" suffix, returning the pairing key and the algo label.
-func stripAlgo(name string) (key, algo string) {
+// stripKey removes the "<key>=<label>" path element and the trailing
+// "-<procs>" suffix, returning the pairing key and the variant label.
+func stripKey(name, key string) (pairKey, label string) {
 	if i := strings.LastIndex(name, "-"); i > 0 {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
@@ -44,17 +70,17 @@ func stripAlgo(name string) (key, algo string) {
 	parts := strings.Split(name, "/")
 	kept := parts[:0]
 	for _, p := range parts {
-		if v, ok := strings.CutPrefix(p, "algo="); ok {
-			algo = v
+		if v, ok := strings.CutPrefix(p, key+"="); ok {
+			label = v
 			continue
 		}
 		kept = append(kept, p)
 	}
-	return strings.Join(kept, "/"), algo
+	return strings.Join(kept, "/"), label
 }
 
-func run(in *os.File, out *os.File, baseline, candidate string) error {
-	// nsPerOp[key][algo] = ns/op of the variant.
+func run(in io.Reader, out io.Writer, key, baseline, candidate string) error {
+	// nsPerOp[pairKey][label] = ns/op of the variant.
 	nsPerOp := map[string]map[string]float64{}
 	var order []string
 	sc := bufio.NewScanner(in)
@@ -64,25 +90,25 @@ func run(in *os.File, out *os.File, baseline, candidate string) error {
 		if m == nil {
 			continue
 		}
-		key, algo := stripAlgo(m[1])
-		if algo == "" {
+		pairKey, label := stripKey(m[1], key)
+		if label == "" {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
-		if nsPerOp[key] == nil {
-			nsPerOp[key] = map[string]float64{}
-			order = append(order, key)
+		if nsPerOp[pairKey] == nil {
+			nsPerOp[pairKey] = map[string]float64{}
+			order = append(order, pairKey)
 		}
-		nsPerOp[key][algo] = ns
+		nsPerOp[pairKey][label] = ns
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
 	if len(order) == 0 {
-		return fmt.Errorf("no benchmark lines with an algo= variant on stdin")
+		return fmt.Errorf("no benchmark lines with a %s= variant on stdin", key)
 	}
 	sort.Strings(order)
 
@@ -90,18 +116,90 @@ func run(in *os.File, out *os.File, baseline, candidate string) error {
 	defer w.Flush()
 	fmt.Fprintf(w, "%-55s %15s %15s %9s\n", "benchmark", baseline+" ns/op", candidate+" ns/op", "speedup")
 	paired := 0
-	for _, key := range order {
-		base, okB := nsPerOp[key][baseline]
-		cand, okC := nsPerOp[key][candidate]
+	for _, pairKey := range order {
+		base, okB := nsPerOp[pairKey][baseline]
+		cand, okC := nsPerOp[pairKey][candidate]
 		if !okB || !okC {
-			fmt.Fprintf(w, "%-55s missing %s or %s variant\n", key, baseline, candidate)
+			fmt.Fprintf(w, "%-55s missing %s or %s variant\n", pairKey, baseline, candidate)
 			continue
 		}
-		fmt.Fprintf(w, "%-55s %15.0f %15.0f %8.2fx\n", key, base, cand, base/cand)
+		fmt.Fprintf(w, "%-55s %15.0f %15.0f %8.2fx\n", pairKey, base, cand, base/cand)
 		paired++
 	}
 	if paired == 0 {
 		return fmt.Errorf("no benchmark had both %s and %s variants", baseline, candidate)
+	}
+	return nil
+}
+
+// snapshotResult mirrors cmd/benchjson's output schema.
+type snapshotResult struct {
+	Package string             `json:"package"`
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func readSnapshot(path string) (map[string]float64, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []snapshotResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	ns := map[string]float64{}
+	var order []string
+	for _, r := range results {
+		v, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		key := r.Package + " " + r.Name
+		if _, dup := ns[key]; !dup {
+			order = append(order, key)
+		}
+		ns[key] = v
+	}
+	return ns, order, nil
+}
+
+// runSnapshots diffs two bench-json trajectory files by package+name.
+func runSnapshots(out io.Writer, basePath, candPath, filter string) error {
+	var re *regexp.Regexp
+	if filter != "" {
+		var err error
+		if re, err = regexp.Compile(filter); err != nil {
+			return err
+		}
+	}
+	base, _, err := readSnapshot(basePath)
+	if err != nil {
+		return err
+	}
+	cand, order, err := readSnapshot(candPath)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-80s %15s %15s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	shown := 0
+	for _, key := range order {
+		if re != nil && !re.MatchString(key) {
+			continue
+		}
+		b, ok := base[key]
+		if !ok {
+			fmt.Fprintf(w, "%-80s %31s %9.0f\n", key, "(new)", cand[key])
+			shown++
+			continue
+		}
+		fmt.Fprintf(w, "%-80s %15.0f %15.0f %8.2fx\n", key, b, cand[key], b/cand[key])
+		shown++
+	}
+	if shown == 0 {
+		return fmt.Errorf("no candidate benchmark in %s matches", candPath)
 	}
 	return nil
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+BenchmarkSortByUV/dist=uniform/edges=100/algo=merge-8   5   2000 ns/op
+BenchmarkSortByUV/dist=uniform/edges=100/algo=radix-8   5   1000 ns/op
+BenchmarkNeighborsBatch/dist=powerlaw/batch=hub/cache=cold-8   3   9000 ns/op
+BenchmarkNeighborsBatch/dist=powerlaw/batch=hub/cache=warm-8   3   3000 ns/op
+PASS
+`
+
+func TestVariantModeAlgoKey(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(benchText), &out, "algo", "merge", "radix"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "2.00x") {
+		t.Fatalf("missing 2x speedup line:\n%s", got)
+	}
+	if !strings.Contains(got, "BenchmarkSortByUV/dist=uniform/edges=100") {
+		t.Fatalf("algo= element not stripped from pairing key:\n%s", got)
+	}
+}
+
+func TestVariantModeCacheKey(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(benchText), &out, "cache", "cold", "warm"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3.00x") {
+		t.Fatalf("missing 3x cache speedup:\n%s", out.String())
+	}
+}
+
+func TestVariantModeNoPairs(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(benchText), &out, "nope", "a", "b"); err == nil {
+		t.Fatal("want error when no variants match the key")
+	}
+}
+
+func TestSnapshotMode(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	new_ := filepath.Join(dir, "new.json")
+	writeFile(t, old, `[
+		{"package":"csrgraph","name":"BenchmarkA-8","metrics":{"ns/op":4000}},
+		{"package":"csrgraph","name":"BenchmarkB-8","metrics":{"ns/op":100}}
+	]`)
+	writeFile(t, new_, `[
+		{"package":"csrgraph","name":"BenchmarkA-8","metrics":{"ns/op":1000}},
+		{"package":"csrgraph","name":"BenchmarkC-8","metrics":{"ns/op":50}}
+	]`)
+	var out strings.Builder
+	if err := runSnapshots(&out, old, new_, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "4.00x") {
+		t.Fatalf("missing 4x delta:\n%s", got)
+	}
+	if !strings.Contains(got, "(new)") {
+		t.Fatalf("benchmark only in candidate not marked new:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runSnapshots(&out, old, new_, "BenchmarkA"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "BenchmarkC") {
+		t.Fatalf("filter did not exclude BenchmarkC:\n%s", out.String())
+	}
+	if err := runSnapshots(&out, old, new_, "NoSuchBench"); err == nil {
+		t.Fatal("want error when the filter matches nothing")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

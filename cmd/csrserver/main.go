@@ -1,7 +1,7 @@
 // Command csrserver serves a packed CSR graph — or a packed time-evolving
 // TCSR — over HTTP with the parallel querying algorithms of Section V:
 //
-//	csrserver -graph g.pcsr -addr :8080 -procs 8
+//	csrserver -graph g.pcsr -addr :8080 -procs 8 -cache-mb 64
 //	csrserver -temporal t.tcsr -addr :8080
 //
 // Static endpoints: /healthz, /stats, /neighbors?nodes=...,
@@ -29,10 +29,11 @@ func main() {
 	temporalPath := fs.String("temporal", "", "packed TCSR file (mutually exclusive with -graph)")
 	addr := fs.String("addr", ":8080", "listen address")
 	procs := fs.Int("procs", 4, "processors per query batch")
+	cacheMB := fs.Int("cache-mb", 64, "hot-row cache size in MiB for -graph (0 disables)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	handler, desc, err := buildHandler(*graphPath, *temporalPath, *procs)
+	handler, desc, err := buildHandler(*graphPath, *temporalPath, *procs, *cacheMB)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "csrserver:", err)
 		os.Exit(2)
@@ -47,7 +48,7 @@ func main() {
 }
 
 // buildHandler resolves the flag combination into an http.Handler.
-func buildHandler(graphPath, temporalPath string, procs int) (http.Handler, string, error) {
+func buildHandler(graphPath, temporalPath string, procs, cacheMB int) (http.Handler, string, error) {
 	switch {
 	case graphPath != "" && temporalPath != "":
 		return nil, "", fmt.Errorf("-graph and -temporal are mutually exclusive")
@@ -58,7 +59,7 @@ func buildHandler(graphPath, temporalPath string, procs int) (http.Handler, stri
 		}
 		desc := fmt.Sprintf("%d nodes / %d edges (%d-bit neighbors)",
 			pk.NumNodes(), pk.NumEdges(), pk.NumBits())
-		return server.New(pk, procs), desc, nil
+		return server.New(pk, procs, server.WithRowCache(int64(cacheMB)<<20)), desc, nil
 	case temporalPath != "":
 		f, err := os.Open(temporalPath)
 		if err != nil {

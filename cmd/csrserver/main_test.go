@@ -18,7 +18,7 @@ func TestBuildHandlerGraph(t *testing.T) {
 	if err := pk.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	h, desc, err := buildHandler(path, "", 2)
+	h, desc, err := buildHandler(path, "", 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestBuildHandlerTemporal(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	h, _, err := buildHandler("", path, 2)
+	h, _, err := buildHandler("", path, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,16 +59,16 @@ func TestBuildHandlerTemporal(t *testing.T) {
 }
 
 func TestBuildHandlerErrors(t *testing.T) {
-	if _, _, err := buildHandler("", "", 2); err == nil {
+	if _, _, err := buildHandler("", "", 2, 0); err == nil {
 		t.Fatal("want error for no input")
 	}
-	if _, _, err := buildHandler("a", "b", 2); err == nil {
+	if _, _, err := buildHandler("a", "b", 2, 0); err == nil {
 		t.Fatal("want error for both inputs")
 	}
-	if _, _, err := buildHandler("/nonexistent.pcsr", "", 2); err == nil {
+	if _, _, err := buildHandler("/nonexistent.pcsr", "", 2, 0); err == nil {
 		t.Fatal("want error for missing graph file")
 	}
-	if _, _, err := buildHandler("", "/nonexistent.tcsr", 2); err == nil {
+	if _, _, err := buildHandler("", "/nonexistent.tcsr", 2, 0); err == nil {
 		t.Fatal("want error for missing temporal file")
 	}
 }

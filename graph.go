@@ -118,8 +118,9 @@ func (g *Graph) Degree(u NodeID) int { return g.m.Degree(u) }
 // is shared with the graph; callers must not modify it.
 func (g *Graph) Neighbors(u NodeID) []uint32 { return g.m.Neighbors(u) }
 
-// HasEdge reports whether the directed edge (u, v) exists.
-func (g *Graph) HasEdge(u, v NodeID) bool { return g.m.HasEdgeBinary(u, v) }
+// HasEdge reports whether the directed edge (u, v) exists, by early-exit
+// binary search over the sorted row.
+func (g *Graph) HasEdge(u, v NodeID) bool { return g.m.SearchRow(u, v) }
 
 // Edges returns the graph's edges sorted by (u, v).
 func (g *Graph) Edges() []Edge { return g.m.Edges() }
@@ -202,9 +203,10 @@ func (g *Graph) NeighborsBatch(nodes []NodeID, procs int) [][]uint32 {
 }
 
 // EdgesExistBatch answers many edge-existence queries in parallel; result
-// i reports whether queries[i] exists.
+// i reports whether queries[i] exists. Queries are scheduled dynamically
+// (work-stealing) and each probe binary-searches the row in place.
 func (g *Graph) EdgesExistBatch(queries []Edge, procs int) []bool {
-	return query.EdgesExistBatchBinary(g.m, queries, orDefault(procs, g.procs))
+	return query.EdgesExistBatchSearch(g.m, queries, orDefault(procs, g.procs))
 }
 
 // CompressDelta returns the delta-gamma compressed form: rows stored as
@@ -212,12 +214,15 @@ func (g *Graph) EdgesExistBatch(queries []Edge, procs int) []bool {
 // clustered neighbor ids (especially after RelabelByBFS), but queries
 // decode rows sequentially instead of random access.
 func (g *Graph) CompressDelta() *DeltaCompressedGraph {
-	return &DeltaCompressedGraph{dp: csr.PackDelta(g.m, g.procs)}
+	return &DeltaCompressedGraph{dp: csr.PackDelta(g.m, g.procs), procs: g.procs}
 }
 
 // DeltaCompressedGraph is the gap-compressed CSR form.
 type DeltaCompressedGraph struct {
-	dp *csr.DeltaPacked
+	dp    *csr.DeltaPacked
+	rows  query.Source // dp, fronted by the hot-row cache when enabled
+	cache *query.RowCache
+	procs int
 }
 
 // NumNodes returns the number of nodes.
@@ -229,18 +234,67 @@ func (dg *DeltaCompressedGraph) NumEdges() int { return dg.dp.NumEdges() }
 // Degree returns the out-degree of u (decodes the row).
 func (dg *DeltaCompressedGraph) Degree(u NodeID) int { return dg.dp.Degree(u) }
 
-// Neighbors decodes and returns u's neighbors.
-func (dg *DeltaCompressedGraph) Neighbors(u NodeID) []uint32 { return dg.dp.Row(nil, u) }
+// Neighbors decodes and returns u's neighbors. With a row cache enabled,
+// repeated hub lookups are served from the cache (still copied, so the
+// result is always caller-owned).
+func (dg *DeltaCompressedGraph) Neighbors(u NodeID) []uint32 {
+	if dg.rows != nil {
+		row := dg.rows.Row(nil, u)
+		out := make([]uint32, len(row))
+		copy(out, row)
+		return out
+	}
+	return dg.dp.Row(nil, u)
+}
 
-// HasEdge reports whether (u, v) exists by sequential row decode.
-func (dg *DeltaCompressedGraph) HasEdge(u, v NodeID) bool { return dg.dp.HasEdge(u, v) }
+// HasEdge reports whether (u, v) exists by early-exit sequential decode
+// (gamma rows have no random access, so this is the best possible search).
+func (dg *DeltaCompressedGraph) HasEdge(u, v NodeID) bool { return dg.dp.SearchRow(u, v) }
+
+// NeighborsBatch answers many neighborhood queries in parallel with
+// work-stealing scheduling; result i holds the neighbors of nodes[i].
+func (dg *DeltaCompressedGraph) NeighborsBatch(nodes []NodeID, procs int) [][]uint32 {
+	return query.NeighborsBatch(dg.rowSource(), nodes, orDefault(procs, dg.procs))
+}
+
+// EdgesExistBatch answers many edge-existence queries in parallel without
+// materializing rows.
+func (dg *DeltaCompressedGraph) EdgesExistBatch(queries []Edge, procs int) []bool {
+	return query.EdgesExistBatchSearch(dg.dp, queries, orDefault(procs, dg.procs))
+}
+
+// EnableRowCache fronts row decodes with a sharded LRU cache of decoded
+// rows bounded by maxBytes; maxBytes <= 0 disables caching. Not safe to
+// call concurrently with queries — configure the cache before serving.
+// Gamma rows decode sequentially, so the cache pays off even faster here
+// than on the bit-packed form.
+func (dg *DeltaCompressedGraph) EnableRowCache(maxBytes int64) {
+	if c := query.NewRowCacheShards(maxBytes, 0); c != nil {
+		dg.cache, dg.rows = c, query.Cached(dg.dp, c)
+	} else {
+		dg.cache, dg.rows = nil, nil
+	}
+}
+
+// CacheStats reports hot-row cache effectiveness; zero when no cache is
+// enabled.
+func (dg *DeltaCompressedGraph) CacheStats() CacheStats {
+	return cacheStatsFrom(dg.cache.Stats())
+}
+
+func (dg *DeltaCompressedGraph) rowSource() query.Source {
+	if dg.rows != nil {
+		return dg.rows
+	}
+	return dg.dp
+}
 
 // SizeBytes returns the compressed footprint.
 func (dg *DeltaCompressedGraph) SizeBytes() int64 { return dg.dp.SizeBytes() }
 
 // Decompress expands back to a plain Graph.
 func (dg *DeltaCompressedGraph) Decompress() *Graph {
-	return &Graph{m: dg.dp.Unpack(), procs: 1}
+	return &Graph{m: dg.dp.Unpack(), procs: orDefault(dg.procs, 1)}
 }
 
 // CompressedGraph is the bit-packed CSR: typically several times smaller
@@ -248,7 +302,23 @@ func (dg *DeltaCompressedGraph) Decompress() *Graph {
 // decompression. All methods are safe for concurrent use.
 type CompressedGraph struct {
 	pk    *csr.Packed
+	rows  query.Source // pk, fronted by the hot-row cache when enabled
+	cache *query.RowCache
 	procs int
+}
+
+// CacheStats is a point-in-time snapshot of a graph's hot-row cache
+// counters; all fields are zero when caching is disabled.
+type CacheStats struct {
+	Hits     int64
+	Misses   int64
+	Entries  int64
+	Bytes    int64
+	MaxBytes int64
+}
+
+func cacheStatsFrom(st query.CacheStats) CacheStats {
+	return CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, Bytes: st.Bytes, MaxBytes: st.MaxB}
 }
 
 // NumNodes returns the number of nodes.
@@ -263,28 +333,68 @@ func (cg *CompressedGraph) NumBits() int { return cg.pk.NumBits() }
 // Degree returns the out-degree of u.
 func (cg *CompressedGraph) Degree(u NodeID) int { return cg.pk.Degree(u) }
 
-// Neighbors decodes and returns u's neighbors in ascending order.
-func (cg *CompressedGraph) Neighbors(u NodeID) []uint32 { return cg.pk.Row(nil, u) }
+// Neighbors decodes and returns u's neighbors in ascending order. With a
+// row cache enabled, repeated hub lookups are served from the cache (still
+// copied, so the result is always caller-owned).
+func (cg *CompressedGraph) Neighbors(u NodeID) []uint32 {
+	if cg.rows != nil {
+		row := cg.rows.Row(nil, u)
+		out := make([]uint32, len(row))
+		copy(out, row)
+		return out
+	}
+	return cg.pk.Row(nil, u)
+}
 
-// HasEdge reports whether (u, v) exists, by binary search over the packed
-// row.
-func (cg *CompressedGraph) HasEdge(u, v NodeID) bool { return cg.pk.HasEdgeBinary(u, v) }
+// HasEdge reports whether (u, v) exists by searching the packed row in
+// place — binary lower bound, switching to galloping on hub rows — without
+// decoding any part of it.
+func (cg *CompressedGraph) HasEdge(u, v NodeID) bool { return cg.pk.SearchRow(u, v) }
 
 // HasEdgeParallel answers a single existence query by splitting u's
-// neighbor list across procs processors (the paper's Algorithm 8), useful
-// for very high-degree nodes.
+// packed neighbor list across procs processors (the paper's Algorithm 8),
+// each searching its subrange without decoding; useful for very
+// high-degree nodes.
 func (cg *CompressedGraph) HasEdgeParallel(u, v NodeID, procs int) bool {
-	return query.EdgeExistsSplit(cg.pk, u, v, orDefault(procs, cg.procs))
+	return query.EdgeExistsSplitSearch(cg.pk, u, v, orDefault(procs, cg.procs))
 }
 
-// NeighborsBatch answers many neighborhood queries in parallel.
+// NeighborsBatch answers many neighborhood queries in parallel with
+// work-stealing scheduling (static chunking collapses under power-law
+// degree skew); decodes go through the hot-row cache when one is enabled.
 func (cg *CompressedGraph) NeighborsBatch(nodes []NodeID, procs int) [][]uint32 {
-	return query.NeighborsBatch(cg.pk, nodes, orDefault(procs, cg.procs))
+	return query.NeighborsBatch(cg.rowSource(), nodes, orDefault(procs, cg.procs))
 }
 
-// EdgesExistBatch answers many edge-existence queries in parallel.
+// EdgesExistBatch answers many edge-existence queries in parallel without
+// materializing a single row.
 func (cg *CompressedGraph) EdgesExistBatch(queries []Edge, procs int) []bool {
-	return query.EdgesExistBatchBinary(cg.pk, queries, orDefault(procs, cg.procs))
+	return query.EdgesExistBatchSearch(cg.pk, queries, orDefault(procs, cg.procs))
+}
+
+// EnableRowCache fronts row decodes (Neighbors, NeighborsBatch) with a
+// sharded LRU cache of decoded rows bounded by maxBytes; maxBytes <= 0
+// disables caching. Not safe to call concurrently with queries — configure
+// the cache before serving.
+func (cg *CompressedGraph) EnableRowCache(maxBytes int64) {
+	if c := query.NewRowCacheShards(maxBytes, 0); c != nil {
+		cg.cache, cg.rows = c, query.Cached(cg.pk, c)
+	} else {
+		cg.cache, cg.rows = nil, nil
+	}
+}
+
+// CacheStats reports hot-row cache effectiveness; zero when no cache is
+// enabled.
+func (cg *CompressedGraph) CacheStats() CacheStats {
+	return cacheStatsFrom(cg.cache.Stats())
+}
+
+func (cg *CompressedGraph) rowSource() query.Source {
+	if cg.rows != nil {
+		return cg.rows
+	}
+	return cg.pk
 }
 
 // Decompress expands back to a plain Graph.

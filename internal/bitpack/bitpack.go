@@ -189,10 +189,65 @@ func (pk *Packed) Get(i int) uint32 {
 	if i < 0 || i >= pk.n {
 		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, pk.n))
 	}
+	return pk.get(i)
+}
+
+// get is Get without the bounds check, for the search loops below whose
+// probe indices are validated once up front.
+func (pk *Packed) get(i int) uint32 {
 	if pk.aligned {
 		return uint32(pk.bits.UintAligned(i*pk.width, pk.width))
 	}
 	return uint32(pk.bits.Uint(i*pk.width, pk.width))
+}
+
+func (pk *Packed) checkRange(lo, hi int) {
+	if lo < 0 || hi > pk.n || lo > hi {
+		panic(fmt.Sprintf("bitpack: range [%d,%d) out of range [0,%d)", lo, hi, pk.n))
+	}
+}
+
+// LowerBound returns the smallest index i in [lo, hi) with Get(i) >= v, or
+// hi when every element is below v. The elements in [lo, hi) must be
+// sorted ascending. Each probe is a single packed random access, so a
+// sorted run — a CSR neighbor row — is searched without decoding it: the
+// zero-decode primitive behind csr.Packed.SearchRow.
+func (pk *Packed) LowerBound(lo, hi int, v uint32) int {
+	pk.checkRange(lo, hi)
+	return pk.lowerBound(lo, hi, v)
+}
+
+func (pk *Packed) lowerBound(lo, hi int, v uint32) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pk.get(mid) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// GallopLowerBound is LowerBound with a galloping (exponential) first
+// phase: probe lo+1, lo+2, lo+4, ... until the value meets v, then binary
+// search the bracketed run. Cost is O(log(i-lo)) in the answer's offset
+// rather than O(log(hi-lo)), which wins on hub rows when queries skew
+// toward small neighbor ids (degree-ordered graphs give hubs small ids),
+// and keeps early probes within a few cache lines of the row start
+// instead of striding across the whole packed row.
+func (pk *Packed) GallopLowerBound(lo, hi int, v uint32) int {
+	pk.checkRange(lo, hi)
+	if lo == hi || pk.get(lo) >= v {
+		return lo
+	}
+	// Invariant: get(lo+prev) < v.
+	prev, step := 0, 1
+	for lo+step < hi && pk.get(lo+step) < v {
+		prev = step
+		step <<= 1
+	}
+	return pk.lowerBound(lo+prev+1, min(hi, lo+step), v)
 }
 
 // Slice decodes count elements starting at element start into dst, which is

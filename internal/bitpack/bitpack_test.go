@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -303,5 +304,46 @@ func BenchmarkPackMergeVsDirect(b *testing.B) {
 				PackDirect(vals, p)
 			}
 		})
+	}
+}
+
+// TestLowerBoundDifferential checks the packed lower-bound searches against
+// sort.Search on the decoded values, including empty ranges, heads, tails,
+// and out-of-range probes, for a spread of widths.
+func TestLowerBoundDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, width := range []int{1, 2, 3, 7, 8, 13, 16, 24, 31, 32} {
+		limit := uint64(1) << width
+		vals := make([]uint32, 700)
+		for i := range vals {
+			vals[i] = uint32(rng.Uint64() % limit)
+		}
+		vals[rng.Intn(len(vals))] = uint32(limit - 1) // pin the width
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		pk := Pack(vals, 2)
+		if pk.Width() != width {
+			t.Fatalf("width %d: packed to %d", width, pk.Width())
+		}
+		bounds := [][2]int{{0, len(vals)}, {0, 0}, {len(vals), len(vals)}, {10, 400}, {399, 400}}
+		for _, bd := range bounds {
+			lo, hi := bd[0], bd[1]
+			var probes []uint32
+			for i := 0; i < 32; i++ {
+				probes = append(probes, uint32(rng.Uint64()%limit))
+			}
+			if hi > lo {
+				probes = append(probes, vals[lo], vals[hi-1])
+			}
+			probes = append(probes, 0, uint32(limit-1))
+			for _, v := range probes {
+				want := lo + sort.Search(hi-lo, func(i int) bool { return vals[lo+i] >= v })
+				if got := pk.LowerBound(lo, hi, v); got != want {
+					t.Fatalf("width %d: LowerBound([%d,%d), %d) = %d, want %d", width, lo, hi, v, got, want)
+				}
+				if got := pk.GallopLowerBound(lo, hi, v); got != want {
+					t.Fatalf("width %d: GallopLowerBound([%d,%d), %d) = %d, want %d", width, lo, hi, v, got, want)
+				}
+			}
+		}
 	}
 }

@@ -126,6 +126,38 @@ func (m *Matrix) HasEdgeBinary(u, v edgelist.NodeID) bool {
 	return lo < len(row) && row[lo] == v
 }
 
+// RowBounds returns the [start, end) range of u's row in Cols — the same
+// split geometry csr.Packed exposes, so the query engine's split-search
+// path treats both forms uniformly.
+func (m *Matrix) RowBounds(u edgelist.NodeID) (start, end int) {
+	return int(m.RowOffsets[u]), int(m.RowOffsets[u+1])
+}
+
+// SearchRow reports whether (u, v) exists by early-exit binary search over
+// the sorted row: the search returns as soon as a probe hits v instead of
+// always narrowing to a lower bound.
+func (m *Matrix) SearchRow(u, v edgelist.NodeID) bool {
+	return m.SearchRange(int(m.RowOffsets[u]), int(m.RowOffsets[u+1]), v)
+}
+
+// SearchRange reports whether v occurs in the sorted Cols run [start, end)
+// — one row or any subrange of it (Algorithm 8's per-processor unit).
+func (m *Matrix) SearchRange(start, end int, v edgelist.NodeID) bool {
+	lo, hi := start, end
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch w := m.Cols[mid]; {
+		case w < v:
+			lo = mid + 1
+		case w > v:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
 // Edges reconstructs the sorted edge list the matrix encodes.
 func (m *Matrix) Edges() edgelist.List {
 	out := make(edgelist.List, 0, m.NumEdges())

@@ -160,6 +160,15 @@ func (dp *DeltaPacked) HasEdge(u, v edgelist.NodeID) bool {
 	return false
 }
 
+// SearchRow reports whether (u, v) exists. Gamma-coded rows have no random
+// access, so the best "search" is HasEdge's sequential decode with early
+// exit once the running neighbor id passes v; the method exists so the
+// query engine's zero-materialization path covers the delta form too (no
+// full-row buffer is ever built).
+func (dp *DeltaPacked) SearchRow(u, v edgelist.NodeID) bool {
+	return dp.HasEdge(u, v)
+}
+
 // Unpack expands back to a plain Matrix.
 func (dp *DeltaPacked) Unpack() *Matrix {
 	off := make([]uint32, dp.n+1)

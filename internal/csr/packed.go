@@ -119,6 +119,37 @@ func (pk *Packed) HasEdgeBinary(u, v edgelist.NodeID) bool {
 	return lo < end && pk.cols.Get(lo) == v
 }
 
+// gallopMinDegree is the row length above which SearchRange switches from
+// plain binary search to the galloping variant. Short rows fit in a cache
+// line or two of packed bits, where binary search's fewer probes win; on
+// hub rows galloping keeps early probes local to the row start and costs
+// O(log answer-offset) when queries skew toward small neighbor ids.
+const gallopMinDegree = 128
+
+// SearchRow reports whether (u, v) exists by searching u's packed row in
+// place — the query engine's zero-decode existence primitive. Every probe
+// is one bitpack random access (single aligned word load for widths
+// dividing 64), so no part of the row is ever materialized; hub rows use
+// the galloping variant.
+func (pk *Packed) SearchRow(u, v edgelist.NodeID) bool {
+	start, end := pk.RowBounds(u)
+	return pk.SearchRange(start, end, v)
+}
+
+// SearchRange reports whether v occurs among the packed neighbors in
+// positions [start, end) of jA, which must be a sorted run (any subrange
+// of one row is). It is the split unit of Algorithm 8: EdgeExistsSplit
+// hands each processor one subrange to search without decoding.
+func (pk *Packed) SearchRange(start, end int, v edgelist.NodeID) bool {
+	var i int
+	if end-start >= gallopMinDegree {
+		i = pk.cols.GallopLowerBound(start, end, v)
+	} else {
+		i = pk.cols.LowerBound(start, end, v)
+	}
+	return i < end && pk.cols.Get(i) == v
+}
+
 // Unpack expands the packed CSR back into a plain Matrix.
 func (pk *Packed) Unpack() *Matrix {
 	return &Matrix{RowOffsets: pk.off.Unpack(), Cols: pk.cols.Unpack()}

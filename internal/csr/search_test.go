@@ -1,0 +1,164 @@
+package csr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"csrgraph/internal/edgelist"
+)
+
+// searchTestMatrix builds a Matrix whose Cols values exercise exactly the
+// given packed bit width: rows are sorted random values below 2^width with
+// the maximum forced to have bit width-1 set, so PackMatrix chooses that
+// width for jA. Node-space validity of the neighbor ids is irrelevant to
+// the search paths under test.
+func searchTestMatrix(width int, rows, maxDeg int, rng *rand.Rand) *Matrix {
+	limit := uint64(1) << width
+	off := make([]uint32, 1, rows+1)
+	var cols []uint32
+	for r := 0; r < rows; r++ {
+		d := rng.Intn(maxDeg + 1)
+		row := make([]uint32, 0, d+1)
+		for i := 0; i < d; i++ {
+			row = append(row, uint32(rng.Uint64()%limit))
+		}
+		if r == rows-1 {
+			// Force the packed width: the last row carries the maximum
+			// representable value, so PackMatrix picks exactly `width`.
+			row = append(row, uint32(limit-1))
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		row = dedupSorted(row)
+		cols = append(cols, row...)
+		off = append(off, uint32(len(cols)))
+	}
+	return &Matrix{RowOffsets: off, Cols: cols}
+}
+
+// dedupSorted compacts a sorted row to strictly ascending, the CSR row
+// invariant.
+func dedupSorted(row []uint32) []uint32 {
+	out := row[:0]
+	for i, v := range row {
+		if i == 0 || v != row[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestSearchRowDifferentialAcrossWidths quick-checks the zero-decode
+// packed search against sort.Search over the decoded row for every packed
+// width 1..32, probing present values, absent values, values below the
+// first and above the last neighbor, and empty rows.
+func TestSearchRowDifferentialAcrossWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for width := 1; width <= 32; width++ {
+		// A mix of short rows and one hub row past the gallop threshold.
+		m := searchTestMatrix(width, 8, 24, rng)
+		hub := searchTestMatrix(width, 1, 4*gallopMinDegree, rng)
+		for _, mat := range []*Matrix{m, hub} {
+			pk := PackMatrix(mat, 2)
+			if got := pk.NumBits(); got != width && mat.NumEdges() > 0 {
+				t.Fatalf("width %d: packed to %d bits", width, got)
+			}
+			for u := 0; u < mat.NumNodes(); u++ {
+				row := mat.Neighbors(uint32(u))
+				var probes []uint32
+				probes = append(probes, row...)
+				for i := 0; i < 16; i++ {
+					probes = append(probes, uint32(rng.Uint64()%(1<<width)))
+				}
+				if len(row) > 0 {
+					if row[0] > 0 {
+						probes = append(probes, 0, row[0]-1)
+					}
+					probes = append(probes, row[len(row)-1])
+					if row[len(row)-1] < ^uint32(0) {
+						probes = append(probes, row[len(row)-1]+1)
+					}
+				} else {
+					probes = append(probes, 0, 1)
+				}
+				for _, v := range probes {
+					i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+					want := i < len(row) && row[i] == v
+					if got := pk.SearchRow(uint32(u), v); got != want {
+						t.Fatalf("width %d: packed SearchRow(%d, %d) = %v, want %v (row %v)",
+							width, u, v, got, want, row)
+					}
+					if got := mat.SearchRow(uint32(u), v); got != want {
+						t.Fatalf("width %d: matrix SearchRow(%d, %d) = %v, want %v", width, u, v, got, want)
+					}
+					if got := pk.HasEdgeBinary(uint32(u), v); got != want {
+						t.Fatalf("width %d: HasEdgeBinary(%d, %d) = %v, want %v", width, u, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchRangeSubranges checks the Algorithm 8 split unit: searching any
+// subrange of a row agrees with membership of that subrange, for both the
+// packed and plain forms.
+func TestSearchRangeSubranges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := searchTestMatrix(20, 4, 3*gallopMinDegree, rng)
+	pk := PackMatrix(m, 1)
+	for u := 0; u < m.NumNodes(); u++ {
+		start, end := m.RowBounds(uint32(u))
+		if s2, e2 := pk.RowBounds(uint32(u)); s2 != start || e2 != end {
+			t.Fatalf("RowBounds disagree: matrix [%d,%d) packed [%d,%d)", start, end, s2, e2)
+		}
+		for trial := 0; trial < 50; trial++ {
+			lo := start
+			hi := end
+			if end > start {
+				lo = start + rng.Intn(end-start+1)
+				hi = lo + rng.Intn(end-lo+1)
+			}
+			var v uint32
+			if hi > lo && trial%2 == 0 {
+				v = m.Cols[lo+rng.Intn(hi-lo)] // present
+			} else {
+				v = uint32(rng.Uint64() % (1 << 20))
+			}
+			want := false
+			for _, w := range m.Cols[lo:hi] {
+				if w == v {
+					want = true
+				}
+			}
+			if got := pk.SearchRange(lo, hi, v); got != want {
+				t.Fatalf("packed SearchRange([%d,%d), %d) = %v, want %v", lo, hi, v, got, want)
+			}
+			if got := m.SearchRange(lo, hi, v); got != want {
+				t.Fatalf("matrix SearchRange([%d,%d), %d) = %v, want %v", lo, hi, v, got, want)
+			}
+		}
+	}
+}
+
+// TestDeltaSearchRow pins the delta form's early-exit search to HasEdge
+// semantics.
+func TestDeltaSearchRow(t *testing.T) {
+	l := edgelist.List{{U: 0, V: 2}, {U: 0, V: 5}, {U: 0, V: 9}, {U: 2, V: 0}}
+	m := Build(l, 3, 1)
+	dp := PackDelta(m, 1)
+	cases := []struct {
+		u, v uint32
+		want bool
+	}{
+		{0, 2, true}, {0, 5, true}, {0, 9, true},
+		{0, 0, false}, {0, 4, false}, {0, 10, false},
+		{1, 0, false}, // empty row
+		{2, 0, true}, {2, 1, false},
+	}
+	for _, c := range cases {
+		if got := dp.SearchRow(c.u, c.v); got != c.want {
+			t.Fatalf("delta SearchRow(%d, %d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}

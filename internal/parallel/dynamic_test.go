@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForDynamicCoversEveryIndexOnce checks that the work-stealing loop
+// visits each index exactly once across grain sizes, participant counts,
+// and edge-case n.
+func TestForDynamicCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023, 4096} {
+		for _, p := range []int{1, 2, 4, 16, 64} {
+			for _, grain := range []int{0, 1, 3, 64, 10000} {
+				visits := make([]atomic.Int32, n)
+				ForDynamic(n, p, grain, func(worker int, r Range) {
+					if worker < 0 || worker >= max(p, 1) {
+						t.Errorf("worker id %d out of range [0,%d)", worker, p)
+					}
+					if r.Start < 0 || r.End > n || r.Empty() {
+						t.Errorf("bad range [%d,%d) for n=%d", r.Start, r.End, n)
+					}
+					for i := r.Start; i < r.End; i++ {
+						visits[i].Add(1)
+					}
+				})
+				for i := range visits {
+					if got := visits[i].Load(); got != 1 {
+						t.Fatalf("n=%d p=%d grain=%d: index %d visited %d times", n, p, grain, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForDynamicWorkerIDsAreDense checks that per-worker scratch indexed by
+// the worker id never aliases: two concurrent grabs must not share an id.
+func TestForDynamicWorkerIDsAreDense(t *testing.T) {
+	const n, p = 10000, 8
+	var inUse [p]atomic.Bool
+	ForDynamic(n, p, 16, func(worker int, r Range) {
+		if !inUse[worker].CompareAndSwap(false, true) {
+			t.Errorf("worker id %d used concurrently", worker)
+		}
+		for i := 0; i < r.Len()*10; i++ {
+			_ = i * i // hold the id briefly
+		}
+		inUse[worker].Store(false)
+	})
+}
+
+// TestForDynamicBalancesSkew drives a batch where one index is 1000x more
+// expensive and checks no participant was starved of chances to steal: the
+// call must complete with every index processed (the balancing itself is
+// measured by BenchmarkEdgesExistBatch at the repo root).
+func TestForDynamicBalancesSkew(t *testing.T) {
+	const n = 2048
+	var total atomic.Int64
+	ForDynamic(n, 8, 4, func(_ int, r Range) {
+		for i := r.Start; i < r.End; i++ {
+			work := 1
+			if i == 0 {
+				work = 1000
+			}
+			s := 0
+			for k := 0; k < work; k++ {
+				s += k
+			}
+			total.Add(int64(1 + s%1))
+		}
+	})
+	if total.Load() != n {
+		t.Fatalf("processed %d of %d indices", total.Load(), n)
+	}
+}
+
+// TestForDynamicNested checks the caller-participates discipline keeps
+// nested dynamic loops deadlock-free, same as For.
+func TestForDynamicNested(t *testing.T) {
+	var count atomic.Int64
+	ForDynamic(16, 4, 2, func(_ int, outer Range) {
+		for i := outer.Start; i < outer.End; i++ {
+			ForDynamic(8, 4, 2, func(_ int, inner Range) {
+				count.Add(int64(inner.Len()))
+			})
+		}
+	})
+	if count.Load() != 16*8 {
+		t.Fatalf("nested count = %d, want %d", count.Load(), 16*8)
+	}
+}
+
+// TestForDynamicPrivatePool checks Pool.ForDynamic on an isolated pool,
+// including the inline single-participant path.
+func TestForDynamicPrivatePool(t *testing.T) {
+	pl := NewPool(3)
+	defer pl.Close()
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	pl.ForDynamic(100, 3, 7, func(_ int, r Range) {
+		mu.Lock()
+		for i := r.Start; i < r.End; i++ {
+			if seen[i] {
+				t.Errorf("index %d seen twice", i)
+			}
+			seen[i] = true
+		}
+		mu.Unlock()
+	})
+	if len(seen) != 100 {
+		t.Fatalf("covered %d of 100", len(seen))
+	}
+	// n <= grain runs inline on the caller.
+	ran := false
+	pl.ForDynamic(5, 3, 100, func(worker int, r Range) {
+		if worker != 0 || r.Start != 0 || r.End != 5 {
+			t.Fatalf("inline path got worker=%d range=[%d,%d)", worker, r.Start, r.End)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("inline path did not run")
+	}
+}

@@ -20,6 +20,11 @@
 // assume all chunks run concurrently — a body that blocks waiting on a
 // sibling chunk needs Team, whose barrier semantics guarantee one
 // goroutine per worker.
+//
+// ForDynamic adds work-stealing scheduling on the same pool: instead of a
+// static p-way split, participants claim small grain-sized index ranges
+// off an atomic cursor, which keeps batches with power-law per-index cost
+// (hub nodes) balanced. The query engine routes batched queries through it.
 package parallel
 
 import (
@@ -121,6 +126,23 @@ func forSpawn(n, p int, body func(chunk int, r Range)) {
 		}(c, r)
 	}
 	wg.Wait()
+}
+
+// ForDynamic runs body over [0, n) with work-stealing scheduling on the
+// package pool: participants grab grain-sized index ranges off a shared
+// atomic cursor instead of receiving one static chunk each, which keeps
+// skew-heavy batches (power-law degree distributions) balanced. body
+// receives a dense worker index in [0, p) for per-worker scratch state and
+// may be called many times per worker; grain <= 0 picks a default. See
+// Pool.ForDynamic.
+func ForDynamic(n, p, grain int, body func(worker int, r Range)) {
+	if p <= 1 || n <= 1 {
+		if n > 0 {
+			body(0, Range{0, n})
+		}
+		return
+	}
+	defaultPool().ForDynamic(n, p, grain, body)
 }
 
 // ForEach runs body(i) for every i in [0, n) using at most p goroutines.

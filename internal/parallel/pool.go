@@ -21,9 +21,13 @@ import (
 // does more of the work itself; parallelism degrades, correctness does not.
 type Pool struct {
 	p       int
-	jobs    chan *job
+	jobs    chan runnable
 	closing sync.Once
 }
+
+// runnable is one enqueued parallel-for job; both the static-chunk job and
+// the dynamic work-stealing dynJob satisfy it.
+type runnable interface{ run() }
 
 // job is one parallel-for invocation: every participant (workers plus the
 // submitting caller) loops claiming chunks via next; the participant that
@@ -50,12 +54,47 @@ func (j *job) run() {
 	}
 }
 
+// dynJob is one dynamic (work-stealing) parallel-for invocation: instead of
+// a precomputed chunk list, participants repeatedly grab the next
+// grain-sized index range off a shared atomic cursor, so a participant that
+// draws a heavy range (a hub node's queries) simply claims fewer ranges
+// while its siblings drain the rest. ids hands each participant a dense
+// worker index for per-worker scratch state.
+type dynJob struct {
+	body   func(worker int, r Range)
+	n      int64
+	grain  int64
+	cursor atomic.Int64
+	done   atomic.Int64
+	ids    atomic.Int64
+	fin    chan struct{}
+}
+
+func (j *dynJob) run() {
+	id := int(j.ids.Add(1) - 1)
+	for {
+		start := j.cursor.Add(j.grain) - j.grain
+		if start >= j.n {
+			return
+		}
+		end := start + j.grain
+		if end > j.n {
+			end = j.n
+		}
+		j.body(id, Range{int(start), int(end)})
+		if j.done.Add(end-start) == j.n {
+			close(j.fin)
+			return
+		}
+	}
+}
+
 // NewPool starts a pool of p workers; p <= 0 is treated as 1.
 func NewPool(p int) *Pool {
 	if p <= 0 {
 		p = 1
 	}
-	pl := &Pool{p: p, jobs: make(chan *job, 4*p)}
+	pl := &Pool{p: p, jobs: make(chan runnable, 4*p)}
 	for i := 0; i < p; i++ {
 		go pl.worker()
 	}
@@ -90,6 +129,57 @@ func (pl *Pool) For(n, p int, body func(chunk int, r Range)) {
 	// chunks are claimed see an exhausted cursor and return immediately.
 wake:
 	for i := 1; i < len(chunks); i++ {
+		select {
+		case pl.jobs <- j:
+		default:
+			break wake
+		}
+	}
+	j.run()
+	<-j.fin
+}
+
+// ForDynamic runs body over [0, n) with work-stealing scheduling: up to p
+// participants (woken workers plus the submitting caller) repeatedly claim
+// the next grain-sized index range off an atomic cursor until the space is
+// exhausted. Unlike For's static split into p equal chunks, a participant
+// that lands on expensive indices — a hub node's row in a batched query —
+// claims fewer ranges while the others drain the rest, so skewed per-index
+// cost no longer stretches the whole call to the slowest chunk.
+//
+// body receives a dense worker index in [0, p) stable across that
+// participant's grabs, for per-worker scratch (decode buffers); it does NOT
+// identify a chunk. grain <= 0 picks a default of ~8 grabs per participant.
+// The same caller-participates discipline as For applies, so nested calls
+// remain deadlock-free and a full wake queue only shifts work to the
+// caller.
+func (pl *Pool) ForDynamic(n, p, grain int, body func(worker int, r Range)) {
+	if n <= 0 {
+		return
+	}
+	if p <= 0 {
+		p = 1
+	}
+	if grain <= 0 {
+		grain = n / (8 * p)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	if p == 1 || n <= grain {
+		body(0, Range{0, n})
+		return
+	}
+	j := &dynJob{body: body, n: int64(n), grain: int64(grain), fin: make(chan struct{})}
+	// Wake one fewer participant than there are grains to claim (capped at
+	// p-1): the caller is the last participant, and every send is
+	// non-blocking so a full queue degrades to the caller doing more.
+	parts := (n + grain - 1) / grain
+	if parts > p {
+		parts = p
+	}
+wake:
+	for i := 1; i < parts; i++ {
 		select {
 		case pl.jobs <- j:
 		default:

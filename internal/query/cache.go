@@ -1,0 +1,279 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"csrgraph/internal/edgelist"
+)
+
+// RowCache is a sharded, byte-budgeted LRU of decoded neighbor rows keyed
+// by node id, fronting the decode cost of compressed rows for repeated hub
+// lookups (power-law traffic concentrates on few nodes, exactly the rows
+// that are most expensive to decode). Shard count is a power of two;
+// each shard has its own mutex and LRU list, so concurrent batch workers
+// only contend when they touch the same shard. Cached rows are immutable:
+// a slice handed out by Get stays valid and constant forever, even after
+// eviction, which is what lets hits be returned without copying.
+//
+// All methods are safe for concurrent use.
+type RowCache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+// cacheEntryOverhead approximates the per-entry bookkeeping bytes (entry
+// struct, map bucket share) charged against the byte budget on top of the
+// row payload, so caches full of tiny rows do not blow past their
+// configured size.
+const cacheEntryOverhead = 64
+
+type cacheShard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[edgelist.NodeID]*cacheEntry
+	// Intrusive LRU list: head is most recent, tail least.
+	head, tail *cacheEntry
+	hits       atomic.Int64
+	misses     atomic.Int64
+}
+
+type cacheEntry struct {
+	key        edgelist.NodeID
+	row        []uint32
+	prev, next *cacheEntry
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness, exposed
+// by csrserver's stats endpoint.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	MaxB    int64 `json:"max_bytes"`
+}
+
+// NewRowCache builds a cache bounded by maxBytes across all shards, with a
+// shard count derived from GOMAXPROCS (rounded up to a power of two, at
+// most 256). Returns nil when maxBytes <= 0 — a nil *RowCache is a valid
+// "caching disabled" value for Cached.
+func NewRowCache(maxBytes int64) *RowCache {
+	return NewRowCacheShards(maxBytes, 0)
+}
+
+// NewRowCacheShards is NewRowCache with an explicit shard count, rounded
+// up to a power of two; shards <= 0 picks the default.
+func NewRowCacheShards(maxBytes int64, shards int) *RowCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = 4 * runtime.GOMAXPROCS(0)
+		if shards > 256 {
+			shards = 256
+		}
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := maxBytes / int64(n)
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &RowCache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i].maxBytes = perShard
+		c.shards[i].entries = make(map[edgelist.NodeID]*cacheEntry)
+	}
+	return c
+}
+
+// shard maps a node id to its shard with a Fibonacci hash, so hub ids that
+// happen to be numerically adjacent (degree-ordered graphs) still spread
+// across shards.
+func (c *RowCache) shard(u edgelist.NodeID) *cacheShard {
+	return &c.shards[(u*2654435761)>>16&c.mask]
+}
+
+// Get returns the cached row for u. The returned slice is shared and
+// immutable: callers must not modify it, and it remains valid after
+// eviction.
+func (c *RowCache) Get(u edgelist.NodeID) ([]uint32, bool) {
+	s := c.shard(u)
+	s.mu.Lock()
+	e, ok := s.entries[u]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.moveToFront(e)
+	row := e.row
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return row, true
+}
+
+// Put caches row for u, taking ownership: the caller must not modify row
+// afterwards. Rows whose charged size exceeds the shard budget are not
+// cached (a hub row larger than the cache passes through untouched), and
+// an existing entry for u wins over the new row (concurrent fillers race
+// benignly). Least-recently-used entries are evicted until the shard fits
+// its budget.
+func (c *RowCache) Put(u edgelist.NodeID, row []uint32) {
+	size := int64(len(row))*4 + cacheEntryOverhead
+	s := c.shard(u)
+	if size > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[u]; ok {
+		return
+	}
+	for s.bytes+size > s.maxBytes && s.tail != nil {
+		s.evict(s.tail)
+	}
+	e := &cacheEntry{key: u, row: row}
+	s.entries[u] = e
+	s.bytes += size
+	s.pushFront(e)
+}
+
+// Stats sums the per-shard counters.
+func (c *RowCache) Stats() CacheStats {
+	var st CacheStats
+	if c == nil {
+		return st
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.MaxB += s.maxBytes
+		s.mu.Lock()
+		st.Entries += int64(len(s.entries))
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// pushFront links e as the most-recently-used entry. Callers hold mu.
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// moveToFront bumps e to most-recently-used. Callers hold mu.
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	// Unlink.
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	s.pushFront(e)
+}
+
+// evict unlinks e and releases its budget. Callers hold mu.
+func (s *cacheShard) evict(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(s.entries, e.key)
+	s.bytes -= int64(len(e.row))*4 + cacheEntryOverhead
+}
+
+// CachedSource fronts a Source's Row with a RowCache. Row NEVER writes
+// through the caller's dst (hits return the shared cached slice, misses
+// decode into a fresh allocation that becomes the cache entry), so callers
+// that recycle returned rows as dst — the batch loops do — can never
+// corrupt cached memory.
+type CachedSource struct {
+	src   Source
+	cache *RowCache
+}
+
+// Cached wraps src with cache. A nil cache returns src unchanged, so
+// "cache disabled" costs nothing.
+func Cached(src Source, cache *RowCache) Source {
+	if cache == nil {
+		return src
+	}
+	return &CachedSource{src: src, cache: cache}
+}
+
+// NumNodes returns the number of nodes.
+func (cs *CachedSource) NumNodes() int { return cs.src.NumNodes() }
+
+// Degree returns the out-degree of u (not cached; degree reads are O(1) on
+// every source worth caching).
+func (cs *CachedSource) Degree(u edgelist.NodeID) int { return cs.src.Degree(u) }
+
+// NumEdges exposes the underlying edge count when available, so the
+// degree-aware grain heuristic sees through the wrapper.
+func (cs *CachedSource) NumEdges() int {
+	if ec, ok := cs.src.(interface{ NumEdges() int }); ok {
+		return ec.NumEdges()
+	}
+	return 0
+}
+
+// Row returns u's row, serving repeated lookups from the cache. dst is
+// ignored (like csr.Matrix.Row): the returned slice is shared, immutable,
+// and must be treated read-only.
+func (cs *CachedSource) Row(dst []uint32, u edgelist.NodeID) []uint32 {
+	if row, ok := cs.cache.Get(u); ok {
+		return row
+	}
+	row := cs.src.Row(nil, u)
+	cs.cache.Put(u, row)
+	return row
+}
+
+// SearchRow answers an existence probe, bypassing the cache when the
+// underlying source searches rows in place (packed/plain/delta CSR all
+// do); otherwise it binary-searches the (cached) decoded row.
+func (cs *CachedSource) SearchRow(u, v edgelist.NodeID) bool {
+	if s, ok := cs.src.(Searcher); ok {
+		return s.SearchRow(u, v)
+	}
+	row := cs.Row(nil, u)
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == v
+}
+
+// Stats reports the wrapped cache's counters.
+func (cs *CachedSource) Stats() CacheStats { return cs.cache.Stats() }

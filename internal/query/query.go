@@ -15,6 +15,12 @@
 // All functions accept any Source — both the plain csr.Matrix and the
 // bit-packed csr.Packed qualify — so baselines and compressed forms are
 // queried through identical code paths.
+//
+// EdgesExistBatch and EdgeExistsSplit in this file are the paper-faithful
+// decode-and-scan implementations, retained as the differential baselines
+// for the skew-aware engine in search.go (zero-decode searches,
+// work-stealing scheduling) and the hot-row cache in cache.go; the public
+// csrgraph API routes through the engine.
 package query
 
 import (
@@ -37,12 +43,20 @@ type Source interface {
 // NeighborsBatch answers an array of neighborhood queries with p
 // processors. Result i holds the neighbors of uNodes[i]. Rows are copied
 // into fresh slices so results remain valid independently of the source.
+//
+// Scheduling is work-stealing (parallel.ForDynamic) with a degree-aware
+// grain: under power-law degree skew a static p-way split collapses when
+// one chunk draws the hub nodes, so participants instead grab small index
+// ranges sized to roughly constant decode work. Decode buffers are
+// per-worker and reused across grabs.
 func NeighborsBatch(g Source, uNodes []edgelist.NodeID, p int) [][]uint32 {
 	results := make([][]uint32, len(uNodes))
-	parallel.For(len(uNodes), p, func(_ int, r parallel.Range) {
-		var buf []uint32
+	p = clampProcs(p, len(uNodes))
+	bufs := make([][]uint32, p)
+	parallel.ForDynamic(len(uNodes), p, dynamicGrain(g, len(uNodes), p), func(w int, r parallel.Range) {
 		for i := r.Start; i < r.End; i++ {
-			buf = g.Row(buf, uNodes[i])
+			buf := g.Row(bufs[w], uNodes[i])
+			bufs[w] = buf
 			row := make([]uint32, len(buf))
 			copy(row, buf)
 			results[i] = row
@@ -54,7 +68,11 @@ func NeighborsBatch(g Source, uNodes []edgelist.NodeID, p int) [][]uint32 {
 // EdgesExistBatch answers an array of edge-existence queries with p
 // processors: result i reports whether edges[i] exists. Each processor
 // fetches the source node's row once and scans it linearly for the target
-// (Algorithm 7's inner loop).
+// (Algorithm 7's inner loop), exiting early once the scan passes v — rows
+// are sorted ascending, so no neighbor beyond the first one >= v can
+// match. This static-chunk decode-and-scan is the differential baseline
+// the zero-decode, work-stealing EdgesExistBatchSearch is measured
+// against.
 func EdgesExistBatch(g Source, edges []edgelist.Edge, p int) []bool {
 	results := make([]bool, len(edges))
 	parallel.For(len(edges), p, func(_ int, r parallel.Range) {
@@ -63,8 +81,8 @@ func EdgesExistBatch(g Source, edges []edgelist.Edge, p int) []bool {
 			e := edges[i]
 			buf = g.Row(buf, e.U)
 			for _, w := range buf {
-				if w == e.V {
-					results[i] = true
+				if w >= e.V {
+					results[i] = w == e.V
 					break
 				}
 			}
@@ -100,8 +118,14 @@ func EdgesExistBatchBinary(g Source, edges []edgelist.Edge, p int) []bool {
 
 // EdgeExistsSplit answers one edge-existence query by retrieving u's
 // neighbor list and splitting it among p processors (Algorithm 8): each
-// scans its chunk for v, and any processor finding it publishes true. The
-// others exit early once the flag is set.
+// scans its chunk for v, and any processor finding it publishes true.
+// The shared found-flag is checked inside the scan loop — on every
+// element, not once per chunk — so sibling chunks short-circuit promptly
+// instead of finishing their whole chunk after an answer is known; the
+// sorted-row early exit bounds each chunk's scan the same way
+// EdgesExistBatch's does. Retained as the decoded baseline for
+// EdgeExistsSplitSearch, which splits the packed row without
+// materializing it.
 func EdgeExistsSplit(g Source, u, v edgelist.NodeID, p int) bool {
 	row := g.Row(nil, u)
 	var found atomic.Bool
@@ -110,8 +134,10 @@ func EdgeExistsSplit(g Source, u, v edgelist.NodeID, p int) bool {
 			if found.Load() {
 				return
 			}
-			if row[i] == v {
-				found.Store(true)
+			if w := row[i]; w >= v {
+				if w == v {
+					found.Store(true)
+				}
 				return
 			}
 		}

@@ -34,17 +34,33 @@ const maxBFSNodes = 50_000_000
 
 // Handler serves queries over one immutable graph.
 type Handler struct {
-	g     query.Source
+	g     query.Source // raw source: BFS, degrees, existence probes
+	rows  query.Source // g, fronted by the hot-row cache when enabled
+	cache *query.RowCache
 	procs int
 	mux   *http.ServeMux
 }
 
+// Option customizes New.
+type Option func(*Handler)
+
+// WithRowCache fronts the /neighbors endpoint's row decodes with a sharded
+// LRU cache of decoded rows bounded by maxBytes (<= 0 disables). Cache
+// effectiveness counters appear under "cache" in /stats.
+func WithRowCache(maxBytes int64) Option {
+	return func(h *Handler) { h.cache = query.NewRowCache(maxBytes) }
+}
+
 // New builds a Handler answering from g with the given parallelism.
-func New(g query.Source, procs int) *Handler {
+func New(g query.Source, procs int, opts ...Option) *Handler {
 	if procs < 1 {
 		procs = 1
 	}
 	h := &Handler{g: g, procs: procs, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(h)
+	}
+	h.rows = query.Cached(g, h.cache)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]bool{"ok": true})
 	})
@@ -60,10 +76,14 @@ func New(g query.Source, procs int) *Handler {
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"nodes": h.g.NumNodes(),
 		"procs": h.procs,
-	})
+	}
+	if h.cache != nil {
+		out["cache"] = h.cache.Stats()
+	}
+	writeJSON(w, out)
 }
 
 func (h *Handler) neighbors(w http.ResponseWriter, r *http.Request) {
@@ -72,7 +92,7 @@ func (h *Handler) neighbors(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	results := query.NeighborsBatch(h.g, nodes, h.procs)
+	results := query.NeighborsBatch(h.rows, nodes, h.procs)
 	out := make([]map[string]any, len(nodes))
 	for i, u := range nodes {
 		row := results[i]
@@ -104,7 +124,7 @@ func (h *Handler) exists(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	results := query.EdgesExistBatchBinary(h.g, edges, h.procs)
+	results := query.EdgesExistBatchSearch(h.g, edges, h.procs)
 	out := make([]map[string]any, len(edges))
 	for i, e := range edges {
 		out[i] = map[string]any{"u": e.U, "v": e.V, "exists": results[i]}

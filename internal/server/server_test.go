@@ -158,3 +158,49 @@ func TestMethodRouting(t *testing.T) {
 		t.Fatalf("POST /stats = %d, want 405", rec.Code)
 	}
 }
+
+func TestRowCacheStatsEndpoint(t *testing.T) {
+	l := edgelist.List{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 3},
+	}
+	pk := csr.BuildPacked(l, 4, 2)
+	h := New(pk, 2, WithRowCache(1<<20))
+	// First fetch misses, repeats hit.
+	for i := 0; i < 3; i++ {
+		if rec, body := get(t, h, "/neighbors?nodes=0,1"); rec.Code != 200 {
+			t.Fatalf("status %d: %s", rec.Code, body)
+		}
+	}
+	_, body := get(t, h, "/stats")
+	var out struct {
+		Cache struct {
+			Hits    int64 `json:"hits"`
+			Misses  int64 `json:"misses"`
+			Entries int64 `json:"entries"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache.Misses != 2 || out.Cache.Hits != 4 || out.Cache.Entries != 2 {
+		t.Fatalf("cache stats = %+v (body %s)", out.Cache, body)
+	}
+	// Cached responses must match uncached ones.
+	_, cached := get(t, h, "/neighbors?nodes=0,1,3")
+	_, plain := get(t, New(pk, 2), "/neighbors?nodes=0,1,3")
+	if cached != plain {
+		t.Fatalf("cached response diverged:\n%s\n%s", cached, plain)
+	}
+}
+
+func TestRowCacheDisabled(t *testing.T) {
+	l := edgelist.List{{U: 0, V: 1}}
+	h := New(csr.BuildPacked(l, 2, 1), 1, WithRowCache(0))
+	if rec, _ := get(t, h, "/neighbors?nodes=0"); rec.Code != 200 {
+		t.Fatal("neighbors failed with disabled cache")
+	}
+	_, body := get(t, h, "/stats")
+	if strings.Contains(body, "cache") {
+		t.Fatalf("stats advertises a disabled cache: %s", body)
+	}
+}
