@@ -7,7 +7,7 @@ GO ?= go
 # lower-variance trajectory points.
 BENCHTIME ?= 100ms
 
-.PHONY: all build test test-race race vet fmt bench bench-quick bench-json bench-compare bench-compare-query fuzz experiments clean
+.PHONY: all build test test-race race vet fmt bench bench-quick bench-json bench-obs bench-compare bench-compare-query fuzz experiments clean
 
 all: build vet test test-race
 
@@ -23,7 +23,7 @@ test:
 # code the detector should be watching. `race` below covers the whole tree
 # but is too slow for the default loop.
 test-race:
-	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/...
+	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/...
 
 race:
 	$(GO) test -race ./...
@@ -48,6 +48,15 @@ bench-quick:
 # event stream down to benchmark results with all metrics.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . \
+		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d)$(BENCH_SUFFIX).json
+
+# Observability overhead snapshot: the metric-core microbenchmarks plus
+# the query acceptance benchmarks under obs=off|on, appended to the same
+# BENCH_<date>.json trajectory as bench-json. The obs=on variants gate the
+# <5% overhead budget; pair them with `go run ./cmd/benchcompare -key obs
+# -baseline off -new on`.
+bench-obs:
+	$(GO) test -run '^$$' -bench Obs -benchmem -benchtime $(BENCHTIME) -json . ./internal/obs \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d)$(BENCH_SUFFIX).json
 
 # Radix-vs-merge construction-sort delta table: runs BenchmarkSortByUV's

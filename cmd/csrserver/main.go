@@ -3,17 +3,22 @@
 //
 //	csrserver -graph g.pcsr -addr :8080 -procs 8 -cache-mb 64
 //	csrserver -temporal t.tcsr -addr :8080
+//	csrserver -graph g.pcsr -metrics -pprof -log-format json
 //
 // Static endpoints: /healthz, /stats, /neighbors?nodes=...,
 // /degree?nodes=..., /exists?edges=u:v,..., /bfs?src=n.
 // Temporal endpoints: /healthz, /stats, /active?queries=u:v:t,...,
 // /neighbors?node=u&frame=t.
+// Observability: -metrics mounts GET /metrics (Prometheus text), -pprof
+// mounts GET /debug/pprof/, and -log-format selects structured access
+// logging (text, json, or off).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
@@ -30,10 +35,18 @@ func main() {
 	addr := fs.String("addr", ":8080", "listen address")
 	procs := fs.Int("procs", 4, "processors per query batch")
 	cacheMB := fs.Int("cache-mb", 64, "hot-row cache size in MiB for -graph (0 disables)")
+	metrics := fs.Bool("metrics", false, "collect metrics and serve GET /metrics (Prometheus text)")
+	pprofOn := fs.Bool("pprof", false, "serve GET /debug/pprof/ profiling endpoints")
+	logFormat := fs.String("log-format", "off", "access log format: text, json, or off")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	handler, desc, err := buildHandler(*graphPath, *temporalPath, *procs, *cacheMB)
+	opts, err := obsOptions(*metrics, *pprofOn, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrserver:", err)
+		os.Exit(2)
+	}
+	handler, desc, err := buildHandler(*graphPath, *temporalPath, *procs, *cacheMB, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "csrserver:", err)
 		os.Exit(2)
@@ -47,8 +60,29 @@ func main() {
 	log.Fatal(srv.ListenAndServe())
 }
 
+// obsOptions translates the observability flags into server options.
+func obsOptions(metrics, pprofOn bool, logFormat string) ([]server.Option, error) {
+	var opts []server.Option
+	if metrics {
+		opts = append(opts, server.WithMetrics())
+	}
+	if pprofOn {
+		opts = append(opts, server.WithPprof())
+	}
+	switch logFormat {
+	case "off", "":
+	case "text":
+		opts = append(opts, server.WithAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	case "json":
+		opts = append(opts, server.WithAccessLog(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text, json, or off)", logFormat)
+	}
+	return opts, nil
+}
+
 // buildHandler resolves the flag combination into an http.Handler.
-func buildHandler(graphPath, temporalPath string, procs, cacheMB int) (http.Handler, string, error) {
+func buildHandler(graphPath, temporalPath string, procs, cacheMB int, opts ...server.Option) (http.Handler, string, error) {
 	switch {
 	case graphPath != "" && temporalPath != "":
 		return nil, "", fmt.Errorf("-graph and -temporal are mutually exclusive")
@@ -59,7 +93,8 @@ func buildHandler(graphPath, temporalPath string, procs, cacheMB int) (http.Hand
 		}
 		desc := fmt.Sprintf("%d nodes / %d edges (%d-bit neighbors)",
 			pk.NumNodes(), pk.NumEdges(), pk.NumBits())
-		return server.New(pk, procs, server.WithRowCache(int64(cacheMB)<<20)), desc, nil
+		opts = append(opts, server.WithRowCache(int64(cacheMB)<<20))
+		return server.New(pk, procs, opts...), desc, nil
 	case temporalPath != "":
 		f, err := os.Open(temporalPath)
 		if err != nil {
@@ -71,7 +106,7 @@ func buildHandler(graphPath, temporalPath string, procs, cacheMB int) (http.Hand
 			return nil, "", err
 		}
 		desc := fmt.Sprintf("%d nodes / %d frames (temporal)", pt.NumNodes(), pt.NumFrames())
-		return server.NewTemporal(pt, procs), desc, nil
+		return server.NewTemporal(pt, procs, opts...), desc, nil
 	}
 	return nil, "", fmt.Errorf("one of -graph or -temporal is required")
 }

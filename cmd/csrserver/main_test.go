@@ -8,6 +8,7 @@ import (
 
 	"csrgraph/internal/csr"
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
 	"csrgraph/internal/tcsr"
 )
 
@@ -55,6 +56,46 @@ func TestBuildHandlerTemporal(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/active?queries=0:1:0", nil))
 	if rec.Code != 200 {
 		t.Fatalf("active = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestObsOptions(t *testing.T) {
+	for _, format := range []string{"off", "", "text", "json"} {
+		if _, err := obsOptions(false, false, format); err != nil {
+			t.Errorf("log-format %q rejected: %v", format, err)
+		}
+	}
+	if _, err := obsOptions(false, false, "xml"); err == nil {
+		t.Fatal("want error for unknown log format")
+	}
+	opts, err := obsOptions(true, true, "json")
+	if err != nil || len(opts) != 3 {
+		t.Fatalf("opts = %d, err = %v; want 3 options", len(opts), err)
+	}
+}
+
+func TestBuildHandlerWithMetrics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.pcsr")
+	pk := csr.BuildPacked(edgelist.List{{U: 0, V: 1}}, 2, 1)
+	if err := pk.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := obsOptions(true, true, "off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.SetEnabled(false)
+	h, _, err := buildHandler(path, "", 2, 1, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range []string{"/metrics", "/debug/pprof/"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Errorf("%s = %d, want 200", url, rec.Code)
+		}
 	}
 }
 

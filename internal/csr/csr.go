@@ -16,9 +16,11 @@ package csr
 
 import (
 	"fmt"
+	"time"
 
 	"csrgraph/internal/degree"
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
 	"csrgraph/internal/parallel"
 	"csrgraph/internal/prefixsum"
 )
@@ -50,15 +52,38 @@ func BuildSequential(l edgelist.List, numNodes int) *Matrix {
 // a parallel neighbor fill. Because the list is sorted by (u, v), the jA
 // array is exactly the destination column of the list in order, so the fill
 // is a contention-free per-chunk copy.
+//
+// With metrics enabled (internal/obs) each stage reports its wall time
+// under csrgraph_build_stage_seconds, and the fill additionally reports its
+// per-chunk imbalance; disabled, the only cost is one atomic load.
 func Build(l edgelist.List, numNodes, p int) *Matrix {
+	start := obs.Now()
 	deg := degree.Parallel(l, numNodes, p)
+	start = obs.Tick(stageDegree, start)
 	off := prefixsum.Offsets(deg, p)
+	start = obs.Tick(stageOffsets, start)
 	cols := make([]uint32, len(l))
-	parallel.For(len(l), p, func(_ int, r parallel.Range) {
-		for i := r.Start; i < r.End; i++ {
-			cols[i] = l[i].V
-		}
-	})
+	if start.IsZero() {
+		parallel.For(len(l), p, func(_ int, r parallel.Range) {
+			for i := r.Start; i < r.End; i++ {
+				cols[i] = l[i].V
+			}
+		})
+	} else {
+		// Metrics path: time each static chunk to surface fill imbalance.
+		// Chunk indices are claimed exactly once, so the per-chunk slots
+		// race-freely belong to their chunk.
+		chunkNS := make([]int64, len(parallel.Chunks(len(l), p)))
+		parallel.For(len(l), p, func(c int, r parallel.Range) {
+			t0 := time.Now()
+			for i := r.Start; i < r.End; i++ {
+				cols[i] = l[i].V
+			}
+			chunkNS[c] = time.Since(t0).Nanoseconds()
+		})
+		fillImbalance.Set(obs.ImbalanceRatio(chunkNS))
+		obs.Tick(stageFill, start)
+	}
 	return &Matrix{RowOffsets: off, Cols: cols}
 }
 

@@ -1,0 +1,20 @@
+package csr
+
+// Construction-pipeline instrumentation: per-stage wall times for the
+// degree → prefix-sum → fill → bit-pack pipeline (Algorithms 1-4), plus a
+// per-chunk imbalance gauge for the fill — the stage whose static split is
+// most exposed to skewed edge distributions. The stage histograms share one
+// family so a scrape reads the whole pipeline profile at once; imbalance is
+// slowest-chunk time over mean chunk time (1.0 = perfectly balanced), the
+// load-balance figure the Ligra-style runtimes tune against.
+
+import "csrgraph/internal/obs"
+
+var (
+	stageDegree  = obs.GetDurationHistogram(`csrgraph_build_stage_seconds{stage="degree"}`)
+	stageOffsets = obs.GetDurationHistogram(`csrgraph_build_stage_seconds{stage="prefixsum"}`)
+	stageFill    = obs.GetDurationHistogram(`csrgraph_build_stage_seconds{stage="fill"}`)
+	stagePack    = obs.GetDurationHistogram(`csrgraph_build_stage_seconds{stage="bitpack"}`)
+
+	fillImbalance = obs.GetGauge("csrgraph_build_fill_imbalance")
+)

@@ -1,0 +1,54 @@
+package csr
+
+import (
+	"testing"
+
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
+)
+
+// TestBuildStageMetrics checks that a metrics-enabled build reports every
+// pipeline stage and a sane fill-imbalance ratio, and that a disabled build
+// reports nothing.
+func TestBuildStageMetrics(t *testing.T) {
+	l := edgelist.List{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 0}, {U: 1, V: 2},
+		{U: 2, V: 0}, {U: 2, V: 1}, {U: 3, V: 0},
+	}
+
+	// Disabled: no stage may record.
+	before := [4]int64{stageDegree.Count(), stageOffsets.Count(), stageFill.Count(), stagePack.Count()}
+	PackMatrix(Build(l, 4, 2), 2)
+	after := [4]int64{stageDegree.Count(), stageOffsets.Count(), stageFill.Count(), stagePack.Count()}
+	if before != after {
+		t.Fatalf("disabled build recorded stages: %v -> %v", before, after)
+	}
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	PackMatrix(Build(l, 4, 2), 2)
+	now := [4]int64{stageDegree.Count(), stageOffsets.Count(), stageFill.Count(), stagePack.Count()}
+	for i, name := range []string{"degree", "prefixsum", "fill", "bitpack"} {
+		if now[i] != after[i]+1 {
+			t.Errorf("stage %s recorded %d observations, want %d", name, now[i], after[i]+1)
+		}
+	}
+	if r := fillImbalance.Value(); r < 1 {
+		t.Errorf("fill imbalance = %g, want >= 1", r)
+	}
+}
+
+// TestBuildMetricsEquivalence pins that the instrumented fill produces the
+// same matrix as the plain path.
+func TestBuildMetricsEquivalence(t *testing.T) {
+	l := edgelist.List{
+		{U: 0, V: 3}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 1}, {U: 3, V: 2},
+	}
+	plain := Build(l, 4, 2)
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	timed := Build(l, 4, 2)
+	if !plain.Equal(timed) {
+		t.Fatal("metrics-enabled Build produced a different matrix")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"csrgraph/internal/bitpack"
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
 )
 
 // Packed is the bit-packed CSR of Section III-A3: both the degree/offset
@@ -24,12 +25,16 @@ type Packed struct {
 
 // PackMatrix bit-packs a CSR using p processors, packing iA and jA
 // independently as Algorithm 4 prescribes ("once for degree array iA, and
-// once for edge column array jA").
+// once for edge column array jA"). The combined pack time is the pipeline's
+// bitpack stage in csrgraph_build_stage_seconds.
 func PackMatrix(m *Matrix, p int) *Packed {
-	return &Packed{
+	start := obs.Now()
+	pk := &Packed{
 		off:  bitpack.Pack(m.RowOffsets, p),
 		cols: bitpack.Pack(m.Cols, p),
 	}
+	obs.Tick(stagePack, start)
+	return pk
 }
 
 // BuildPacked constructs the bit-packed CSR straight from a source-sorted

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// enable turns collection on for one test and restores the off default.
+func enable(t *testing.T) {
+	t.Helper()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(false) })
+}
+
+func TestCounterGating(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled Add recorded %d, want 0", got)
+	}
+	enable(t)
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("Value = %d, want 6", got)
+	}
+}
+
+func TestWorkerCounter(t *testing.T) {
+	enable(t)
+	wc := NewWorkerCounter(4)
+	wc.Add(0, 1)
+	wc.Add(3, 2)
+	wc.Add(7, 4) // wraps to stripe 3
+	if got := wc.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	if got := wc.Stripe(3); got != 6 {
+		t.Fatalf("Stripe(3) = %d, want 6", got)
+	}
+	if NewWorkerCounter(0).Stripes() != 1 {
+		t.Fatal("zero stripes not clamped to 1")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int64]int{
+		-3: 0, 0: 0, 1: 0,
+		2: 1,
+		3: 2, 4: 2,
+		5: 3, 8: 3,
+		1 << 40:       40,
+		math.MaxInt64: histBuckets - 1,
+	}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	enable(t)
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 110 {
+		t.Fatalf("count=%d sum=%d, want 5/110", h.Count(), h.Sum())
+	}
+	// Quantiles are bucket upper bounds: p50 of {1,2,3,4,100} lands in the
+	// (2,4] bucket, p99 in the (64,128] bucket.
+	if got := h.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 = %g, want 4", got)
+	}
+	if got := h.Quantile(0.99); got != 128 {
+		t.Fatalf("p99 = %g, want 128", got)
+	}
+	if got := NewHistogram().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestHistogramDisabled(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 {
+		t.Fatalf("disabled Observe recorded %d", h.Count())
+	}
+}
+
+func TestNowAndTick(t *testing.T) {
+	if !Now().IsZero() {
+		t.Fatal("disabled Now() should be zero")
+	}
+	h := NewHistogram()
+	if !Tick(h, time.Time{}).IsZero() || h.Count() != 0 {
+		t.Fatal("Tick with zero start must be a no-op")
+	}
+	enable(t)
+	start := Now()
+	if start.IsZero() {
+		t.Fatal("enabled Now() returned zero")
+	}
+	next := Tick(h, start)
+	if h.Count() != 1 || next.Before(start) {
+		t.Fatalf("Tick: count=%d next=%v start=%v", h.Count(), next, start)
+	}
+}
+
+// TestConcurrentRecording exercises every record path from many goroutines;
+// its real assertion is `go test -race`.
+func TestConcurrentRecording(t *testing.T) {
+	enable(t)
+	var c Counter
+	wc := NewWorkerCounter(4)
+	h := NewHistogram()
+	var g Gauge
+	var wg sync.WaitGroup
+	const workers, iters = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				wc.Add(w, 1)
+				h.Observe(int64(i))
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters || wc.Total() != workers*iters || h.Count() != workers*iters {
+		t.Fatalf("lost updates: c=%d wc=%d h=%d", c.Value(), wc.Total(), h.Count())
+	}
+}

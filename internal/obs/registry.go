@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of metric series. Registration is
+// get-or-create keyed by the full series name (labels included), so
+// package-level instrumentation in different files can name the same series
+// and share it; record paths never touch the registry — they hold the
+// returned pointer.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one registered name bound to exactly one metric kind.
+type series struct {
+	name   string // full name, labels included
+	family string // name up to the label block — groups TYPE lines
+	kind   string // "counter", "gauge", "histogram"
+
+	c  *Counter
+	wc *WorkerCounter
+	g  *Gauge
+	h  *Histogram
+}
+
+// NewRegistry returns an empty registry. Most callers use the package-level
+// Default through GetCounter and friends.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// Default is the process-wide registry every Get* helper registers into and
+// WritePrometheus exposes.
+var Default = NewRegistry()
+
+// familyOf strips the label block: `f{a="b"}` → `f`.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// get returns the series for name, creating it with mk on first use. A name
+// re-registered as a different kind is a programming error and panics.
+func (r *Registry) get(name, kind string, mk func(*series)) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[name]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: %q registered as %s, requested as %s", name, s.kind, kind))
+		}
+		return s
+	}
+	s := &series{name: name, family: familyOf(name), kind: kind}
+	mk(s)
+	r.series[name] = s
+	return s
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	return r.get(name, "counter", func(s *series) { s.c = &Counter{} }).c
+}
+
+// WorkerCounter returns the striped counter registered under name, creating
+// it with stripes stripes on first use (later calls reuse the first stripe
+// count).
+func (r *Registry) WorkerCounter(name string, stripes int) *WorkerCounter {
+	return r.get(name, "counter", func(s *series) { s.wc = NewWorkerCounter(stripes) }).wc
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.get(name, "gauge", func(s *series) { s.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given exposition scale on first use. scale converts raw observations
+// to the exposed unit: 1 for element counts, 1e-9 for nanosecond
+// observations exposed as a *_seconds histogram.
+func (r *Registry) Histogram(name string, scale float64) *Histogram {
+	if scale == 0 {
+		scale = 1
+	}
+	return r.get(name, "histogram", func(s *series) { s.h = &Histogram{scale: scale} }).h
+}
+
+// GetCounter registers (or fetches) a counter in the Default registry.
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetWorkerCounter registers (or fetches) a striped per-worker counter in
+// the Default registry.
+func GetWorkerCounter(name string, stripes int) *WorkerCounter {
+	return Default.WorkerCounter(name, stripes)
+}
+
+// GetGauge registers (or fetches) a gauge in the Default registry.
+func GetGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// GetHistogram registers (or fetches) a raw-valued histogram in the Default
+// registry.
+func GetHistogram(name string) *Histogram { return Default.Histogram(name, 1) }
+
+// GetDurationHistogram registers (or fetches) a histogram whose raw
+// observations are nanoseconds and whose exposition is seconds; by
+// convention its name ends in _seconds.
+func GetDurationHistogram(name string) *Histogram { return Default.Histogram(name, 1e-9) }
+
+// withLabel splices an extra label into a full series name:
+// withLabel(`f{a="b"}`, `le="4"`) → `f{a="b",le="4"}`.
+func withLabel(name, label string) string {
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// fmtFloat renders a float the way Prometheus text format expects.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes every registered series in Prometheus text
+// exposition format, sorted by name with one # TYPE line per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].family != all[j].family {
+			return all[i].family < all[j].family
+		}
+		return all[i].name < all[j].name
+	})
+	var b strings.Builder
+	lastFamily := ""
+	for _, s := range all {
+		if s.family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.family, s.kind)
+			lastFamily = s.family
+		}
+		switch {
+		case s.c != nil:
+			fmt.Fprintf(&b, "%s %d\n", s.name, s.c.Value())
+		case s.wc != nil:
+			for i := 0; i < s.wc.Stripes(); i++ {
+				fmt.Fprintf(&b, "%s %d\n",
+					withLabel(s.name, `worker="`+strconv.Itoa(i)+`"`), s.wc.Stripe(i))
+			}
+		case s.g != nil:
+			fmt.Fprintf(&b, "%s %s\n", s.name, fmtFloat(s.g.Value()))
+		case s.h != nil:
+			writeHistogram(&b, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// suffixed splices a family suffix into a full series name, before any
+// label block: suffixed(`f{a="b"}`, `f`, "_sum") → `f_sum{a="b"}`.
+func suffixed(name, family, suffix string) string {
+	return family + suffix + name[len(family):]
+}
+
+// writeHistogram emits the cumulative _bucket/_sum/_count triplet for one
+// histogram series. Buckets are emitted up to the highest non-empty one
+// (cumulative semantics make trailing empties redundant), then +Inf.
+func writeHistogram(b *strings.Builder, s *series) {
+	h := s.h
+	bucketName := suffixed(s.name, s.family, "_bucket")
+	maxUsed := -1
+	for i := 0; i < histBuckets; i++ {
+		if h.buckets[i].Load() != 0 {
+			maxUsed = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= maxUsed; i++ {
+		cum += h.buckets[i].Load()
+		le := fmtFloat(float64(uint64(1)<<uint(i)) * h.scale)
+		fmt.Fprintf(b, "%s %d\n", withLabel(bucketName, `le="`+le+`"`), cum)
+	}
+	count := h.count.Load()
+	fmt.Fprintf(b, "%s %d\n", withLabel(bucketName, `le="+Inf"`), count)
+	fmt.Fprintf(b, "%s %s\n", suffixed(s.name, s.family, "_sum"), fmtFloat(float64(h.sum.Load())*h.scale))
+	fmt.Fprintf(b, "%s %d\n", suffixed(s.name, s.family, "_count"), count)
+}
+
+// WritePrometheus writes the Default registry's series to w.
+func WritePrometheus(w io.Writer) error { return Default.WritePrometheus(w) }

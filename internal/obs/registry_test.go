@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatal("same name returned different counters")
+	}
+	if r.Counter(`y_total{a="1"}`) == r.Counter(`y_total{a="2"}`) {
+		t.Fatal("different labels must be different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestWithLabelAndSuffixed(t *testing.T) {
+	if got := withLabel("f", `le="1"`); got != `f{le="1"}` {
+		t.Fatalf("withLabel bare = %q", got)
+	}
+	if got := withLabel(`f{a="b"}`, `le="1"`); got != `f{a="b",le="1"}` {
+		t.Fatalf("withLabel labeled = %q", got)
+	}
+	if got := suffixed(`f{a="b"}`, "f", "_sum"); got != `f_sum{a="b"}` {
+		t.Fatalf("suffixed = %q", got)
+	}
+	if got := suffixed("f", "f", "_sum"); got != "f_sum" {
+		t.Fatalf("suffixed bare = %q", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	r := NewRegistry()
+	r.Counter("t_requests_total").Add(3)
+	r.Gauge("t_ratio").Set(1.5)
+	wc := r.WorkerCounter("t_chunks_total", 2)
+	wc.Add(0, 4)
+	wc.Add(1, 6)
+	h := r.Histogram(`t_latency_seconds{op="q"}`, 1e-9)
+	h.Observe(3)   // bucket le=4e-09
+	h.Observe(500) // bucket le=5.12e-07
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE t_requests_total counter\n",
+		"t_requests_total 3\n",
+		"# TYPE t_ratio gauge\n",
+		"t_ratio 1.5\n",
+		"# TYPE t_chunks_total counter\n",
+		`t_chunks_total{worker="0"} 4` + "\n",
+		`t_chunks_total{worker="1"} 6` + "\n",
+		"# TYPE t_latency_seconds histogram\n",
+		`t_latency_seconds_bucket{op="q",le="4e-09"} 1` + "\n",
+		`t_latency_seconds_bucket{op="q",le="5.12e-07"} 2` + "\n",
+		`t_latency_seconds_bucket{op="q",le="+Inf"} 2` + "\n",
+		`t_latency_seconds_sum{op="q"} 5.03e-07` + "\n",
+		`t_latency_seconds_count{op="q"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE t_latency_seconds "); n != 1 {
+		t.Fatalf("histogram family has %d TYPE lines, want 1", n)
+	}
+}
+
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("t_empty_seconds", 1e-9)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`t_empty_seconds_bucket{le="+Inf"} 0` + "\n",
+		"t_empty_seconds_sum 0\n",
+		"t_empty_seconds_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestSharedFamilies checks the label-per-series pattern the repo's
+// instrumentation uses: several series of one family, one TYPE line,
+// series sorted together.
+func TestSharedFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`t_dispatch_total{path="search"}`)
+	r.Counter(`t_dispatch_total{path="decode"}`)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# TYPE t_dispatch_total counter"); n != 1 {
+		t.Fatalf("family has %d TYPE lines, want 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, `t_dispatch_total{path="decode"} 0`) ||
+		!strings.Contains(out, `t_dispatch_total{path="search"} 0`) {
+		t.Fatalf("missing series:\n%s", out)
+	}
+}

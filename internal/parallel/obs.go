@@ -1,0 +1,25 @@
+package parallel
+
+import "csrgraph/internal/obs"
+
+// Pool instrumentation. Per-worker series are striped one cache line per
+// worker so recording never couples the team; stripe layout is the shared
+// pool's geometry — worker ids 0..DefaultProcs()-1 from the worker
+// goroutines, plus one extra stripe for submitting callers (they
+// participate in every job they enqueue). Private pools fold into the same
+// stripes modulo the count, which keeps the totals exact and only blurs the
+// per-worker attribution for non-default pools.
+//
+// busy is wall time spent inside job bodies; idle is wall time workers
+// spend parked between jobs. Their ratio is the load-imbalance signal the
+// Ligra-style runtimes the paper builds on tune against.
+var (
+	callerStripe = DefaultProcs()
+
+	poolJobs    = obs.GetCounter("csrgraph_pool_jobs_total")
+	poolDynJobs = obs.GetCounter("csrgraph_pool_dyn_jobs_total")
+	poolChunks  = obs.GetWorkerCounter("csrgraph_pool_chunks_total", DefaultProcs()+1)
+	poolGrabs   = obs.GetWorkerCounter("csrgraph_pool_grabs_total", DefaultProcs()+1)
+	poolBusyNS  = obs.GetWorkerCounter("csrgraph_pool_busy_ns_total", DefaultProcs()+1)
+	poolIdleNS  = obs.GetWorkerCounter("csrgraph_pool_idle_ns_total", DefaultProcs()+1)
+)

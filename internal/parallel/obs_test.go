@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"csrgraph/internal/obs"
+)
+
+// poolSnapshot captures the cumulative pool counters so tests on the shared
+// global series can assert deltas.
+type poolSnapshot struct {
+	jobs, dynJobs, chunks, grabs, busy, idle int64
+}
+
+func snapPool() poolSnapshot {
+	return poolSnapshot{
+		jobs:    poolJobs.Value(),
+		dynJobs: poolDynJobs.Value(),
+		chunks:  poolChunks.Total(),
+		grabs:   poolGrabs.Total(),
+		busy:    poolBusyNS.Total(),
+		idle:    poolIdleNS.Total(),
+	}
+}
+
+func TestPoolForMetrics(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	pl := NewPool(4)
+	defer pl.Close()
+	before := snapPool()
+
+	const n = 1 << 14
+	var sum atomic.Int64
+	pl.For(n, 4, func(_ int, r Range) {
+		var local int64
+		for i := r.Start; i < r.End; i++ {
+			local += int64(i)
+		}
+		sum.Add(local)
+	})
+	if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+	after := snapPool()
+	if d := after.jobs - before.jobs; d != 1 {
+		t.Fatalf("jobs delta = %d, want 1", d)
+	}
+	if d := after.chunks - before.chunks; d != 4 {
+		t.Fatalf("chunks delta = %d, want 4", d)
+	}
+	if after.busy <= before.busy {
+		t.Fatal("busy time did not advance")
+	}
+}
+
+func TestPoolForDynamicMetrics(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	pl := NewPool(4)
+	defer pl.Close()
+	before := snapPool()
+
+	const n, grain = 1 << 12, 1 << 8
+	var count atomic.Int64
+	pl.ForDynamic(n, 4, grain, func(_ int, r Range) {
+		count.Add(int64(r.Len()))
+	})
+	if count.Load() != n {
+		t.Fatalf("visited %d indices, want %d", count.Load(), n)
+	}
+	after := snapPool()
+	if d := after.dynJobs - before.dynJobs; d != 1 {
+		t.Fatalf("dyn jobs delta = %d, want 1", d)
+	}
+	if d := after.grabs - before.grabs; d != n/grain {
+		t.Fatalf("grabs delta = %d, want %d", d, n/grain)
+	}
+}
+
+// TestPoolMetricsDisabled pins the off-by-default contract: running jobs
+// with collection off must not move any counter.
+func TestPoolMetricsDisabled(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	before := snapPool()
+	pl.For(1024, 4, func(_ int, r Range) {})
+	pl.ForDynamic(1024, 4, 64, func(_ int, r Range) {})
+	after := snapPool()
+	if before != after {
+		t.Fatalf("counters moved while disabled: %+v -> %+v", before, after)
+	}
+}

@@ -3,6 +3,9 @@ package parallel
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"csrgraph/internal/obs"
 )
 
 // Pool is a persistent team of worker goroutines that executes parallel-for
@@ -26,8 +29,10 @@ type Pool struct {
 }
 
 // runnable is one enqueued parallel-for job; both the static-chunk job and
-// the dynamic work-stealing dynJob satisfy it.
-type runnable interface{ run() }
+// the dynamic work-stealing dynJob satisfy it. wid identifies the executing
+// participant for the per-worker obs stripes: pool workers pass their index,
+// submitting callers pass the dedicated caller stripe.
+type runnable interface{ run(wid int) }
 
 // job is one parallel-for invocation: every participant (workers plus the
 // submitting caller) loops claiming chunks via next; the participant that
@@ -40,14 +45,27 @@ type job struct {
 	fin    chan struct{}
 }
 
-func (j *job) run() {
+func (j *job) run(wid int) {
 	n := int64(len(j.chunks))
+	// Tallies are recorded per chunk, before the done.Add that may close
+	// fin: every chunk's counters therefore happen-before the job is
+	// observed complete, so a scrape right after For returns sees exact
+	// totals. Cost when metrics are on is two clock reads and two striped
+	// adds per chunk — chunks are coarse; when off, one Enabled load.
+	timed := obs.Enabled()
 	for {
 		c := j.next.Add(1) - 1
 		if c >= n {
 			return
 		}
-		j.body(int(c), j.chunks[c])
+		if timed {
+			t0 := time.Now()
+			j.body(int(c), j.chunks[c])
+			poolBusyNS.Add(wid, time.Since(t0).Nanoseconds())
+			poolChunks.Add(wid, 1)
+		} else {
+			j.body(int(c), j.chunks[c])
+		}
 		if j.done.Add(1) == n {
 			close(j.fin)
 		}
@@ -70,8 +88,12 @@ type dynJob struct {
 	fin    chan struct{}
 }
 
-func (j *dynJob) run() {
+func (j *dynJob) run(wid int) {
 	id := int(j.ids.Add(1) - 1)
+	// Same per-claim recording discipline as job.run: counters land before
+	// the done.Add that may close fin, so totals are exact the moment
+	// ForDynamic returns.
+	timed := obs.Enabled()
 	for {
 		start := j.cursor.Add(j.grain) - j.grain
 		if start >= j.n {
@@ -81,7 +103,14 @@ func (j *dynJob) run() {
 		if end > j.n {
 			end = j.n
 		}
-		j.body(id, Range{int(start), int(end)})
+		if timed {
+			t0 := time.Now()
+			j.body(id, Range{int(start), int(end)})
+			poolBusyNS.Add(wid, time.Since(t0).Nanoseconds())
+			poolGrabs.Add(wid, 1)
+		} else {
+			j.body(id, Range{int(start), int(end)})
+		}
 		if j.done.Add(end-start) == j.n {
 			close(j.fin)
 			return
@@ -96,14 +125,28 @@ func NewPool(p int) *Pool {
 	}
 	pl := &Pool{p: p, jobs: make(chan runnable, 4*p)}
 	for i := 0; i < p; i++ {
-		go pl.worker()
+		go pl.worker(i)
 	}
 	return pl
 }
 
-func (pl *Pool) worker() {
-	for j := range pl.jobs {
-		j.run()
+func (pl *Pool) worker(id int) {
+	for {
+		// Time spent parked between jobs is the pool's idle series; the
+		// clock is read only while metrics are enabled, and a toggle while
+		// parked just drops that interval.
+		var t0 time.Time
+		if obs.Enabled() {
+			t0 = time.Now()
+		}
+		j, ok := <-pl.jobs
+		if !ok {
+			return
+		}
+		if !t0.IsZero() {
+			poolIdleNS.Add(id, time.Since(t0).Nanoseconds())
+		}
+		j.run(id)
 	}
 }
 
@@ -122,6 +165,7 @@ func (pl *Pool) For(n, p int, body func(chunk int, r Range)) {
 		}
 		return
 	}
+	poolJobs.Inc()
 	j := &job{body: body, chunks: chunks, fin: make(chan struct{})}
 	// Wake at most len(chunks)-1 workers: the caller is the remaining
 	// participant. Sends are non-blocking; a full queue just means the
@@ -135,7 +179,7 @@ wake:
 			break wake
 		}
 	}
-	j.run()
+	j.run(callerStripe)
 	<-j.fin
 }
 
@@ -170,6 +214,7 @@ func (pl *Pool) ForDynamic(n, p, grain int, body func(worker int, r Range)) {
 		body(0, Range{0, n})
 		return
 	}
+	poolDynJobs.Inc()
 	j := &dynJob{body: body, n: int64(n), grain: int64(grain), fin: make(chan struct{})}
 	// Wake one fewer participant than there are grains to claim (capped at
 	// p-1): the caller is the last participant, and every send is
@@ -186,7 +231,7 @@ wake:
 			break wake
 		}
 	}
-	j.run()
+	j.run(callerStripe)
 	<-j.fin
 }
 

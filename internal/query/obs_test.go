@@ -1,0 +1,64 @@
+package query
+
+import (
+	"testing"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
+)
+
+// decodeOnlySource wraps a Source, hiding its Searcher/RangeSearcher
+// methods so the engine is forced onto the decode fallback.
+type decodeOnlySource struct{ s Source }
+
+func (d decodeOnlySource) NumNodes() int                                { return d.s.NumNodes() }
+func (d decodeOnlySource) Degree(u edgelist.NodeID) int                 { return d.s.Degree(u) }
+func (d decodeOnlySource) Row(dst []uint32, u edgelist.NodeID) []uint32 { return d.s.Row(dst, u) }
+
+func TestQueryBatchMetrics(t *testing.T) {
+	l := edgelist.List{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3},
+	}
+	pk := csr.BuildPacked(l, 4, 2)
+	probes := []edgelist.Edge{{U: 0, V: 1}, {U: 0, V: 3}, {U: 2, V: 3}}
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	nSize, nLat := neighborsBatchSize.Count(), neighborsBatchSeconds.Count()
+	eSize, eLat := existsBatchSize.Count(), existsBatchSeconds.Count()
+	search, decode := dispatchSearch.Value(), dispatchDecode.Value()
+
+	NeighborsBatch(pk, []edgelist.NodeID{0, 1, 2, 3}, 2)
+	if neighborsBatchSize.Count() != nSize+1 || neighborsBatchSeconds.Count() != nLat+1 {
+		t.Fatal("NeighborsBatch did not record batch size + latency")
+	}
+
+	// Packed CSR is a Searcher: the zero-decode path must be counted.
+	got := EdgesExistBatchSearch(pk, probes, 2)
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("probe %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if dispatchSearch.Value() != search+1 || dispatchDecode.Value() != decode {
+		t.Fatalf("search dispatch not counted: search %d->%d decode %d->%d",
+			search, dispatchSearch.Value(), decode, dispatchDecode.Value())
+	}
+
+	// A Source without SearchRow must fall back to — and count — decode.
+	got = EdgesExistBatchSearch(decodeOnlySource{pk}, probes, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decode probe %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if dispatchDecode.Value() != decode+1 {
+		t.Fatal("decode dispatch not counted")
+	}
+	if existsBatchSize.Count() != eSize+2 || existsBatchSeconds.Count() != eLat+2 {
+		t.Fatal("exists batches did not record size + latency")
+	}
+}

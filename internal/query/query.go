@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
 	"csrgraph/internal/parallel"
 )
 
@@ -50,6 +51,7 @@ type Source interface {
 // ranges sized to roughly constant decode work. Decode buffers are
 // per-worker and reused across grabs.
 func NeighborsBatch(g Source, uNodes []edgelist.NodeID, p int) [][]uint32 {
+	start := obs.Now()
 	results := make([][]uint32, len(uNodes))
 	p = clampProcs(p, len(uNodes))
 	bufs := make([][]uint32, p)
@@ -62,6 +64,8 @@ func NeighborsBatch(g Source, uNodes []edgelist.NodeID, p int) [][]uint32 {
 			results[i] = row
 		}
 	})
+	neighborsBatchSize.Observe(int64(len(uNodes)))
+	obs.Tick(neighborsBatchSeconds, start)
 	return results
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
 	"csrgraph/internal/parallel"
 )
 
@@ -86,16 +87,21 @@ func clampProcs(p, n int) int {
 // instead of an O(d) row decode); any other source falls back to decoding
 // each row into a per-worker buffer and binary-searching it.
 func EdgesExistBatchSearch(g Source, edges []edgelist.Edge, p int) []bool {
+	start := obs.Now()
 	results := make([]bool, len(edges))
 	p = clampProcs(p, len(edges))
 	if s, ok := g.(Searcher); ok {
+		dispatchSearch.Inc()
 		parallel.ForDynamic(len(edges), p, searchGrain, func(_ int, r parallel.Range) {
 			for i := r.Start; i < r.End; i++ {
 				results[i] = s.SearchRow(edges[i].U, edges[i].V)
 			}
 		})
+		existsBatchSize.Observe(int64(len(edges)))
+		obs.Tick(existsBatchSeconds, start)
 		return results
 	}
+	dispatchDecode.Inc()
 	bufs := make([][]uint32, p)
 	parallel.ForDynamic(len(edges), p, dynamicGrain(g, len(edges), p), func(w int, r parallel.Range) {
 		for i := r.Start; i < r.End; i++ {
@@ -114,6 +120,8 @@ func EdgesExistBatchSearch(g Source, edges []edgelist.Edge, p int) []bool {
 			results[i] = lo < len(buf) && buf[lo] == e.V
 		}
 	})
+	existsBatchSize.Observe(int64(len(edges)))
+	obs.Tick(existsBatchSeconds, start)
 	return results
 }
 

@@ -10,14 +10,19 @@
 //	GET /degree?nodes=1,2,3            degree batch
 //	GET /exists?edges=1:2,3:4          Algorithm 7 batch
 //	GET /bfs?src=7                     hop distances from src
+//	GET /metrics                       Prometheus exposition (WithMetrics)
+//	GET /debug/pprof/...               profiling (WithPprof)
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"csrgraph/internal/algo"
 	"csrgraph/internal/edgelist"
@@ -39,36 +44,43 @@ type Handler struct {
 	cache *query.RowCache
 	procs int
 	mux   *http.ServeMux
+	o     *httpObs
 }
 
-// Option customizes New.
-type Option func(*Handler)
-
-// WithRowCache fronts the /neighbors endpoint's row decodes with a sharded
-// LRU cache of decoded rows bounded by maxBytes (<= 0 disables). Cache
-// effectiveness counters appear under "cache" in /stats.
-func WithRowCache(maxBytes int64) Option {
-	return func(h *Handler) { h.cache = query.NewRowCache(maxBytes) }
-}
-
-// New builds a Handler answering from g with the given parallelism.
+// New builds a Handler answering from g with the given parallelism. See
+// WithRowCache, WithMetrics, WithPprof, and WithAccessLog for the
+// observability options.
 func New(g query.Source, procs int, opts ...Option) *Handler {
 	if procs < 1 {
 		procs = 1
 	}
-	h := &Handler{g: g, procs: procs, mux: http.NewServeMux()}
-	for _, o := range opts {
-		o(h)
+	cfg := newConfig(opts)
+	h := &Handler{
+		g:     g,
+		cache: query.NewRowCache(cfg.cacheBytes),
+		procs: procs,
+		mux:   http.NewServeMux(),
+		o:     newHTTPObs(cfg),
 	}
 	h.rows = query.Cached(g, h.cache)
-	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]bool{"ok": true})
+	h.o.handle(h.mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h.writeJSON(w, map[string]bool{"ok": true})
 	})
-	h.mux.HandleFunc("GET /stats", h.stats)
-	h.mux.HandleFunc("GET /neighbors", h.neighbors)
-	h.mux.HandleFunc("GET /degree", h.degree)
-	h.mux.HandleFunc("GET /exists", h.exists)
-	h.mux.HandleFunc("GET /bfs", h.bfs)
+	h.o.handle(h.mux, "GET /stats", h.stats)
+	h.o.handle(h.mux, "GET /neighbors", h.neighbors)
+	h.o.handle(h.mux, "GET /degree", h.degree)
+	h.o.handle(h.mux, "GET /exists", h.exists)
+	h.o.handle(h.mux, "GET /bfs", h.bfs)
+	if cfg.metrics {
+		h.o.mountMetrics(h.mux, func(w io.Writer) {
+			if h.cache != nil {
+				writeCacheMetrics(w, h.cache.Stats())
+			}
+		})
+	}
+	if cfg.pprof {
+		mountPprof(h.mux)
+	}
 	return h
 }
 
@@ -77,13 +89,22 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.Serv
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{
-		"nodes": h.g.NumNodes(),
-		"procs": h.procs,
+		"nodes":          h.g.NumNodes(),
+		"procs":          h.procs,
+		"uptime_seconds": time.Since(h.o.start).Seconds(),
+	}
+	if ec, ok := h.g.(interface{ NumEdges() int }); ok {
+		out["edges"] = ec.NumEdges()
+	}
+	if sz, ok := h.g.(interface{ SizeBytes() int64 }); ok {
+		// For a packed CSR this is the bit-packed payload footprint —
+		// Table II's "CSR" column for the graph being served.
+		out["size_bytes"] = sz.SizeBytes()
 	}
 	if h.cache != nil {
 		out["cache"] = h.cache.Stats()
 	}
-	writeJSON(w, out)
+	h.writeJSON(w, out)
 }
 
 func (h *Handler) neighbors(w http.ResponseWriter, r *http.Request) {
@@ -101,7 +122,7 @@ func (h *Handler) neighbors(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = map[string]any{"node": u, "neighbors": row}
 	}
-	writeJSON(w, out)
+	h.writeJSON(w, out)
 }
 
 func (h *Handler) degree(w http.ResponseWriter, r *http.Request) {
@@ -115,7 +136,7 @@ func (h *Handler) degree(w http.ResponseWriter, r *http.Request) {
 	for i, u := range nodes {
 		out[i] = map[string]any{"node": u, "degree": results[i]}
 	}
-	writeJSON(w, out)
+	h.writeJSON(w, out)
 }
 
 func (h *Handler) exists(w http.ResponseWriter, r *http.Request) {
@@ -129,7 +150,7 @@ func (h *Handler) exists(w http.ResponseWriter, r *http.Request) {
 	for i, e := range edges {
 		out[i] = map[string]any{"u": e.U, "v": e.V, "exists": results[i]}
 	}
-	writeJSON(w, out)
+	h.writeJSON(w, out)
 }
 
 func (h *Handler) bfs(w http.ResponseWriter, r *http.Request) {
@@ -150,7 +171,7 @@ func (h *Handler) bfs(w http.ResponseWriter, r *http.Request) {
 			reached++
 		}
 	}
-	writeJSON(w, map[string]any{"src": nodes[0], "reached": reached, "distances": dist})
+	h.writeJSON(w, map[string]any{"src": nodes[0], "reached": reached, "distances": dist})
 }
 
 func (h *Handler) parseNodes(s string) ([]edgelist.NodeID, error) {
@@ -205,14 +226,20 @@ func (h *Handler) parseEdges(s string) ([]edgelist.Edge, error) {
 	return out, nil
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes v as the response body. Headers are already sent by the
+// time an encode error surfaces, so the response cannot be repaired — but
+// the failure is counted (csrgraph_http_json_encode_errors_total) and
+// logged at warn, where it used to vanish in an empty return.
+func writeJSON(log *slog.Logger, w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// Headers are already sent; nothing more to do than drop the
-		// connection, which the server does on handler return.
-		return
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		jsonEncodeErrors.Inc()
+		log.Warn("json encode failed", "err", err)
 	}
+}
+
+func (h *Handler) writeJSON(w http.ResponseWriter, v any) {
+	writeJSON(h.o.errLog(), w, v)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"csrgraph/internal/tcsr"
 )
@@ -22,21 +23,34 @@ type TemporalHandler struct {
 	pt    *tcsr.Packed
 	procs int
 	mux   *http.ServeMux
+	o     *httpObs
 }
 
-// NewTemporal builds a TemporalHandler answering from pt.
-func NewTemporal(pt *tcsr.Packed, procs int) *TemporalHandler {
+// NewTemporal builds a TemporalHandler answering from pt. It accepts the
+// same observability options as New; WithRowCache is ignored.
+func NewTemporal(pt *tcsr.Packed, procs int, opts ...Option) *TemporalHandler {
 	if procs < 1 {
 		procs = 1
 	}
-	h := &TemporalHandler{pt: pt, procs: procs, mux: http.NewServeMux()}
-	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]bool{"ok": true})
+	cfg := newConfig(opts)
+	h := &TemporalHandler{pt: pt, procs: procs, mux: http.NewServeMux(), o: newHTTPObs(cfg)}
+	h.o.handle(h.mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h.writeJSON(w, map[string]bool{"ok": true})
 	})
-	h.mux.HandleFunc("GET /stats", h.stats)
-	h.mux.HandleFunc("GET /active", h.active)
-	h.mux.HandleFunc("GET /neighbors", h.neighbors)
+	h.o.handle(h.mux, "GET /stats", h.stats)
+	h.o.handle(h.mux, "GET /active", h.active)
+	h.o.handle(h.mux, "GET /neighbors", h.neighbors)
+	if cfg.metrics {
+		h.o.mountMetrics(h.mux, nil)
+	}
+	if cfg.pprof {
+		mountPprof(h.mux)
+	}
 	return h
+}
+
+func (h *TemporalHandler) writeJSON(w http.ResponseWriter, v any) {
+	writeJSON(h.o.errLog(), w, v)
 }
 
 // ServeHTTP implements http.Handler.
@@ -45,11 +59,12 @@ func (h *TemporalHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *TemporalHandler) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
-		"nodes":  h.pt.NumNodes(),
-		"frames": h.pt.NumFrames(),
-		"bytes":  h.pt.SizeBytes(),
-		"procs":  h.procs,
+	h.writeJSON(w, map[string]any{
+		"nodes":          h.pt.NumNodes(),
+		"frames":         h.pt.NumFrames(),
+		"bytes":          h.pt.SizeBytes(),
+		"procs":          h.procs,
+		"uptime_seconds": time.Since(h.o.start).Seconds(),
 	})
 }
 
@@ -95,7 +110,7 @@ func (h *TemporalHandler) active(w http.ResponseWriter, r *http.Request) {
 	for i, q := range queries {
 		out[i] = map[string]any{"u": q.U, "v": q.V, "t": q.T, "active": results[i]}
 	}
-	writeJSON(w, out)
+	h.writeJSON(w, out)
 }
 
 func (h *TemporalHandler) neighbors(w http.ResponseWriter, r *http.Request) {
@@ -113,5 +128,5 @@ func (h *TemporalHandler) neighbors(w http.ResponseWriter, r *http.Request) {
 	if row == nil {
 		row = []uint32{}
 	}
-	writeJSON(w, map[string]any{"node": u, "frame": t, "neighbors": row})
+	h.writeJSON(w, map[string]any{"node": u, "frame": t, "neighbors": row})
 }

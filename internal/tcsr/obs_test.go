@@ -1,0 +1,49 @@
+package tcsr
+
+import (
+	"testing"
+
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
+)
+
+// TestTemporalStageMetrics checks the differential pass and the per-frame
+// event build both report wall time when metrics are enabled, and that the
+// instrumented snapshot differencing produces the same frames.
+func TestTemporalStageMetrics(t *testing.T) {
+	snapshots := []edgelist.List{
+		{{U: 0, V: 1}},
+		{{U: 0, V: 1}, {U: 1, V: 2}},
+		{{U: 1, V: 2}, {U: 2, V: 3}},
+		{{U: 2, V: 3}},
+	}
+	plain := BuildFromSnapshots(snapshots, 4, 2)
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	diffBefore, framesBefore := stageDiff.Count(), stageFrames.Count()
+
+	timed := BuildFromSnapshots(snapshots, 4, 2)
+	if got := stageDiff.Count(); got != diffBefore+1 {
+		t.Errorf("tcsr_diff recorded %d, want %d", got, diffBefore+1)
+	}
+	if r := diffImbalance.Value(); r < 1 {
+		t.Errorf("diff imbalance = %g, want >= 1", r)
+	}
+	if plain.NumFrames() != timed.NumFrames() {
+		t.Fatalf("frame count diverged: %d vs %d", plain.NumFrames(), timed.NumFrames())
+	}
+	for f := 0; f < plain.NumFrames(); f++ {
+		if !plain.Frame(f).Equal(timed.Frame(f)) {
+			t.Fatalf("frame %d diverged under metrics", f)
+		}
+	}
+
+	events := edgelist.TemporalList{{U: 0, V: 1, T: 0}, {U: 1, V: 2, T: 1}}
+	if _, err := BuildFromEvents(events, 3, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := stageFrames.Count(); got != framesBefore+1 {
+		t.Errorf("tcsr_frames recorded %d, want %d", got, framesBefore+1)
+	}
+}

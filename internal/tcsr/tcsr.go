@@ -25,9 +25,11 @@ package tcsr
 
 import (
 	"fmt"
+	"time"
 
 	"csrgraph/internal/csr"
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
 	"csrgraph/internal/parallel"
 )
 
@@ -72,6 +74,7 @@ func BuildFromEvents(events edgelist.TemporalList, numNodes, numFrames, p int) (
 	// parts, computed from the per-chunk first/last frame markers.
 	bounds := frameBounds(events, numFrames, p)
 	frames := make([]*csr.Matrix, numFrames)
+	start := obs.Now()
 	parallel.ForEach(numFrames, p, func(t int) {
 		part := events[bounds[t]:bounds[t+1]]
 		frameEdges := make(edgelist.List, len(part))
@@ -81,6 +84,7 @@ func BuildFromEvents(events edgelist.TemporalList, numNodes, numFrames, p int) (
 		// Events within a frame are (u, v)-sorted by the input invariant.
 		frames[t] = csr.BuildSequential(frameEdges, numNodes)
 	})
+	obs.Tick(stageFrames, start)
 	return &Temporal{numNodes: numNodes, frames: frames}, nil
 }
 
@@ -128,13 +132,25 @@ func BuildFromSnapshots(snapshots []edgelist.List, numNodes, p int) *Temporal {
 	}
 	chunks := parallel.Chunks(len(snapshots), p)
 	team := parallel.NewTeam(len(chunks))
+	start := obs.Now()
+	// Per-worker busy time (barrier wait excluded) feeds the differential
+	// pass's imbalance gauge; zero-length when metrics are off.
+	var workerNS []int64
+	if !start.IsZero() {
+		workerNS = make([]int64, len(chunks))
+	}
 	team.Run(func(w *parallel.Worker) {
+		t0 := time.Now()
 		r := chunks[w.ID()]
 		// Interior pairs: frame i differenced against frame i-1.
 		for t := r.Start + 1; t < r.End; t++ {
 			frames[t] = csr.BuildSequential(symmetricDiff(snapshots[t-1], snapshots[t]), numNodes)
 		}
+		if workerNS != nil {
+			workerNS[w.ID()] += time.Since(t0).Nanoseconds()
+		}
 		w.Sync()
+		t1 := time.Now()
 		// Boundary: the chunk's first frame. Chunk 0 keeps it absolute; the
 		// rest difference it against the predecessor chunk's last snapshot,
 		// which is read-only input, so no further synchronization is needed
@@ -144,7 +160,14 @@ func BuildFromSnapshots(snapshots []edgelist.List, numNodes, p int) *Temporal {
 		} else {
 			frames[r.Start] = csr.BuildSequential(symmetricDiff(snapshots[r.Start-1], snapshots[r.Start]), numNodes)
 		}
+		if workerNS != nil {
+			workerNS[w.ID()] += time.Since(t1).Nanoseconds()
+		}
 	})
+	if workerNS != nil {
+		diffImbalance.Set(obs.ImbalanceRatio(workerNS))
+	}
+	obs.Tick(stageDiff, start)
 	return &Temporal{numNodes: numNodes, frames: frames}
 }
 
