@@ -7,9 +7,9 @@ GO ?= go
 # lower-variance trajectory points.
 BENCHTIME ?= 100ms
 
-.PHONY: all build test test-race race vet fmt bench bench-quick bench-json bench-obs bench-compare bench-compare-query fuzz experiments clean
+.PHONY: all build test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-compare bench-compare-query fuzz fuzz-smoke experiments clean
 
-all: build vet test test-race
+all: build vet lint test test-race
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,12 @@ test:
 
 # Race-detect the concurrency hot spots on every verify pass: the parallel
 # worker pool, the batched query dispatch, PackDirect's atomic-OR merge,
-# and the radix sort's chunked histogram/scatter passes are exactly the
-# code the detector should be watching. `race` below covers the whole tree
-# but is too slow for the default loop.
+# the radix sort's chunked histogram/scatter passes, and the parallel
+# construction/stream paths behind csr and tcsr are exactly the code the
+# detector should be watching. `race` below covers the whole tree but is
+# too slow for the default loop.
 test-race:
-	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/...
+	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/... ./internal/tcsr/... ./internal/csr/... ./internal/stream/...
 
 race:
 	$(GO) test -race ./...
@@ -33,6 +34,21 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# Fail (listing the files) when anything is not gofmt-clean; lint and CI
+# both gate on this.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Project-specific static analysis (DESIGN.md §11): the csrlint analyzer
+# suite enforcing hot-path allocation-freedom, metric naming, parallel-for
+# closure hygiene, atomic access consistency, and error propagation. The
+# suite's own fixture tests run first so a broken analyzer can't silently
+# pass the tree.
+lint: fmt-check
+	$(GO) test ./lint/...
+	$(GO) run ./lint/cmd/csrlint ./...
 
 # Full benchmark run (same command EXPERIMENTS.md references).
 bench:
@@ -74,17 +90,22 @@ bench-compare-query:
 	$(GO) run ./cmd/benchcompare -key cache -baseline cold -new warm < /tmp/benchq.txt
 
 # Short fuzzing pass over every fuzz target.
+FUZZTIME ?= 15s
 fuzz:
-	$(GO) test -fuzz FuzzRadixSort -fuzztime 15s ./internal/radix/
-	$(GO) test -fuzz FuzzUnpackKernels -fuzztime 15s ./internal/bitarray/
-	$(GO) test -fuzz FuzzReadText -fuzztime 15s ./internal/edgelist/
-	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/edgelist/
-	$(GO) test -fuzz FuzzReadTemporalText -fuzztime 15s ./internal/edgelist/
-	$(GO) test -fuzz FuzzDecodeVarint -fuzztime 15s ./internal/bitpack/
-	$(GO) test -fuzz FuzzDecodeEliasGamma -fuzztime 15s ./internal/bitpack/
-	$(GO) test -fuzz FuzzPackedUnmarshal -fuzztime 15s ./internal/bitpack/
-	$(GO) test -fuzz FuzzReadPacked -fuzztime 15s ./internal/csr/
-	$(GO) test -fuzz FuzzReadPacked -fuzztime 15s ./internal/tcsr/
+	$(GO) test -fuzz FuzzRadixSort -fuzztime $(FUZZTIME) ./internal/radix/
+	$(GO) test -fuzz FuzzUnpackKernels -fuzztime $(FUZZTIME) ./internal/bitarray/
+	$(GO) test -fuzz FuzzReadText -fuzztime $(FUZZTIME) ./internal/edgelist/
+	$(GO) test -fuzz FuzzReadBinary -fuzztime $(FUZZTIME) ./internal/edgelist/
+	$(GO) test -fuzz FuzzReadTemporalText -fuzztime $(FUZZTIME) ./internal/edgelist/
+	$(GO) test -fuzz FuzzDecodeVarint -fuzztime $(FUZZTIME) ./internal/bitpack/
+	$(GO) test -fuzz FuzzDecodeEliasGamma -fuzztime $(FUZZTIME) ./internal/bitpack/
+	$(GO) test -fuzz FuzzPackedUnmarshal -fuzztime $(FUZZTIME) ./internal/bitpack/
+	$(GO) test -fuzz FuzzReadPacked -fuzztime $(FUZZTIME) ./internal/csr/
+	$(GO) test -fuzz FuzzReadPacked -fuzztime $(FUZZTIME) ./internal/tcsr/
+
+# CI's bounded fuzz gate: every target for 10s.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
 
 # Regenerate the paper artifacts (Table II, Figures 6-7, CSV, SVG).
 experiments:

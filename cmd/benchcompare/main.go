@@ -112,24 +112,25 @@ func run(in io.Reader, out io.Writer, key, baseline, candidate string) error {
 	}
 	sort.Strings(order)
 
+	// bufio.Writer errors are sticky: every Fprintf below is best-effort
+	// and the final Flush reports the first failure.
 	w := bufio.NewWriter(out)
-	defer w.Flush()
-	fmt.Fprintf(w, "%-55s %15s %15s %9s\n", "benchmark", baseline+" ns/op", candidate+" ns/op", "speedup")
+	fmt.Fprintf(w, "%-55s %15s %15s %9s\n", "benchmark", baseline+" ns/op", candidate+" ns/op", "speedup") //csr:errok sticky; reported by Flush below
 	paired := 0
 	for _, pairKey := range order {
 		base, okB := nsPerOp[pairKey][baseline]
 		cand, okC := nsPerOp[pairKey][candidate]
 		if !okB || !okC {
-			fmt.Fprintf(w, "%-55s missing %s or %s variant\n", pairKey, baseline, candidate)
+			fmt.Fprintf(w, "%-55s missing %s or %s variant\n", pairKey, baseline, candidate) //csr:errok sticky; reported by Flush below
 			continue
 		}
-		fmt.Fprintf(w, "%-55s %15.0f %15.0f %8.2fx\n", pairKey, base, cand, base/cand)
+		fmt.Fprintf(w, "%-55s %15.0f %15.0f %8.2fx\n", pairKey, base, cand, base/cand) //csr:errok sticky; reported by Flush below
 		paired++
 	}
 	if paired == 0 {
 		return fmt.Errorf("no benchmark had both %s and %s variants", baseline, candidate)
 	}
-	return nil
+	return w.Flush()
 }
 
 // snapshotResult mirrors cmd/benchjson's output schema.
@@ -181,9 +182,9 @@ func runSnapshots(out io.Writer, basePath, candPath, filter string) error {
 	if err != nil {
 		return err
 	}
+	// As in runText: bufio errors are sticky, the final Flush reports them.
 	w := bufio.NewWriter(out)
-	defer w.Flush()
-	fmt.Fprintf(w, "%-80s %15s %15s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	fmt.Fprintf(w, "%-80s %15s %15s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup") //csr:errok sticky; reported by Flush below
 	shown := 0
 	for _, key := range order {
 		if re != nil && !re.MatchString(key) {
@@ -191,15 +192,15 @@ func runSnapshots(out io.Writer, basePath, candPath, filter string) error {
 		}
 		b, ok := base[key]
 		if !ok {
-			fmt.Fprintf(w, "%-80s %31s %9.0f\n", key, "(new)", cand[key])
+			fmt.Fprintf(w, "%-80s %31s %9.0f\n", key, "(new)", cand[key]) //csr:errok sticky; reported by Flush below
 			shown++
 			continue
 		}
-		fmt.Fprintf(w, "%-80s %15.0f %15.0f %8.2fx\n", key, b, cand[key], b/cand[key])
+		fmt.Fprintf(w, "%-80s %15.0f %15.0f %8.2fx\n", key, b, cand[key], b/cand[key]) //csr:errok sticky; reported by Flush below
 		shown++
 	}
 	if shown == 0 {
 		return fmt.Errorf("no candidate benchmark in %s matches", candPath)
 	}
-	return nil
+	return w.Flush()
 }

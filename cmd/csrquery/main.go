@@ -112,7 +112,7 @@ func runTemporal(path string, rest []string, procs int) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //csr:errok read-only file; close cannot lose data
 	pt, err := tcsr.ReadPacked(f)
 	if err != nil {
 		return err

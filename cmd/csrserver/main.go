@@ -100,7 +100,7 @@ func buildHandler(graphPath, temporalPath string, procs, cacheMB int, opts ...se
 		if err != nil {
 			return nil, "", err
 		}
-		defer f.Close()
+		defer f.Close() //csr:errok read-only file; close cannot lose data
 		pt, err := tcsr.ReadPacked(f)
 		if err != nil {
 			return nil, "", err

@@ -47,7 +47,9 @@ func TestBuildHandlerTemporal(t *testing.T) {
 	if _, err := tc.Pack(1).WriteTo(f); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
 	h, _, err := buildHandler("", path, 2, 0)
 	if err != nil {
 		t.Fatal(err)

@@ -46,7 +46,7 @@ func TestRunTemporal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
+	defer f.Close() //csr:errok read-only file; close cannot lose data
 	ev, err := edgelist.ReadTemporalText(f)
 	if err != nil {
 		t.Fatal(err)
@@ -74,7 +74,10 @@ func TestRunRing(t *testing.T) {
 	if err := run([]string{"-kind", "ring", "-nodes", "10", "-out", out}); err != nil {
 		t.Fatal(err)
 	}
-	l, _ := edgelist.LoadFile(out)
+	l, err := edgelist.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(l) != 10 {
 		t.Fatalf("ring has %d edges, want 10", len(l))
 	}

@@ -53,6 +53,7 @@ func BFS(g query.Source, src edgelist.NodeID, p int) []int32 {
 	frontier := []uint32{src}
 	for level := int32(1); len(frontier) > 0; level++ {
 		nexts := make([][]uint32, p)
+		lvl := level // per-round snapshot: pool bodies must not read the loop counter
 		parallel.For(len(frontier), p, func(c int, r parallel.Range) {
 			var buf []uint32
 			var local []uint32
@@ -60,7 +61,7 @@ func BFS(g query.Source, src edgelist.NodeID, p int) []int32 {
 				buf = g.Row(buf, frontier[i])
 				for _, w := range buf {
 					if atomicDist[w].Load() == Unreached &&
-						atomicDist[w].CompareAndSwap(Unreached, level) {
+						atomicDist[w].CompareAndSwap(Unreached, lvl) {
 						local = append(local, w)
 					}
 				}

@@ -98,6 +98,7 @@ func ColorGraph(g query.Source, p int) ([]uint32, int) {
 	remaining := n
 	for round := uint64(0); remaining > 0; round++ {
 		winners := make([][]uint32, p)
+		rnd := round // per-round snapshot: pool bodies must not read the loop counter
 		parallel.For(n, p, func(c int, r parallel.Range) {
 			var buf []uint32
 			var local []uint32
@@ -105,14 +106,14 @@ func ColorGraph(g query.Source, p int) ([]uint32, int) {
 				if colors[u] != uncolored {
 					continue
 				}
-				pu := misHash(round, uint32(u))
+				pu := misHash(rnd, uint32(u))
 				win := true
 				buf = g.Row(buf, uint32(u))
 				for _, w := range buf {
 					if int(w) == u || colors[w] != uncolored {
 						continue
 					}
-					pw := misHash(round, w)
+					pw := misHash(rnd, w)
 					if pw > pu || (pw == pu && w > uint32(u)) {
 						win = false
 						break

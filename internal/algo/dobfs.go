@@ -38,6 +38,7 @@ func BFSDirectionOptimizing(g, gT query.Source, src edgelist.NodeID, p int) []in
 	frontier := []uint32{src}
 
 	for level := int32(1); len(frontier) > 0; level++ {
+		lvl := level // per-round snapshot: pool bodies must not read the loop counter
 		if len(frontier)*switchDenom < n {
 			// Push: expand the frontier along out-edges.
 			nexts := make([][]uint32, p)
@@ -48,7 +49,7 @@ func BFSDirectionOptimizing(g, gT query.Source, src edgelist.NodeID, p int) []in
 					buf = g.Row(buf, frontier[i])
 					for _, w := range buf {
 						if atomicDist[w].Load() == Unreached &&
-							atomicDist[w].CompareAndSwap(Unreached, level) {
+							atomicDist[w].CompareAndSwap(Unreached, lvl) {
 							local = append(local, w)
 						}
 					}
@@ -74,8 +75,8 @@ func BFSDirectionOptimizing(g, gT query.Source, src edgelist.NodeID, p int) []in
 				}
 				buf = gT.Row(buf, uint32(u))
 				for _, w := range buf {
-					if atomicDist[w].Load() == level-1 {
-						atomicDist[u].Store(level)
+					if atomicDist[w].Load() == lvl-1 {
+						atomicDist[u].Store(lvl)
 						local = append(local, uint32(u))
 						break
 					}

@@ -38,6 +38,7 @@ func CoreNumbers(g query.Source, p int) []uint32 {
 		}
 		for len(frontier) > 0 {
 			nexts := make([][]uint32, p)
+			kk := k // per-level snapshot: pool bodies must not read the loop counter
 			parallel.For(len(frontier), p, func(c int, r parallel.Range) {
 				var buf []uint32
 				var local []uint32
@@ -46,13 +47,13 @@ func CoreNumbers(g query.Source, p int) []uint32 {
 					if removed[u].Load() || !removed[u].CompareAndSwap(false, true) {
 						continue
 					}
-					core[u] = uint32(k)
+					core[u] = uint32(kk)
 					buf = g.Row(buf, u)
 					for _, w := range buf {
 						if removed[w].Load() {
 							continue
 						}
-						if nd := deg[w].Add(-1); nd == int32(k) {
+						if nd := deg[w].Add(-1); nd == int32(kk) {
 							local = append(local, w)
 						}
 					}

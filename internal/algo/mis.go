@@ -30,6 +30,7 @@ func MaximalIndependentSet(g query.Source, p int) []bool {
 		// Phase 1: winners — live nodes whose priority beats every live
 		// neighbor's. Ties broken by node id (hash collisions are possible).
 		winners := make([][]uint32, p)
+		rnd := round // per-round snapshot: pool bodies must not read the loop counter
 		parallel.For(n, p, func(c int, r parallel.Range) {
 			var buf []uint32
 			var local []uint32
@@ -37,14 +38,14 @@ func MaximalIndependentSet(g query.Source, p int) []bool {
 				if state[u].Load() != stateLive {
 					continue
 				}
-				pu := misHash(round, uint32(u))
+				pu := misHash(rnd, uint32(u))
 				win := true
 				buf = g.Row(buf, uint32(u))
 				for _, w := range buf {
 					if int(w) == u || state[w].Load() != stateLive {
 						continue
 					}
-					pw := misHash(round, w)
+					pw := misHash(rnd, w)
 					if pw > pu || (pw == pu && w > uint32(u)) {
 						win = false
 						break

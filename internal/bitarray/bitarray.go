@@ -131,6 +131,8 @@ func (a *Array) SetBit(i int, b bool) {
 // Uint reads `width` bits starting at bit position pos, MSB-first, and
 // returns them as the low bits of a uint64. width must be in [0, 64] and the
 // range [pos, pos+width) must be within the array.
+//
+//csr:hotpath
 func (a *Array) Uint(pos, width int) uint64 {
 	if width == 0 {
 		return 0
@@ -159,6 +161,8 @@ func (a *Array) Uint(pos, width int) uint64 {
 // out-of-bounds word index still panics, but a caller violating the
 // no-straddle precondition gets garbage bits, so this is strictly an
 // internal fast path for checked callers.
+//
+//csr:hotpath
 func (a *Array) UintAligned(pos, width int) uint64 {
 	return (a.words[pos>>6] >> (wordBits - width - (pos & 63))) & maskFor(width)
 }

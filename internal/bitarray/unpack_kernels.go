@@ -49,6 +49,8 @@ func init() {
 // UnpackUints bulk-decodes count fixed-width values (width in [1,32])
 // starting at bit pos into dst, which must have room. It is the hot path
 // of packed-CSR row decoding, dispatching to a width-specialized kernel.
+//
+//csr:hotpath
 func (a *Array) UnpackUints(dst []uint32, pos, width, count int) {
 	if count == 0 {
 		return
@@ -64,6 +66,8 @@ func (a *Array) UnpackUints(dst []uint32, pos, width, count int) {
 
 // unpackGeneric is the pre-kernel rolling-window loop, kept as the
 // reference implementation for differential testing.
+//
+//csr:hotpath
 func unpackGeneric(dst []uint32, words []uint64, pos, width, count int) {
 	mask := uint64(1)<<width - 1
 	for i := 0; i < count; i++ {
@@ -85,6 +89,8 @@ func unpackGeneric(dst []uint32, words []uint64, pos, width, count int) {
 // backing word is loaded exactly once, and the common no-refill iteration
 // is two shifts and a subtract. It serves every width without a dedicated
 // kernel and the unaligned starts the specialized kernels bail out on.
+//
+//csr:hotpath
 func unpackBuffered(dst []uint32, words []uint64, pos, width, count int) {
 	w := pos >> 6
 	off := pos & 63
@@ -119,6 +125,7 @@ func unpackBuffered(dst []uint32, words []uint64, pos, width, count int) {
 // head values up to the next word boundary, then whole words at 64/width
 // values per load, then the tail from a single final word.
 
+//csr:hotpath
 func unpack1(dst []uint32, words []uint64, pos, count int) {
 	i := 0
 	for ; pos&63 != 0 && i < count; i++ {
@@ -141,6 +148,7 @@ func unpack1(dst []uint32, words []uint64, pos, count int) {
 	}
 }
 
+//csr:hotpath
 func unpack2(dst []uint32, words []uint64, pos, count int) {
 	if pos&1 != 0 {
 		unpackBuffered(dst, words, pos, 2, count)
@@ -167,6 +175,7 @@ func unpack2(dst []uint32, words []uint64, pos, count int) {
 	}
 }
 
+//csr:hotpath
 func unpack4(dst []uint32, words []uint64, pos, count int) {
 	if pos&3 != 0 {
 		unpackBuffered(dst, words, pos, 4, count)
@@ -206,6 +215,7 @@ func unpack4(dst []uint32, words []uint64, pos, count int) {
 	}
 }
 
+//csr:hotpath
 func unpack8(dst []uint32, words []uint64, pos, count int) {
 	if pos&7 != 0 {
 		unpackBuffered(dst, words, pos, 8, count)
@@ -237,6 +247,7 @@ func unpack8(dst []uint32, words []uint64, pos, count int) {
 	}
 }
 
+//csr:hotpath
 func unpack16(dst []uint32, words []uint64, pos, count int) {
 	if pos&15 != 0 {
 		unpackBuffered(dst, words, pos, 16, count)
@@ -264,6 +275,7 @@ func unpack16(dst []uint32, words []uint64, pos, count int) {
 	}
 }
 
+//csr:hotpath
 func unpack32(dst []uint32, words []uint64, pos, count int) {
 	if pos&31 != 0 {
 		unpackBuffered(dst, words, pos, 32, count)

@@ -185,6 +185,8 @@ func (pk *Packed) SizeBytes() int64 { return int64(pk.bits.SizeBytes()) }
 // Get returns element i. When the width divides 64 the value cannot
 // straddle a word boundary and the read is a single load-shift-mask
 // (bitarray.UintAligned) instead of Uint's two-word branch.
+//
+//csr:hotpath
 func (pk *Packed) Get(i int) uint32 {
 	if i < 0 || i >= pk.n {
 		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, pk.n))
@@ -194,6 +196,8 @@ func (pk *Packed) Get(i int) uint32 {
 
 // get is Get without the bounds check, for the search loops below whose
 // probe indices are validated once up front.
+//
+//csr:hotpath
 func (pk *Packed) get(i int) uint32 {
 	if pk.aligned {
 		return uint32(pk.bits.UintAligned(i*pk.width, pk.width))
@@ -201,6 +205,7 @@ func (pk *Packed) get(i int) uint32 {
 	return uint32(pk.bits.Uint(i*pk.width, pk.width))
 }
 
+//csr:hotpath
 func (pk *Packed) checkRange(lo, hi int) {
 	if lo < 0 || hi > pk.n || lo > hi {
 		panic(fmt.Sprintf("bitpack: range [%d,%d) out of range [0,%d)", lo, hi, pk.n))
@@ -212,11 +217,14 @@ func (pk *Packed) checkRange(lo, hi int) {
 // sorted ascending. Each probe is a single packed random access, so a
 // sorted run — a CSR neighbor row — is searched without decoding it: the
 // zero-decode primitive behind csr.Packed.SearchRow.
+//
+//csr:hotpath
 func (pk *Packed) LowerBound(lo, hi int, v uint32) int {
 	pk.checkRange(lo, hi)
 	return pk.lowerBound(lo, hi, v)
 }
 
+//csr:hotpath
 func (pk *Packed) lowerBound(lo, hi int, v uint32) int {
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -236,6 +244,8 @@ func (pk *Packed) lowerBound(lo, hi int, v uint32) int {
 // toward small neighbor ids (degree-ordered graphs give hubs small ids),
 // and keeps early probes within a few cache lines of the row start
 // instead of striding across the whole packed row.
+//
+//csr:hotpath
 func (pk *Packed) GallopLowerBound(lo, hi int, v uint32) int {
 	pk.checkRange(lo, hi)
 	if lo == hi || pk.get(lo) >= v {

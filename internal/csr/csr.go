@@ -161,12 +161,16 @@ func (m *Matrix) RowBounds(u edgelist.NodeID) (start, end int) {
 // SearchRow reports whether (u, v) exists by early-exit binary search over
 // the sorted row: the search returns as soon as a probe hits v instead of
 // always narrowing to a lower bound.
+//
+//csr:hotpath
 func (m *Matrix) SearchRow(u, v edgelist.NodeID) bool {
 	return m.SearchRange(int(m.RowOffsets[u]), int(m.RowOffsets[u+1]), v)
 }
 
 // SearchRange reports whether v occurs in the sorted Cols run [start, end)
 // — one row or any subrange of it (Algorithm 8's per-processor unit).
+//
+//csr:hotpath
 func (m *Matrix) SearchRange(start, end int, v edgelist.NodeID) bool {
 	lo, hi := start, end
 	for lo < hi {

@@ -165,6 +165,8 @@ func (dp *DeltaPacked) HasEdge(u, v edgelist.NodeID) bool {
 // exit once the running neighbor id passes v; the method exists so the
 // query engine's zero-materialization path covers the delta form too (no
 // full-row buffer is ever built).
+//
+//csr:hotpath
 func (dp *DeltaPacked) SearchRow(u, v edgelist.NodeID) bool {
 	return dp.HasEdge(u, v)
 }

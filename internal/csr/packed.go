@@ -136,6 +136,8 @@ const gallopMinDegree = 128
 // is one bitpack random access (single aligned word load for widths
 // dividing 64), so no part of the row is ever materialized; hub rows use
 // the galloping variant.
+//
+//csr:hotpath
 func (pk *Packed) SearchRow(u, v edgelist.NodeID) bool {
 	start, end := pk.RowBounds(u)
 	return pk.SearchRange(start, end, v)
@@ -145,6 +147,8 @@ func (pk *Packed) SearchRow(u, v edgelist.NodeID) bool {
 // positions [start, end) of jA, which must be a sorted run (any subrange
 // of one row is). It is the split unit of Algorithm 8: EdgeExistsSplit
 // hands each processor one subrange to search without decoding.
+//
+//csr:hotpath
 func (pk *Packed) SearchRange(start, end int, v edgelist.NodeID) bool {
 	var i int
 	if end-start >= gallopMinDegree {

@@ -224,14 +224,14 @@ func LoadFile(path string) (List, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //csr:errok read-only file; close cannot lose data
 	var r io.Reader = f
 	if strings.HasSuffix(path, ".gz") {
 		gz, gerr := gzip.NewReader(f)
 		if gerr != nil {
 			return nil, fmt.Errorf("edgelist: %s: %w", path, gerr)
 		}
-		defer gz.Close()
+		defer gz.Close() //csr:errok decode path; truncation surfaces as a read error first
 		r = gz
 		path = strings.TrimSuffix(path, ".gz")
 	}

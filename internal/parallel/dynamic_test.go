@@ -14,12 +14,13 @@ func TestForDynamicCoversEveryIndexOnce(t *testing.T) {
 		for _, p := range []int{1, 2, 4, 16, 64} {
 			for _, grain := range []int{0, 1, 3, 64, 10000} {
 				visits := make([]atomic.Int32, n)
+				nn, pp := n, p // per-case snapshots: pool bodies must not read loop counters
 				ForDynamic(n, p, grain, func(worker int, r Range) {
-					if worker < 0 || worker >= max(p, 1) {
-						t.Errorf("worker id %d out of range [0,%d)", worker, p)
+					if worker < 0 || worker >= max(pp, 1) {
+						t.Errorf("worker id %d out of range [0,%d)", worker, pp)
 					}
-					if r.Start < 0 || r.End > n || r.Empty() {
-						t.Errorf("bad range [%d,%d) for n=%d", r.Start, r.End, n)
+					if r.Start < 0 || r.End > nn || r.Empty() {
+						t.Errorf("bad range [%d,%d) for n=%d", r.Start, r.End, nn)
 					}
 					for i := r.Start; i < r.End; i++ {
 						visits[i].Add(1)
@@ -113,14 +114,14 @@ func TestForDynamicPrivatePool(t *testing.T) {
 		t.Fatalf("covered %d of 100", len(seen))
 	}
 	// n <= grain runs inline on the caller.
-	ran := false
+	var ran atomic.Bool
 	pl.ForDynamic(5, 3, 100, func(worker int, r Range) {
 		if worker != 0 || r.Start != 0 || r.End != 5 {
 			t.Fatalf("inline path got worker=%d range=[%d,%d)", worker, r.Start, r.End)
 		}
-		ran = true
+		ran.Store(true)
 	})
-	if !ran {
+	if !ran.Load() {
 		t.Fatal("inline path did not run")
 	}
 }

@@ -45,6 +45,7 @@ type job struct {
 	fin    chan struct{}
 }
 
+//csr:hotpath
 func (j *job) run(wid int) {
 	n := int64(len(j.chunks))
 	// Tallies are recorded per chunk, before the done.Add that may close
@@ -88,6 +89,7 @@ type dynJob struct {
 	fin    chan struct{}
 }
 
+//csr:hotpath
 func (j *dynJob) run(wid int) {
 	id := int(j.ids.Add(1) - 1)
 	// Same per-claim recording discipline as job.run: counters land before
@@ -130,6 +132,7 @@ func NewPool(p int) *Pool {
 	return pl
 }
 
+//csr:hotpath
 func (pl *Pool) worker(id int) {
 	for {
 		// Time spent parked between jobs is the pool's idle series; the

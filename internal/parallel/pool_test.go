@@ -17,9 +17,10 @@ func TestPoolForCoversIndexSpace(t *testing.T) {
 		for _, p := range []int{1, 2, 3, 4, 9, 64} {
 			visits := make([]int32, n)
 			chunks := Chunks(n, p)
+			nn, pp := n, p // per-case snapshots: pool bodies must not read loop counters
 			pl.For(n, p, func(c int, r Range) {
 				if c < 0 || c >= len(chunks) || chunks[c] != r {
-					t.Errorf("n=%d p=%d: chunk %d got range %v, want %v", n, p, c, r, chunks[c])
+					t.Errorf("n=%d p=%d: chunk %d got range %v, want %v", nn, pp, c, r, chunks[c])
 				}
 				for i := r.Start; i < r.End; i++ {
 					atomic.AddInt32(&visits[i], 1)

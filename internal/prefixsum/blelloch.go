@@ -26,9 +26,10 @@ func InclusiveBlelloch[T Integer](xs []T, p int) []T {
 	// Up-sweep: each level halves the number of active nodes.
 	for s := 1; s < m; s *= 2 {
 		stride := 2 * s
+		half := s // per-level snapshot: pool bodies must not read the loop counter
 		parallel.ForEach(m/stride, p, func(j int) {
 			i := j * stride
-			buf[i+stride-1] += buf[i+s-1]
+			buf[i+stride-1] += buf[i+half-1]
 		})
 	}
 
@@ -37,10 +38,11 @@ func InclusiveBlelloch[T Integer](xs []T, p int) []T {
 	buf[m-1] = 0
 	for s := m / 2; s >= 1; s /= 2 {
 		stride := 2 * s
+		half := s // per-level snapshot: pool bodies must not read the loop counter
 		parallel.ForEach(m/stride, p, func(j int) {
 			i := j * stride
-			left := buf[i+s-1]
-			buf[i+s-1] = buf[i+stride-1]
+			left := buf[i+half-1]
+			buf[i+half-1] = buf[i+stride-1]
 			buf[i+stride-1] += left
 		})
 	}

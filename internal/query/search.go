@@ -54,6 +54,8 @@ const searchGrain = 256
 // over g: roughly grainTargetWork neighbors of expected decode work per
 // grab (via the source's average degree), bounded so a batch still splits
 // into at least ~4 grabs per processor.
+//
+//csr:hotpath
 func dynamicGrain(g Source, n, p int) int {
 	avg := 8
 	if ec, ok := g.(interface{ NumEdges() int }); ok && g.NumNodes() > 0 {
@@ -71,6 +73,8 @@ func dynamicGrain(g Source, n, p int) int {
 
 // clampProcs bounds p to something the per-worker scratch allocation can
 // size: at most one worker per query.
+//
+//csr:hotpath
 func clampProcs(p, n int) int {
 	if p > n {
 		p = n

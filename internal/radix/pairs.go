@@ -28,10 +28,11 @@ func SortKV(keys []uint64, vals []uint32, kScratch []uint64, vScratch []uint32, 
 	srcK, dstK := keys, kScratch[:n]
 	srcV, dstV := vals, vScratch[:n]
 	for _, shift := range shifts {
+		sh := shift // per-pass snapshot: pool bodies must not read the loop counter
 		parallel.For(n, nc, func(c int, r parallel.Range) {
 			var h [numBuckets]uint32
 			for _, k := range srcK[r.Start:r.End] {
-				h[(k>>shift)&0xff]++
+				h[(k>>sh)&0xff]++
 			}
 			for d := 0; d < numBuckets; d++ {
 				counts[d*nc+c] = h[d]
@@ -45,7 +46,7 @@ func SortKV(keys []uint64, vals []uint32, kScratch []uint64, vScratch []uint32, 
 			}
 			for i := r.Start; i < r.End; i++ {
 				k := srcK[i]
-				d := (k >> shift) & 0xff
+				d := (k >> sh) & 0xff
 				w := cur[d]
 				dstK[w] = k
 				dstV[w] = srcV[i]

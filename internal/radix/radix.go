@@ -133,11 +133,12 @@ func Sort64(keys, scratch []uint64, p int) {
 	counts := make([]uint32, numBuckets*nc)
 	src, dst := keys, scratch[:n]
 	for _, shift := range shifts {
+		sh := shift // per-pass snapshot: pool bodies must not read the loop counter
 		// Phase 1: per-chunk digit histograms into the digit-major layout.
 		parallel.For(n, nc, func(c int, r parallel.Range) {
 			var h [numBuckets]uint32
 			for _, k := range src[r.Start:r.End] {
-				h[(k>>shift)&0xff]++
+				h[(k>>sh)&0xff]++
 			}
 			for d := 0; d < numBuckets; d++ {
 				counts[d*nc+c] = h[d]
@@ -155,7 +156,7 @@ func Sort64(keys, scratch []uint64, p int) {
 				cur[d] = counts[d*nc+c]
 			}
 			for _, k := range src[r.Start:r.End] {
-				d := (k >> shift) & 0xff
+				d := (k >> sh) & 0xff
 				dst[cur[d]] = k
 				cur[d]++
 			}

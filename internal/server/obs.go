@@ -139,10 +139,9 @@ func (o *httpObs) handle(mux *http.ServeMux, pattern string, fn http.HandlerFunc
 	}
 	hist := obs.GetDurationHistogram(`csrgraph_http_request_seconds{path="` + path + `"}`)
 	byClass := [6]*obs.Counter{}
-	for _, class := range []int{2, 4, 5} {
-		byClass[class] = obs.GetCounter(fmt.Sprintf(
-			`csrgraph_http_responses_total{path="%s",code="%dxx"}`, path, class))
-	}
+	byClass[2] = obs.GetCounter(`csrgraph_http_responses_total{path="` + path + `",code="2xx"}`)
+	byClass[4] = obs.GetCounter(`csrgraph_http_responses_total{path="` + path + `",code="4xx"}`)
+	byClass[5] = obs.GetCounter(`csrgraph_http_responses_total{path="` + path + `",code="5xx"}`)
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		logging := o.log != nil
 		if !logging && !obs.Enabled() {
@@ -187,8 +186,10 @@ func (o *httpObs) mountMetrics(mux *http.ServeMux, extra func(io.Writer)) {
 		if err := obs.WritePrometheus(w); err != nil {
 			return
 		}
-		fmt.Fprintf(w, "# TYPE csrgraph_uptime_seconds gauge\ncsrgraph_uptime_seconds %g\n",
-			time.Since(o.start).Seconds())
+		if _, err := fmt.Fprintf(w, "# TYPE csrgraph_uptime_seconds gauge\ncsrgraph_uptime_seconds %g\n",
+			time.Since(o.start).Seconds()); err != nil {
+			return // client went away mid-scrape
+		}
 		if extra != nil {
 			extra(w)
 		}
@@ -198,11 +199,13 @@ func (o *httpObs) mountMetrics(mux *http.ServeMux, extra func(io.Writer)) {
 // writeCacheMetrics emits the hot-row cache counters as exposition lines;
 // they live outside the obs registry because the cache is per-handler.
 func writeCacheMetrics(w io.Writer, st query.CacheStats) {
-	fmt.Fprintf(w, "# TYPE csrgraph_rowcache_hits_total counter\ncsrgraph_rowcache_hits_total %d\n", st.Hits)
-	fmt.Fprintf(w, "# TYPE csrgraph_rowcache_misses_total counter\ncsrgraph_rowcache_misses_total %d\n", st.Misses)
-	fmt.Fprintf(w, "# TYPE csrgraph_rowcache_entries gauge\ncsrgraph_rowcache_entries %d\n", st.Entries)
-	fmt.Fprintf(w, "# TYPE csrgraph_rowcache_bytes gauge\ncsrgraph_rowcache_bytes %d\n", st.Bytes)
-	fmt.Fprintf(w, "# TYPE csrgraph_rowcache_max_bytes gauge\ncsrgraph_rowcache_max_bytes %d\n", st.MaxB)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE csrgraph_rowcache_hits_total counter\ncsrgraph_rowcache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(&b, "# TYPE csrgraph_rowcache_misses_total counter\ncsrgraph_rowcache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(&b, "# TYPE csrgraph_rowcache_entries gauge\ncsrgraph_rowcache_entries %d\n", st.Entries)
+	fmt.Fprintf(&b, "# TYPE csrgraph_rowcache_bytes gauge\ncsrgraph_rowcache_bytes %d\n", st.Bytes)
+	fmt.Fprintf(&b, "# TYPE csrgraph_rowcache_max_bytes gauge\ncsrgraph_rowcache_max_bytes %d\n", st.MaxB)
+	_, _ = io.WriteString(w, b.String()) //csr:errok best-effort exposition; client disconnect mid-scrape is benign
 }
 
 // mountPprof exposes the net/http/pprof handlers on the handler's own mux

@@ -245,5 +245,5 @@ func (h *Handler) writeJSON(w http.ResponseWriter, v any) {
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //csr:errok error response is best-effort; status code already sent
 }

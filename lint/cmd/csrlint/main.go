@@ -1,0 +1,132 @@
+// Command csrlint runs csrgraph's project-specific analyzer suite (see
+// DESIGN.md §11) over package patterns and reports every violation of the
+// repo's hot-path, concurrency, and observability invariants. It exits 0
+// when the tree is clean, 1 when there are findings, and 2 on load
+// failure.
+//
+// Usage:
+//
+//	go run ./lint/cmd/csrlint [-list] [-only name,name] [patterns...]
+//
+// Patterns default to ./... and are resolved by the go command in the
+// current directory, so the usual invocation from the repo root is:
+//
+//	go run ./lint/cmd/csrlint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"csrgraph/lint/internal/analysis"
+	"csrgraph/lint/internal/lint"
+	"csrgraph/lint/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			fmt.Fprintf(os.Stderr, "csrlint: unknown analyzer(s) in -only: %v\n", mapKeys(keep))
+			return 2
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csrlint: %v\n", err)
+		return 2
+	}
+	loadFailed := false
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "csrlint: %s: %v\n", p.PkgPath, terr)
+			loadFailed = true
+		}
+	}
+	if loadFailed {
+		return 2
+	}
+
+	type diag struct {
+		analyzer string
+		d        analysis.Diagnostic
+		pos      string
+	}
+	var diags []diag
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				diags = append(diags, diag{name, d, p.Fset.Position(d.Pos).String()})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "csrlint: %s on %s: %v\n", a.Name, p.PkgPath, err)
+				return 2
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos != diags[j].pos {
+			return diags[i].pos < diags[j].pos
+		}
+		return diags[i].analyzer < diags[j].analyzer
+	})
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", d.pos, d.analyzer, d.d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "csrlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func mapKeys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,3 @@
+module csrgraph/lint
+
+go 1.23

@@ -1,0 +1,82 @@
+// Package analysis is a dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check with a
+// Run function over one type-checked package (a Pass). The repo's root
+// module must stay zero-dependency and this container has no module proxy,
+// so csrlint's analyzers are written against this shim; the field and
+// method names mirror x/tools exactly, which keeps a future swap to the
+// real framework a one-line import change per file.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the csrlint
+	// command line. By convention it is a single lowercase word.
+	Name string
+
+	// Doc is the help text: a one-line summary, a blank line, then detail.
+	Doc string
+
+	// Run applies the check to one package and reports findings through
+	// pass.Report. The result value is unused by this driver (x/tools uses
+	// it for inter-analyzer facts) but kept for signature compatibility.
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between one analyzer and one package: the syntax
+// trees, the type information, and the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed with comments; GoFiles then TestGoFiles
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// WalkStack traverses every node of every file in the pass, invoking fn
+// with the node and the stack of its ancestors (outermost first, not
+// including n itself). If fn returns false the node's children are
+// skipped. Several analyzers need enclosing-loop and enclosing-function
+// context, which plain ast.Inspect does not carry.
+func (p *Pass) WalkStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range p.Files {
+		WalkStack(f, fn)
+	}
+}
+
+// WalkStack is Pass.WalkStack over a single subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if !descend {
+			// ast.Inspect will not call us with nil for this node, so the
+			// stack must not grow.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

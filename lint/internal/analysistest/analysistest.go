@@ -1,0 +1,246 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// fixture trees under internal/lint/testdata/src would work unchanged
+// with the real harness.
+//
+// A fixture file marks each line that should produce diagnostics with a
+// trailing comment holding one double-quoted regular expression per
+// expected diagnostic:
+//
+//	x := make([]int, n) // want `call to make` `second diagnostic`
+//
+// Both backquoted and double-quoted (Go-unquoted) forms are accepted.
+// Every expectation must be matched by a diagnostic on that line and
+// every diagnostic must match an expectation, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"csrgraph/lint/internal/analysis"
+	"csrgraph/lint/internal/load"
+)
+
+// fixtureLoader resolves import paths against testdata/src first and the
+// standard library second, memoizing packages so sibling fixtures that
+// import a shared stub (a fake csrgraph/internal/parallel, say) see one
+// types.Package.
+type fixtureLoader struct {
+	root string // the testdata/src directory
+	fset *token.FileSet
+	std  types.Importer
+
+	mu   sync.Mutex
+	pkgs map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	names []string
+	tpkg  *types.Package
+	info  *types.Info
+	err   error
+}
+
+var (
+	loadersMu sync.Mutex
+	loaders   = map[string]*fixtureLoader{}
+)
+
+// loaderFor returns the process-wide loader for one testdata/src root.
+func loaderFor(root string) *fixtureLoader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	if l, ok := loaders[root]; ok {
+		return l
+	}
+	fset := token.NewFileSet()
+	l := &fixtureLoader{root: root, fset: fset, std: load.NewStdImporter(fset), pkgs: map[string]*fixturePkg{}}
+	loaders[root] = l
+	return l
+}
+
+// Import makes fixtureLoader a types.Importer for the fixture packages'
+// own imports.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.tpkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+// load parses and type-checks the fixture package at root/path.
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	l.mu.Lock()
+	if p, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		return p, p.err
+	}
+	p := &fixturePkg{}
+	l.pkgs[path] = p
+	l.mu.Unlock()
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		p.err = err
+		return p, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, perr := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			p.err = perr
+			return p, perr
+		}
+		p.files = append(p.files, f)
+		p.names = append(p.names, name)
+	}
+	if len(p.files) == 0 {
+		p.err = fmt.Errorf("no Go files in %s", dir)
+		return p, p.err
+	}
+	p.info = load.NewInfo()
+	var typeErrs []error
+	conf := types.Config{Importer: l, Error: func(err error) { typeErrs = append(typeErrs, err) }}
+	p.tpkg, _ = conf.Check(path, l.fset, p.files, p.info)
+	if p.tpkg == nil {
+		p.err = fmt.Errorf("type-checking %s failed: %v", path, typeErrs)
+		return p, p.err
+	}
+	if len(typeErrs) > 0 {
+		p.err = fmt.Errorf("fixture %s has type errors: %v", path, typeErrs)
+		return p, p.err
+	}
+	return p, nil
+}
+
+// Run loads each fixture package under testdata/src and applies a,
+// comparing the diagnostics against the // want comments in the fixture
+// sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	l := loaderFor(root)
+	for _, path := range pkgpaths {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			p, err := l.load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      l.fset,
+				Files:     p.files,
+				Pkg:       p.tpkg,
+				TypesInfo: p.info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				t.Fatal(err)
+			}
+			checkWants(t, l.fset, p.files, diags)
+		})
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRE captures one quoted or backquoted expectation.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseWants extracts the expectations from every comment of f.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			i := strings.Index(text, "want ")
+			if i < 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, m := range wantRE.FindAllStringSubmatch(text[i+len("want "):], -1) {
+				raw := m[1]
+				if raw == "" && m[2] != "" {
+					var err error
+					raw, err = strconv.Unquote(`"` + m[2] + `"`)
+					if err != nil {
+						t.Fatalf("%s: bad want string %q: %v", pos, m[2], err)
+					}
+				}
+				rx, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+				}
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, raw: raw})
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches diagnostics against expectations, failing the test on
+// any unmatched expectation or unexpected diagnostic.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"csrgraph/lint/internal/analysis"
+)
+
+// ErrPropagation forbids silently discarded errors in the layers where a
+// swallowed error becomes a wrong answer or a corrupt file: the HTTP
+// handlers (internal/server), the edge-list readers/writers
+// (internal/edgelist's io.go), and every command under cmd/. Two shapes
+// are flagged:
+//
+//   - An expression or defer statement whose call returns an error that
+//     nothing receives.
+//   - A blank assignment (_ = f(), v, _ := g()) discarding an error.
+//
+// Either shape is accepted when the line (or the line above) carries a
+// //csr:errok <reason> comment; the reason is mandatory. Print-style fmt
+// calls and the never-failing strings.Builder / bytes.Buffer writers are
+// exempt.
+var ErrPropagation = &analysis.Analyzer{
+	Name: "errpropagation",
+	Doc:  "forbid discarded error returns in internal/server, internal/edgelist io.go, and cmd/ without a //csr:errok justification",
+	Run:  runErrPropagation,
+}
+
+// errScopeAll reports whether every file of the package is in scope, and
+// errScopeFile whether one file is (the edgelist case limits the check to
+// io.go).
+func errScope(pkgPath string) (all bool, perFile func(filename string) bool) {
+	switch {
+	case strings.HasSuffix(pkgPath, "internal/server"), strings.Contains(pkgPath, "/cmd/"), strings.HasPrefix(pkgPath, "cmd/"):
+		return true, nil
+	case strings.HasSuffix(pkgPath, "internal/edgelist"):
+		return false, func(filename string) bool { return filepath.Base(filename) == "io.go" }
+	}
+	return false, nil
+}
+
+func runErrPropagation(pass *analysis.Pass) (any, error) {
+	all, perFile := errScope(pass.Pkg.Path())
+	if !all && perFile == nil {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if !all && !perFile(filename) {
+			continue
+		}
+		comments := commentLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, comments, n, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, comments, n, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, comments, n, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, comments, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkDiscardedCall reports a statement-position call whose error result
+// nothing receives.
+func checkDiscardedCall(pass *analysis.Pass, comments map[int][]*ast.Comment, stmt ast.Node, call *ast.CallExpr, prefix string) {
+	if !returnsError(pass.TypesInfo, call) || exemptCall(pass.TypesInfo, call) {
+		return
+	}
+	if ok, complained := errokAt(pass, comments, stmt); ok {
+		return
+	} else if complained {
+		return // errokAt already reported the malformed directive
+	}
+	pass.Reportf(call.Pos(), "%sresult of %s includes an error that is discarded; handle it or justify with //csr:errok <reason>", prefix, callName(pass.TypesInfo, call))
+}
+
+// checkBlankAssign reports error values assigned to the blank identifier
+// without a //csr:errok justification.
+func checkBlankAssign(pass *analysis.Pass, comments map[int][]*ast.Comment, as *ast.AssignStmt) {
+	discards := false
+	if len(as.Lhs) != len(as.Rhs) && len(as.Rhs) == 1 {
+		// v, _ := f() — multi-value call on the right.
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				discards = true
+			}
+		}
+	} else {
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && i < len(as.Rhs) && isErrorType(pass.TypesInfo.TypeOf(as.Rhs[i])) {
+				discards = true
+			}
+		}
+	}
+	if !discards {
+		return
+	}
+	if ok, complained := errokAt(pass, comments, as); ok || complained {
+		return
+	}
+	pass.Reportf(as.Pos(), "error discarded with blank identifier; handle it or justify with //csr:errok <reason>")
+}
+
+// errokAt looks for a //csr:errok directive on the statement's line or
+// the line above. It returns ok=true when a well-formed directive covers
+// the statement; complained=true when a directive was present but had no
+// reason (a diagnostic has been reported).
+func errokAt(pass *analysis.Pass, comments map[int][]*ast.Comment, stmt ast.Node) (ok, complained bool) {
+	line := lineOf(pass.Fset, stmt.Pos())
+	for _, l := range []int{lineOf(pass.Fset, stmt.End()), line, line - 1} {
+		for _, c := range comments[l] {
+			text := strings.TrimPrefix(c.Text, "//")
+			if text == errokDirective || text == errokDirective+" " {
+				pass.Reportf(c.Pos(), "//csr:errok requires a justification: //csr:errok <reason>")
+				return false, true
+			}
+			if strings.HasPrefix(text, errokDirective+" ") {
+				return true, false
+			}
+		}
+	}
+	return false, false
+}
+
+// returnsError reports whether any result of call implements error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// exemptCall carves out call shapes whose discarded error is conventional:
+// print-style fmt calls (including Fprint* to os.Stdout/os.Stderr) and
+// writes to strings.Builder / bytes.Buffer, which are documented never to
+// fail.
+func exemptCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return false
+	}
+	if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch callee.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 &&
+				(isStdStream(info, call.Args[0]) || isNeverFailWriter(info, call.Args[0]))
+		}
+	}
+	if recv := callee.Signature().Recv(); recv != nil {
+		switch deref(recv.Type()).String() {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// isNeverFailWriter reports whether e is a *strings.Builder or
+// *bytes.Buffer destination, whose Write is documented never to fail.
+func isNeverFailWriter(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(ast.Unparen(e))
+	if t == nil {
+		return false
+	}
+	switch deref(t).String() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// callName renders the callee for a diagnostic.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		if recv := fn.Signature().Recv(); recv != nil {
+			return deref(recv.Type()).String() + "." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"csrgraph/lint/internal/analysistest"
+	"csrgraph/lint/internal/lint"
+)
+
+func TestErrPropagation(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ErrPropagation,
+		"cmdfix/cmd/tool",
+		"serverfix/internal/server",
+		"edgefix/internal/edgelist",
+		"plainfix",
+	)
+}

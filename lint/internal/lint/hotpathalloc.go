@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"csrgraph/lint/internal/analysis"
+)
+
+// HotPathAlloc enforces DESIGN.md §6: a function annotated //csr:hotpath,
+// and every same-package function it statically calls, must not allocate
+// or take a hash-map detour. Flagged constructs: make, new, append,
+// closure literals, slice/map/pointer composite literals, map indexing
+// and iteration, string<->[]byte/[]rune conversions, conversions and
+// implicit call-argument conversions to interface types, and any call
+// into fmt or errors. Arguments to panic are exempt — a panicking hot
+// path is already off the fast path. Calls through function values,
+// interfaces, or into other packages are not traversed; annotate the
+// callee in its own package instead.
+var HotPathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocation and map traffic in //csr:hotpath functions and their same-package callees",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *analysis.Pass) (any, error) {
+	decls := funcDecls(pass)
+	roots := hotpathRoots(pass, decls)
+	if len(roots) == 0 {
+		return nil, nil
+	}
+
+	// Transitive closure over static same-package calls. via records the
+	// annotated root each reached function is blamed on (first root wins;
+	// any root makes the function hot).
+	via := make(map[*types.Func]*types.Func)
+	var order []*types.Func
+	for fn := range roots {
+		order = append(order, fn)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Name() < order[j].Name() })
+	queue := append([]*types.Func(nil), order...)
+	for _, fn := range order {
+		via[fn] = fn
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, seen := via[callee]; !seen {
+				if _, hasDecl := decls[callee]; hasDecl {
+					via[callee] = via[fn]
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	for fn, root := range via {
+		fd := decls[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		checkHotFunc(pass, fd, fn, root)
+	}
+	return nil, nil
+}
+
+// checkHotFunc reports every allocating construct in one hot function.
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl, fn, root *types.Func) {
+	info := pass.TypesInfo
+	report := func(n ast.Node, what string) {
+		if fn == root {
+			pass.Reportf(n.Pos(), "hot path: %s", what)
+		} else {
+			pass.Reportf(n.Pos(), "hot path (via //csr:hotpath %s): %s", root.Name(), what)
+		}
+	}
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if underPanicArg(info, n, stack) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, info, n, report)
+		case *ast.FuncLit:
+			report(n, "closure literal allocates")
+			return false // the closure body runs lazily; don't double-report
+		case *ast.CompositeLit:
+			switch typeOf(info, n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(n, "composite literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "&composite literal allocates")
+				}
+			}
+		case *ast.IndexExpr:
+			if _, ok := typeOf(info, n.X).Underlying().(*types.Map); ok {
+				report(n, "map access")
+			}
+		case *ast.RangeStmt:
+			if _, ok := typeOf(info, n.X).Underlying().(*types.Map); ok {
+				report(n.X, "range over a map")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall handles the call-shaped violations: allocating builtins,
+// fmt/errors calls, explicit conversions, and implicit interface boxing of
+// arguments.
+func checkHotCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, report func(ast.Node, string)) {
+	switch builtinName(info, call) {
+	case "make":
+		report(call, "call to make")
+		return
+	case "new":
+		report(call, "call to new")
+		return
+	case "append":
+		report(call, "append may grow its backing array")
+		return
+	case "panic":
+		return // panic formatting is cold; underPanicArg prunes the children
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkHotConversion(info, call, tv.Type, report)
+		return
+	}
+	if callee := calleeFunc(info, call); callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "fmt", "errors":
+			report(call, "call to "+callee.Pkg().Name()+"."+callee.Name())
+			return
+		}
+	}
+	// Implicit interface conversions: a non-interface argument passed to an
+	// interface-typed parameter is boxed, which may allocate.
+	sig, ok := typeOf(info, call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := typeOf(info, arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(info, arg) {
+			continue
+		}
+		report(arg, "implicit conversion to interface "+pt.String()+" may allocate")
+	}
+}
+
+// checkHotConversion flags explicit conversions that allocate: to an
+// interface type, or between string and []byte/[]rune.
+func checkHotConversion(info *types.Info, call *ast.CallExpr, to types.Type, report func(ast.Node, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := typeOf(info, call.Args[0])
+	if types.IsInterface(to) && from != nil && !types.IsInterface(from) {
+		report(call, "conversion to interface "+to.String()+" may allocate")
+		return
+	}
+	if isStringType(to) != isStringType(from) && (isByteOrRuneSlice(to) || isByteOrRuneSlice(from)) {
+		report(call, "string conversion allocates")
+	}
+}
+
+// underPanicArg reports whether n is (inside) an argument to the builtin
+// panic — panic formatting is cold by definition.
+func underPanicArg(info *types.Info, n ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if builtinName(info, call) == "panic" {
+			for _, arg := range call.Args {
+				if within(n, arg) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func within(n, outer ast.Node) bool {
+	return outer.Pos() <= n.Pos() && n.End() <= outer.End()
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if t := info.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return e.Kind() == types.Uint8 || e.Kind() == types.Int32
+}

@@ -1,0 +1,184 @@
+// Package lint houses csrgraph's project-specific analyzers: mechanical
+// enforcement of the invariants DESIGN.md documents prose-only — hot-path
+// kernels must not allocate (§6), metric series names and registration
+// discipline (§10), closure hygiene for the parallel-for substrate the
+// paper's chunked algorithms run on, atomic-field access consistency, and
+// error propagation in the I/O and command layers. See DESIGN.md §11.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"csrgraph/lint/internal/analysis"
+)
+
+// Analyzers returns the full csrlint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPathAlloc,
+		ObsNames,
+		PoolCapture,
+		AtomicField,
+		ErrPropagation,
+	}
+}
+
+// Annotation directives. The grammar is deliberately tiny:
+//
+//	//csr:hotpath
+//	  On the doc comment of a function or method: the function (and every
+//	  same-package function it statically calls) is an allocation-free
+//	  hot path; hotpathalloc enforces it.
+//
+//	//csr:errok <reason>
+//	  On the line of (or the line above) a statement that discards an
+//	  error: errpropagation accepts the discard. The reason is mandatory.
+const (
+	hotpathDirective = "csr:hotpath"
+	errokDirective   = "csr:errok"
+)
+
+// hasDirective reports whether any comment in doc is exactly the given
+// //csr: directive (ignoring trailing text after a space).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls maps each function object defined in the package to its
+// declaration, methods included.
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// hotpathRoots returns the functions annotated //csr:hotpath.
+func hotpathRoots(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	roots := make(map[*types.Func]bool)
+	for fn, fd := range decls {
+		if hasDirective(fd.Doc, hotpathDirective) {
+			roots[fn] = true
+		}
+	}
+	return roots
+}
+
+// calleeFunc resolves the static callee of call, or nil for builtins,
+// conversions, and dynamic calls through function values or interfaces.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.F.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is a function of a package whose import
+// path is path or ends in "/"+path (so fixtures under testdata/src can
+// stand in for the real packages).
+func isPkgFunc(fn *types.Func, path string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	if p != path && !strings.HasSuffix(p, "/"+path) {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// builtinName returns the name of the builtin being called, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// enclosingFuncDecl returns the innermost FuncDecl on the stack, or nil.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// insideLoop reports whether any node of stack above the innermost
+// function boundary is a for or range statement — i.e. whether the
+// current node executes under a loop of the function it appears in.
+func insideLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// lineOf returns the 1-based line of pos.
+func lineOf(fset *token.FileSet, pos token.Pos) int { return fset.Position(pos).Line }
+
+// commentLines indexes every comment of f by the line it starts on.
+func commentLines(fset *token.FileSet, f *ast.File) map[int][]*ast.Comment {
+	m := make(map[int][]*ast.Comment)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			l := lineOf(fset, c.Pos())
+			m[l] = append(m[l], c)
+		}
+	}
+	return m
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"csrgraph/lint/internal/analysis"
+)
+
+// ObsNames enforces DESIGN.md §10's metric-registration discipline at
+// every internal/obs registration call site:
+//
+//   - The series family (the name up to any {label} block) must be
+//     statically known — a string literal, a constant concatenation, or
+//     the leading literal of a `lit + expr` / fmt.Sprintf name whose
+//     dynamic part starts inside the label block — and must match
+//     ^csrgraph_[a-z0-9_]+$.
+//   - Counter families (Counter/WorkerCounter kinds) must end in _total.
+//   - Registration must not run inside a loop or in a //csr:hotpath
+//     function: hot paths hold the returned series pointer, they never
+//     touch the registry.
+//
+// The obs package itself is exempt (it implements the registry).
+var ObsNames = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc:  "enforce csrgraph_ snake_case metric names, _total counter suffixes, and out-of-loop registration",
+	Run:  runObsNames,
+}
+
+const obsPath = "csrgraph/internal/obs"
+
+// obsRegFuncs maps registration function name -> true if it registers a
+// counter kind (and therefore needs a _total family).
+var obsRegFuncs = map[string]bool{
+	// Package-level helpers.
+	"GetCounter":           true,
+	"GetWorkerCounter":     true,
+	"GetGauge":             false,
+	"GetHistogram":         false,
+	"GetDurationHistogram": false,
+	// Registry methods.
+	"Counter":       true,
+	"WorkerCounter": true,
+	"Gauge":         false,
+	"Histogram":     false,
+}
+
+var obsFamilyRE = regexp.MustCompile(`^csrgraph_[a-z0-9_]+$`)
+
+func runObsNames(pass *analysis.Pass) (any, error) {
+	if p := pass.Pkg.Path(); p == obsPath || strings.HasSuffix(p, "/"+obsPath) || p == "obs" {
+		return nil, nil
+	}
+	decls := funcDecls(pass)
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		counter, isReg := obsRegFuncs[callee.Name()]
+		if !isReg || !isPkgFunc(callee, obsPath, callee.Name()) || len(call.Args) == 0 {
+			return true
+		}
+		checkObsName(pass, call.Args[0], callee.Name(), counter)
+		if insideLoop(stack) {
+			pass.Reportf(call.Pos(), "metric registration inside a loop: register once and capture the series pointer")
+		}
+		if fd := enclosingFuncDecl(stack); fd != nil {
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				if fd2 := decls[fn]; fd2 != nil && hasDirective(fd2.Doc, hotpathDirective) {
+					pass.Reportf(call.Pos(), "metric registration in //csr:hotpath function %s: hot paths must hold the series pointer, not the registry", fn.Name())
+				}
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkObsName validates the statically-known part of a series name.
+func checkObsName(pass *analysis.Pass, arg ast.Expr, regFn string, counter bool) {
+	prefix, complete := constPrefix(pass.TypesInfo, arg)
+	family := prefix
+	labeled := false
+	if i := strings.IndexByte(prefix, '{'); i >= 0 {
+		family, labeled = prefix[:i], true
+	}
+	if !complete && !labeled {
+		pass.Reportf(arg.Pos(), "%s name must start with a literal csrgraph_-prefixed family (dynamic part may only follow the '{' of a label block)", regFn)
+		return
+	}
+	if !obsFamilyRE.MatchString(family) {
+		pass.Reportf(arg.Pos(), "%s name family %q must match ^csrgraph_[a-z0-9_]+$", regFn, family)
+		return
+	}
+	if counter && !strings.HasSuffix(family, "_total") {
+		pass.Reportf(arg.Pos(), "counter family %q must end in _total", family)
+	}
+	if complete && labeled && !strings.HasSuffix(prefix, "}") {
+		pass.Reportf(arg.Pos(), "%s name %q has an unterminated label block", regFn, prefix)
+	}
+}
+
+// constPrefix computes the longest statically-known prefix of a string
+// expression, and whether the whole value is known: constants fold
+// through concatenation, and a fmt.Sprintf contributes its format string
+// up to the first verb.
+func constPrefix(info *types.Info, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		if e.Op.String() != "+" {
+			return "", false
+		}
+		px, cx := constPrefix(info, e.X)
+		if !cx {
+			return px, false
+		}
+		py, cy := constPrefix(info, e.Y)
+		return px + py, cy
+	case *ast.CallExpr:
+		if callee := calleeFunc(info, e); isPkgFunc(callee, "fmt", "Sprintf") && len(e.Args) > 0 {
+			format, ok := constPrefix(info, e.Args[0])
+			if !ok {
+				return format, false
+			}
+			if i := strings.IndexByte(format, '%'); i >= 0 {
+				return format[:i], false
+			}
+			return format, len(e.Args) == 1
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"csrgraph/lint/internal/analysistest"
+	"csrgraph/lint/internal/lint"
+)
+
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ObsNames, "obsfix")
+}

@@ -1,0 +1,40 @@
+// Command tool exercises the errpropagation analyzer in its cmd/ scope:
+// discarded error returns in expression, defer, and go statements, blank
+// assigns, the //csr:errok escape hatch, and the conventional exemptions.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func value() (int, error) { return 0, nil }
+
+func main() {
+	mayFail()       // want `result of .*mayFail includes an error that is discarded`
+	defer mayFail() // want `deferred result of .*mayFail includes an error that is discarded`
+	go mayFail()    // want `spawned result of .*mayFail includes an error that is discarded`
+
+	_ = mayFail()   // want `error discarded with blank identifier`
+	v, _ := value() // want `error discarded with blank identifier`
+	_ = v
+
+	mayFail() //csr:errok fixture: demonstrating a justified discard
+	//csr:errok fixture: the directive may sit on the line above
+	mayFail()
+	mayFail() /* want `//csr:errok requires a justification` */ //csr:errok
+
+	// Conventional exemptions: print-style fmt to the std streams and the
+	// never-failing in-memory writers.
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stderr, "warn\n")
+	var sb strings.Builder
+	sb.WriteString("x")
+	fmt.Fprintf(&sb, "y=%d", 1)
+	var bb bytes.Buffer
+	bb.WriteByte('z')
+}

@@ -1,0 +1,28 @@
+// Package obs is a fixture stub of the real metrics registry: just enough
+// surface for the obsnames analyzer to resolve registration call sites.
+package obs
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type WorkerCounter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type DurationHistogram struct{}
+
+func GetCounter(name string) *Counter                     { return &Counter{} }
+func GetWorkerCounter(name string) *WorkerCounter         { return &WorkerCounter{} }
+func GetGauge(name string) *Gauge                         { return &Gauge{} }
+func GetHistogram(name string) *Histogram                 { return &Histogram{} }
+func GetDurationHistogram(name string) *DurationHistogram { return &DurationHistogram{} }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter             { return &Counter{} }
+func (r *Registry) WorkerCounter(name string) *WorkerCounter { return &WorkerCounter{} }
+func (r *Registry) Gauge(name string) *Gauge                 { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram         { return &Histogram{} }

@@ -1,0 +1,9 @@
+// Package edgelist exercises the errpropagation analyzer's per-file
+// scope: only io.go is checked; sibling files may discard freely.
+package edgelist
+
+func write() error { return nil }
+
+func save() {
+	write() // want `result of .*write includes an error that is discarded`
+}

@@ -1,0 +1,7 @@
+package edgelist
+
+// parseLine is outside io.go, so its discard is out of the analyzer's
+// scope — no finding expected anywhere in this file.
+func parseLine() {
+	write()
+}

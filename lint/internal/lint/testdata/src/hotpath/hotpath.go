@@ -1,0 +1,77 @@
+// Package hotpath exercises the hotpathalloc analyzer: every allocating
+// construct inside a //csr:hotpath function (or a same-package callee) is
+// flagged; panic formatting and un-annotated functions are not.
+package hotpath
+
+import (
+	"errors"
+	"fmt"
+)
+
+type point struct{ x, y int }
+
+//csr:hotpath
+func builtins(dst []uint32, n int) []uint32 {
+	_ = make([]int, n)   // want `call to make`
+	_ = new(point)       // want `call to new`
+	dst = append(dst, 1) // want `append may grow its backing array`
+	return dst
+}
+
+//csr:hotpath
+func formatting(n int) {
+	_ = fmt.Sprintf("n=%d", n) // want `call to fmt.Sprintf`
+	_ = errors.New("boom")     // want `call to errors.New`
+}
+
+//csr:hotpath
+func literals() any {
+	_ = []int{1, 2}                // want `composite literal allocates`
+	_ = map[string]int{}           // want `composite literal allocates`
+	p := &point{x: 1}              // want `&composite literal allocates`
+	f := func() int { return p.x } // want `closure literal allocates`
+	return f
+}
+
+//csr:hotpath
+func maps(m map[int]int) int {
+	m[2] = 3           // want `map access`
+	for k := range m { // want `range over a map`
+		_ = k
+	}
+	return m[1] // want `map access`
+}
+
+//csr:hotpath
+func conversions(n int, bs []byte) string {
+	_ = any(n)        // want `conversion to interface`
+	sink(n)           // want `implicit conversion to interface`
+	return string(bs) // want `string conversion allocates`
+}
+
+func sink(v any) { _ = v }
+
+//csr:hotpath
+func panicIsCold(width int) int {
+	if width > 64 {
+		panic(fmt.Sprintf("width %d out of range", width)) // formatting under panic is exempt
+	}
+	return width
+}
+
+//csr:hotpath
+func transitiveRoot(n int) int {
+	return helper(n)
+}
+
+// helper is not annotated, but transitiveRoot reaches it, so its
+// allocations are violations attributed to the annotated root.
+func helper(n int) int {
+	buf := make([]int, n) // want `hot path \(via //csr:hotpath transitiveRoot\): call to make`
+	return len(buf)
+}
+
+// cold is unannotated and unreachable from any hot root: it may allocate.
+func cold(n int) []int {
+	return make([]int, n)
+}

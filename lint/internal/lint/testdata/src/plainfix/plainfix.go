@@ -1,0 +1,10 @@
+// Package plainfix is outside every errpropagation scope (not a cmd/,
+// server, or edgelist io.go package): discards here are no findings.
+package plainfix
+
+func mayFail() error { return nil }
+
+func anywhere() {
+	mayFail()
+	_ = mayFail()
+}

@@ -1,0 +1,12 @@
+// Package server exercises the errpropagation analyzer's internal/server
+// scope: every file of the package is checked.
+package server
+
+func flush() error { return nil }
+
+func handle() {
+	flush() // want `result of .*flush includes an error that is discarded`
+	if err := flush(); err != nil {
+		_ = err.Error()
+	}
+}

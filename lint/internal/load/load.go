@@ -1,0 +1,233 @@
+// Package load turns package patterns into parsed, type-checked packages
+// using only the standard library: `go list -export` supplies compiled
+// export data for every dependency (the go command builds it locally, no
+// network), a go/importer gc importer reads that data through a lookup
+// function, and each target package is parsed and type-checked from
+// source. This replaces golang.org/x/tools/go/packages for csrlint's
+// needs; in-package test files are included so the analyzers see test
+// code, while external _test packages are skipped.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded target package.
+type Package struct {
+	PkgPath    string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // GoFiles then TestGoFiles, parsed with comments
+	FileNames  []string    // parallel to Files
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error // non-fatal type-check errors, empty on a healthy tree
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	GoFiles     []string
+	TestGoFiles []string
+	Export      string
+	DepOnly     bool
+	Standard    bool
+	Error       *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,GoFiles,TestGoFiles,Export,DepOnly,Standard,Error"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Packages loads, parses, and type-checks every package matching patterns,
+// resolved relative to dir (the working directory for the go command).
+// Synthetic test-binary packages, external _test variants, and
+// dependency-only packages are excluded from the result but contribute
+// export data for imports.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	raw, err := goList(dir, append([]string{"-test"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listPkg
+	for _, p := range raw {
+		if strings.Contains(p.ImportPath, " [") {
+			// Test-variant packages ("p [p.test]") are recompilations of
+			// packages we already have; nothing imports them by that path.
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Name == "" || len(p.GoFiles) == 0 {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one listed package from source.
+func check(fset *token.FileSet, imp types.Importer, t listPkg) (*Package, error) {
+	names := append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		PkgPath:   t.ImportPath,
+		Dir:       t.Dir,
+		Fset:      fset,
+		Files:     files,
+		FileNames: names,
+		TypesInfo: NewInfo(),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(t.ImportPath, fset, files, pkg.TypesInfo)
+	if tpkg == nil {
+		return nil, fmt.Errorf("%s: type-checking produced no package", t.ImportPath)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// stdImporter resolves standard-library imports for the analysistest
+// fixture loader: export data is fetched lazily per package root via
+// `go list -export` and memoized process-wide.
+type stdImporter struct {
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string
+	gc      types.Importer
+}
+
+// NewStdImporter returns an importer for standard-library packages tied to
+// fset. It shells out to the go command on first use of each new package
+// root; results are cached for the life of the importer.
+func NewStdImporter(fset *token.FileSet) types.Importer {
+	si := &stdImporter{fset: fset, exports: make(map[string]string)}
+	si.gc = importer.ForCompiler(fset, "gc", si.lookup)
+	return si
+}
+
+func (si *stdImporter) lookup(path string) (io.ReadCloser, error) {
+	si.mu.Lock()
+	f, ok := si.exports[path]
+	si.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	si.mu.Lock()
+	_, have := si.exports[path]
+	si.mu.Unlock()
+	if !have {
+		pkgs, err := goList("", path)
+		if err != nil {
+			return nil, err
+		}
+		si.mu.Lock()
+		for _, p := range pkgs {
+			if p.Export != "" {
+				si.exports[p.ImportPath] = p.Export
+			}
+		}
+		si.mu.Unlock()
+	}
+	pkg, err := si.gc.Import(path)
+	if err != nil {
+		return nil, errors.Join(fmt.Errorf("stdimporter: %q", path), err)
+	}
+	return pkg, nil
+}
