@@ -7,12 +7,19 @@ GO ?= go
 # lower-variance trajectory points.
 BENCHTIME ?= 100ms
 
-.PHONY: all build test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-compare bench-compare-query fuzz fuzz-smoke experiments clean
+.PHONY: all build build-cross test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-compare bench-compare-query bench-startup fuzz fuzz-smoke experiments clean
 
 all: build vet lint test test-race
 
 build:
 	$(GO) build ./...
+
+# Cross-compile check for the platform-split mmap code: the unix mapping
+# path (linux, darwin) and the heap-copy fallback (windows) must all build.
+build-cross:
+	GOOS=linux $(GO) build ./...
+	GOOS=darwin $(GO) build ./...
+	GOOS=windows $(GO) build ./...
 
 test:
 	$(GO) test ./...
@@ -24,7 +31,7 @@ test:
 # detector should be watching. `race` below covers the whole tree but is
 # too slow for the default loop.
 test-race:
-	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/... ./internal/tcsr/... ./internal/csr/... ./internal/stream/...
+	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/... ./internal/tcsr/... ./internal/csr/... ./internal/stream/... ./internal/mgraph/...
 
 race:
 	$(GO) test -race ./...
@@ -89,6 +96,14 @@ bench-compare-query:
 		| $(GO) run ./cmd/benchcompare -baseline linear -new search
 	$(GO) run ./cmd/benchcompare -key cache -baseline cold -new warm < /tmp/benchq.txt
 
+# Cold-start delta table: mmap-backed container load vs legacy stream load
+# vs full rebuild at 10M edges, appended to the BENCH_<date>.json
+# trajectory like bench-json. Startup iterations are seconds-long, so the
+# benchtime is an iteration count.
+bench-startup:
+	$(GO) test -run '^$$' -bench BenchmarkStartup -benchmem -benchtime 5x -json . \
+		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d)$(BENCH_SUFFIX).json
+
 # Short fuzzing pass over every fuzz target.
 FUZZTIME ?= 15s
 fuzz:
@@ -102,6 +117,7 @@ fuzz:
 	$(GO) test -fuzz FuzzPackedUnmarshal -fuzztime $(FUZZTIME) ./internal/bitpack/
 	$(GO) test -fuzz FuzzReadPacked -fuzztime $(FUZZTIME) ./internal/csr/
 	$(GO) test -fuzz FuzzReadPacked -fuzztime $(FUZZTIME) ./internal/tcsr/
+	$(GO) test -fuzz FuzzParseContainer -fuzztime $(FUZZTIME) ./internal/mgraph/
 
 # CI's bounded fuzz gate: every target for 10s.
 fuzz-smoke:

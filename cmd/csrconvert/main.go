@@ -1,20 +1,30 @@
-// Command csrconvert compresses an edge-list file into the bit-packed CSR
-// on-disk format and reports the compression achieved:
+// Command csrconvert compresses an edge-list file into bit-packed CSR on
+// disk and reports the compression achieved:
 //
 //	csrconvert -in graph.txt -out graph.pcsr -procs 8
+//	csrconvert -in graph.txt -out graph.csrc
+//	csrconvert -in huge.bin -out huge.csrc -extmem-mb 512
 //
-// The input may be SNAP text or the graphgen binary framing (.bin).
+// The input may be SNAP text or the graphgen binary framing (.bin). Two
+// output formats exist: the legacy packed stream (pcsr), and the versioned
+// container (csrc) that csrserver -mmap and csrstats map directly without
+// rebuilding. -format auto picks by output extension. -extmem-mb builds
+// through the spill-to-disk pipeline under a fixed memory budget, for edge
+// lists larger than RAM (container output only; the result is
+// byte-identical to the in-RAM build).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"csrgraph/internal/csr"
 	"csrgraph/internal/edgelist"
 	"csrgraph/internal/harness"
+	"csrgraph/internal/mgraph"
 	"csrgraph/internal/order"
 )
 
@@ -32,11 +42,36 @@ func run(args []string) error {
 	procs := fs.Int("procs", 4, "processors for sorting and construction")
 	symmetrize := fs.Bool("symmetrize", false, "add reverse edges before building")
 	ordering := fs.String("order", "none", "relabel nodes before packing: none, degree or bfs")
+	format := fs.String("format", "auto", "output format: auto, pcsr (legacy stream), container (mmap-able .csrc)")
+	extmemMB := fs.Int("extmem-mb", 0, "external-memory build budget in MiB (0 = in-RAM; container output only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("-in and -out are required")
+	}
+	outFormat := *format
+	if outFormat == "auto" {
+		if strings.HasSuffix(*out, ".csrc") {
+			outFormat = "container"
+		} else {
+			outFormat = "pcsr"
+		}
+	}
+	switch outFormat {
+	case "pcsr", "container":
+	default:
+		return fmt.Errorf("unknown -format %q (auto, pcsr, container)", *format)
+	}
+
+	if *extmemMB > 0 {
+		if outFormat != "container" {
+			return fmt.Errorf("-extmem-mb needs the container format (-format container or a .csrc output)")
+		}
+		if *ordering != "none" {
+			return fmt.Errorf("-extmem-mb is incompatible with -order: relabeling needs the whole graph in memory")
+		}
+		return runExternal(*in, *out, *extmemMB, *procs, *symmetrize)
 	}
 
 	l, err := edgelist.LoadFile(*in)
@@ -62,7 +97,12 @@ func run(args []string) error {
 	pk := csr.PackMatrix(m, *procs)
 	elapsed := time.Since(start)
 
-	if err := pk.SaveFile(*out); err != nil {
+	if outFormat == "container" {
+		err = mgraph.WritePackedFile(*out, pk)
+	} else {
+		err = pk.SaveFile(*out)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("input:    %d edges, %s\n", len(l), harness.HumanBytes(rawSize))
@@ -70,6 +110,31 @@ func run(args []string) error {
 		harness.HumanBytes(pk.SizeBytes()), float64(rawSize)/float64(pk.SizeBytes()),
 		pk.NumBits(), pk.OffsetBits())
 	fmt.Printf("built in: %v with %d processors\n", elapsed, *procs)
-	fmt.Printf("wrote:    %s\n", *out)
+	fmt.Printf("wrote:    %s (%s)\n", *out, outFormat)
+	return nil
+}
+
+// runExternal builds the container through the spill-to-disk pipeline.
+func runExternal(in, out string, budgetMB, procs int, symmetrize bool) error {
+	start := time.Now()
+	stats, err := mgraph.ExternalBuildFile(in, out, mgraph.ExternalOptions{
+		MemoryBudget: int64(budgetMB) << 20,
+		Procs:        procs,
+		Symmetrize:   symmetrize,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	outInfo, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input:    %d edges streamed (%d sort keys)\n", stats.InputEdges, stats.Keys)
+	fmt.Printf("graph:    %d nodes, %d unique edges\n", stats.NumNodes, stats.UniqueEdges)
+	fmt.Printf("spill:    %d shards, %s under a %d MiB budget\n",
+		stats.Shards, harness.HumanBytes(stats.SpilledBytes), budgetMB)
+	fmt.Printf("built in: %v with %d processors\n", elapsed, procs)
+	fmt.Printf("wrote:    %s (container, %s)\n", out, harness.HumanBytes(outInfo.Size()))
 	return nil
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"csrgraph/internal/csr"
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/mgraph"
 )
 
 func writeTestGraph(t *testing.T, dir string) string {
@@ -84,5 +86,66 @@ func TestConvertErrors(t *testing.T) {
 	}
 	if err := run([]string{"-in", "/nonexistent", "-out", "/tmp/y.pcsr"}); err == nil {
 		t.Fatal("want error for missing input")
+	}
+}
+
+func TestConvertContainerFormat(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "g.csrc")
+	// auto: .csrc extension selects the container.
+	if err := run([]string{"-in", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mgraph.Open(out, mgraph.WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close() //csr:errok test cleanup of a read-only mapping
+	pk := m.Packed()
+	if pk.NumNodes() != 3 || pk.NumEdges() != 4 || !pk.SearchRow(2, 0) {
+		t.Fatalf("container graph wrong: n=%d m=%d", pk.NumNodes(), pk.NumEdges())
+	}
+	// Explicit -format container with a non-.csrc name.
+	out2 := filepath.Join(dir, "g.graphbin")
+	if err := run([]string{"-in", in, "-out", out2, "-format", "container"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mgraph.ReadMetaFile(out2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", out2, "-format", "sideways"}); err == nil {
+		t.Fatal("want error for unknown -format")
+	}
+}
+
+func TestConvertExternalMemory(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	ram := filepath.Join(dir, "ram.csrc")
+	ext := filepath.Join(dir, "ext.csrc")
+	if err := run([]string{"-in", in, "-out", ram, "-symmetrize"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", ext, "-symmetrize", "-extmem-mb", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(ram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("external-memory container differs from in-RAM build")
+	}
+	// Guard rails: pcsr output and -order are incompatible with -extmem-mb.
+	if err := run([]string{"-in", in, "-out", filepath.Join(dir, "x.pcsr"), "-extmem-mb", "1"}); err == nil {
+		t.Fatal("want error for -extmem-mb with pcsr output")
+	}
+	if err := run([]string{"-in", in, "-out", ext, "-extmem-mb", "1", "-order", "degree"}); err == nil {
+		t.Fatal("want error for -extmem-mb with -order")
 	}
 }

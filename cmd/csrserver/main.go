@@ -2,8 +2,14 @@
 // TCSR — over HTTP with the parallel querying algorithms of Section V:
 //
 //	csrserver -graph g.pcsr -addr :8080 -procs 8 -cache-mb 64
+//	csrserver -graph g.csrc -mmap
 //	csrserver -temporal t.tcsr -addr :8080
 //	csrserver -graph g.pcsr -metrics -pprof -log-format json
+//
+// With -mmap the graph must be a container file (csrconvert -out g.csrc);
+// it is memory-mapped and served zero-copy, so startup cost is page-table
+// setup instead of a full file read — build once, serve many. -verify adds
+// a checksum and bounds pass over the mapped file before serving.
 //
 // Static endpoints: /healthz, /stats, /neighbors?nodes=...,
 // /degree?nodes=..., /exists?edges=u:v,..., /bfs?src=n.
@@ -24,6 +30,8 @@ import (
 	"time"
 
 	"csrgraph/internal/csr"
+	"csrgraph/internal/harness"
+	"csrgraph/internal/mgraph"
 	"csrgraph/internal/server"
 	"csrgraph/internal/tcsr"
 )
@@ -35,6 +43,8 @@ func main() {
 	addr := fs.String("addr", ":8080", "listen address")
 	procs := fs.Int("procs", 4, "processors per query batch")
 	cacheMB := fs.Int("cache-mb", 64, "hot-row cache size in MiB for -graph (0 disables)")
+	mmapOn := fs.Bool("mmap", false, "memory-map a container graph (-graph must be a .csrc container)")
+	verify := fs.Bool("verify", false, "with -mmap: checksum sections and bounds-check neighbors before serving")
 	metrics := fs.Bool("metrics", false, "collect metrics and serve GET /metrics (Prometheus text)")
 	pprofOn := fs.Bool("pprof", false, "serve GET /debug/pprof/ profiling endpoints")
 	logFormat := fs.String("log-format", "off", "access log format: text, json, or off")
@@ -46,7 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "csrserver:", err)
 		os.Exit(2)
 	}
-	handler, desc, err := buildHandler(*graphPath, *temporalPath, *procs, *cacheMB, opts...)
+	handler, desc, err := buildHandler(*graphPath, *temporalPath, *procs, *cacheMB, *mmapOn, *verify, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "csrserver:", err)
 		os.Exit(2)
@@ -82,10 +92,28 @@ func obsOptions(metrics, pprofOn bool, logFormat string) ([]server.Option, error
 }
 
 // buildHandler resolves the flag combination into an http.Handler.
-func buildHandler(graphPath, temporalPath string, procs, cacheMB int, opts ...server.Option) (http.Handler, string, error) {
+func buildHandler(graphPath, temporalPath string, procs, cacheMB int, mmapOn, verify bool, opts ...server.Option) (http.Handler, string, error) {
 	switch {
 	case graphPath != "" && temporalPath != "":
 		return nil, "", fmt.Errorf("-graph and -temporal are mutually exclusive")
+	case mmapOn && graphPath == "":
+		return nil, "", fmt.Errorf("-mmap needs -graph")
+	case graphPath != "" && mmapOn:
+		var mopts []mgraph.OpenOption
+		if verify {
+			mopts = append(mopts, mgraph.WithVerify())
+		}
+		// The mapping lives for the whole process: the handler's query
+		// source aliases it, and the process exit unmaps.
+		m, err := mgraph.Open(graphPath, mopts...)
+		if err != nil {
+			return nil, "", err
+		}
+		src := m.Source()
+		desc := fmt.Sprintf("%d nodes / %d edges (%s container, mmap, %s)",
+			src.NumNodes(), m.NumEdges, m.GraphForm(), harness.HumanBytes(m.SizeBytes()))
+		opts = append(opts, server.WithRowCache(int64(cacheMB)<<20))
+		return server.New(src, procs, opts...), desc, nil
 	case graphPath != "":
 		pk, err := csr.LoadPackedFile(graphPath)
 		if err != nil {

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"errors"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"csrgraph/internal/csr"
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/mgraph"
 	"csrgraph/internal/obs"
 	"csrgraph/internal/tcsr"
 )
@@ -19,7 +22,7 @@ func TestBuildHandlerGraph(t *testing.T) {
 	if err := pk.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	h, desc, err := buildHandler(path, "", 2, 1)
+	h, desc, err := buildHandler(path, "", 2, 1, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +53,7 @@ func TestBuildHandlerTemporal(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	h, _, err := buildHandler("", path, 2, 0)
+	h, _, err := buildHandler("", path, 2, 0, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +91,7 @@ func TestBuildHandlerWithMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer obs.SetEnabled(false)
-	h, _, err := buildHandler(path, "", 2, 1, opts...)
+	h, _, err := buildHandler(path, "", 2, 1, false, false, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,16 +105,50 @@ func TestBuildHandlerWithMetrics(t *testing.T) {
 }
 
 func TestBuildHandlerErrors(t *testing.T) {
-	if _, _, err := buildHandler("", "", 2, 0); err == nil {
+	if _, _, err := buildHandler("", "", 2, 0, false, false); err == nil {
 		t.Fatal("want error for no input")
 	}
-	if _, _, err := buildHandler("a", "b", 2, 0); err == nil {
+	if _, _, err := buildHandler("a", "b", 2, 0, false, false); err == nil {
 		t.Fatal("want error for both inputs")
 	}
-	if _, _, err := buildHandler("/nonexistent.pcsr", "", 2, 0); err == nil {
+	if _, _, err := buildHandler("/nonexistent.pcsr", "", 2, 0, false, false); err == nil {
 		t.Fatal("want error for missing graph file")
 	}
-	if _, _, err := buildHandler("", "/nonexistent.tcsr", 2, 0); err == nil {
+	if _, _, err := buildHandler("", "/nonexistent.tcsr", 2, 0, false, false); err == nil {
 		t.Fatal("want error for missing temporal file")
+	}
+}
+
+func TestBuildHandlerMmap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.csrc")
+	pk := csr.BuildPacked(edgelist.List{{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2}}, 3, 1)
+	if err := mgraph.WritePackedFile(path, pk); err != nil {
+		t.Fatal(err)
+	}
+	for _, verify := range []bool{false, true} {
+		h, desc, err := buildHandler(path, "", 2, 1, true, verify)
+		if err != nil {
+			t.Fatalf("verify=%v: %v", verify, err)
+		}
+		if !strings.Contains(desc, "mmap") {
+			t.Fatalf("desc %q does not mention mmap", desc)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/neighbors?nodes=1", nil))
+		if rec.Code != 200 {
+			t.Fatalf("neighbors = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	// -mmap without -graph, and -mmap on a legacy stream, both fail early.
+	if _, _, err := buildHandler("", "", 2, 1, true, false); err == nil {
+		t.Fatal("want error for -mmap without -graph")
+	}
+	legacy := filepath.Join(dir, "g.pcsr")
+	if err := pk.SaveFile(legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildHandler(legacy, "", 2, 1, true, false); !errors.Is(err, mgraph.ErrLegacyStream) {
+		t.Fatalf("mmap on legacy stream = %v, want ErrLegacyStream", err)
 	}
 }

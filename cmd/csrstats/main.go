@@ -4,14 +4,21 @@
 //
 //	csrstats -in graph.txt -procs 8
 //	csrstats -in graph.pcsr -symmetrize
+//	csrstats -in graph.csrc -meta
 //
 // The input may be a SNAP text edge list, the binary edge framing (.bin),
-// or a packed CSR file (.pcsr).
+// a packed CSR file (.pcsr), or a binary graph container (.csrc, detected
+// by magic as well as extension). Container inputs first print the
+// container metadata — version, form, per-section layout, checksum status
+// — straight from the header without loading the arrays; -meta stops
+// there, otherwise the container is memory-mapped and analyzed like any
+// other graph.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,6 +27,7 @@ import (
 	"csrgraph/internal/csr"
 	"csrgraph/internal/edgelist"
 	"csrgraph/internal/harness"
+	"csrgraph/internal/mgraph"
 	"csrgraph/internal/query"
 )
 
@@ -36,6 +44,8 @@ func run(args []string) error {
 	procs := fs.Int("procs", 4, "processors")
 	symmetrize := fs.Bool("symmetrize", false, "add reverse edges (edge-list inputs only)")
 	heavy := fs.Bool("heavy", true, "include triangles, clustering and k-core (O(m^1.5)-ish)")
+	metaOnly := fs.Bool("meta", false, "container inputs: print header metadata only, do not load the graph")
+	verify := fs.Bool("verify", false, "container inputs: checksum every section payload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,6 +56,24 @@ func run(args []string) error {
 	var g query.Source
 	var sizeBytes int64
 	switch {
+	case isContainer(*in):
+		if err := printContainerMeta(*in, *verify); err != nil {
+			return err
+		}
+		if *metaOnly {
+			return nil
+		}
+		var mopts []mgraph.OpenOption
+		if *verify {
+			mopts = append(mopts, mgraph.WithVerify())
+		}
+		m, err := mgraph.Open(*in, mopts...)
+		if err != nil {
+			return err
+		}
+		defer m.Close() //csr:errok read-only mapping; nothing to lose on close
+		g = m.Source()
+		sizeBytes = m.SizeBytes()
 	case strings.HasSuffix(*in, ".pcsr"):
 		pk, err := csr.LoadPackedFile(*in)
 		if err != nil {
@@ -107,5 +135,51 @@ func run(args []string) error {
 		fmt.Printf("max k-core: %d\n", maxCore)
 	}
 	fmt.Printf("analyzed in %v with %d processors\n", time.Since(start), *procs)
+	return nil
+}
+
+// isContainer reports whether path is a binary graph container, by
+// extension or by sniffing the magic (so renamed files still work).
+func isContainer(path string) bool {
+	if strings.HasSuffix(path, ".csrc") {
+		return true
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false // the real open reports the error with context
+	}
+	defer f.Close() //csr:errok read-only file; close cannot lose data
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == mgraph.Magic
+}
+
+// printContainerMeta prints the header and section table without loading
+// any graph arrays — O(1) I/O unless verify streams the payloads.
+func printContainerMeta(path string, verify bool) error {
+	meta, crcOK, err := mgraph.ReadMetaFile(path, verify)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("container:  v%d, %s form, %d nodes, %d edges\n",
+		meta.Version, meta.Form(), meta.NumNodes, meta.NumEdges)
+	for i, s := range meta.Sections {
+		crcNote := "crc unchecked"
+		if verify {
+			crcNote = "crc ok"
+			if !crcOK[i] {
+				crcNote = "CRC MISMATCH"
+			}
+		}
+		width := fmt.Sprintf("%2d-bit", s.Width)
+		if s.Width == 0 {
+			width = "rawbit"
+		}
+		fmt.Printf("  section %d: %-13s %s  count %-12d %10s at %-10d %s\n",
+			i, mgraph.KindName(s.Kind), width, s.Count,
+			harness.HumanBytes(int64(s.Bytes())), s.Offset, crcNote)
+	}
 	return nil
 }

@@ -45,15 +45,32 @@ func FromBits(bs []bool) *Array {
 // ceil(nbits/64) words and any bits past nbits in the final word must be
 // zero — the invariant every other constructor maintains.
 func FromWords(words []uint64, nbits int) *Array {
+	a, err := View(words, nbits)
+	if err != nil {
+		panic(err.Error())
+	}
+	return a
+}
+
+// View wraps an externally owned word slice — typically a []uint64
+// reinterpretation of a memory-mapped file section — as an Array of nbits
+// bits without copying. It enforces the same shape invariants as FromWords
+// (exact word count, clean tail bits) but reports violations as errors,
+// since mapped input is untrusted file content rather than a programming
+// mistake. The Array aliases words for its whole lifetime: the caller must
+// keep the backing memory mapped, and when the mapping is read-only only
+// the read-side methods (Bit, Uint, UintAligned, the unpack kernels) may be
+// used — a SetBit or append would fault or silently detach from the file.
+func View(words []uint64, nbits int) (*Array, error) {
 	if nbits < 0 || len(words) != (nbits+wordBits-1)/wordBits {
-		panic(fmt.Sprintf("bitarray: %d words for %d bits", len(words), nbits))
+		return nil, fmt.Errorf("bitarray: %d words for %d bits", len(words), nbits)
 	}
 	if off := nbits % wordBits; off != 0 && len(words) > 0 {
 		if words[len(words)-1]&(^uint64(0)>>off) != 0 {
-			panic("bitarray: dirty bits past the declared length")
+			return nil, errors.New("bitarray: dirty bits past the declared length")
 		}
 	}
-	return &Array{words: words, n: nbits}
+	return &Array{words: words, n: nbits}, nil
 }
 
 // Len returns the number of bits stored.
@@ -279,7 +296,14 @@ func (a *Array) UnmarshalBinary(data []byte) error {
 	if len(data) < 12 || string(data[:4]) != marshalMagic {
 		return errors.New("bitarray: bad header")
 	}
-	n := int(binary.LittleEndian.Uint64(data[4:12]))
+	// The length is untrusted file content: reject anything that could not
+	// have been written (negative after the int cast, or larger than the
+	// payload bytes actually present can back) before sizing allocations.
+	n64 := binary.LittleEndian.Uint64(data[4:12])
+	if n64 > uint64(len(data)-12)*8 {
+		return fmt.Errorf("bitarray: header claims %d bits, only %d payload bytes", n64, len(data)-12)
+	}
+	n := int(n64)
 	nw := (n + wordBits - 1) / wordBits
 	if len(data) != 12+8*nw {
 		return fmt.Errorf("bitarray: payload length %d, want %d", len(data)-12, 8*nw)

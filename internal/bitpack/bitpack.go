@@ -77,6 +77,24 @@ func newPacked(width, n int, bits *bitarray.Array) *Packed {
 	return &Packed{width: width, n: n, bits: bits, aligned: 64%width == 0}
 }
 
+// View wraps an externally owned word slice — a mapped container section —
+// as a Packed array of n width-bit values without copying. The words are
+// untrusted file content, so every shape violation (width outside [1,32],
+// negative or oversized n, wrong word count, dirty tail bits) is an error,
+// not a panic. The returned Packed aliases words; see bitarray.View for the
+// lifetime and read-only rules.
+func View(width, n int, words []uint64) (*Packed, error) {
+	const maxLen = 1 << 56 // matches UnmarshalBinary: keeps width*n overflow-free
+	if width < 1 || width > 32 || n < 0 || n > maxLen {
+		return nil, fmt.Errorf("bitpack: implausible view width=%d n=%d", width, n)
+	}
+	bits, err := bitarray.View(words, width*n)
+	if err != nil {
+		return nil, err
+	}
+	return newPacked(width, n, bits), nil
+}
+
 // Pack encodes vals using p processors per Algorithm 4: compute the global
 // width, pack chunks independently, and merge the per-chunk bit arrays.
 func Pack(vals []uint32, p int) *Packed {

@@ -1,6 +1,8 @@
 package csr
 
 import (
+	"fmt"
+
 	"csrgraph/internal/bitarray"
 	"csrgraph/internal/bitpack"
 	"csrgraph/internal/edgelist"
@@ -82,13 +84,60 @@ func appendGamma(a *bitarray.Array, x uint64) {
 // readGamma decodes one gamma value from r.
 func readGamma(r *bitarray.Reader) uint64 {
 	n := 0
-	for !r.ReadBit() {
+	for r.Remaining() > 0 && !r.ReadBit() {
 		n++
 	}
 	if n == 0 {
 		return 1
 	}
-	return 1<<n | r.ReadUint(n)
+	// A malformed stream (mapped containers carry untrusted payload bits)
+	// can run the unary prefix past the row or demand more mantissa bits
+	// than remain; clamp so decoding yields an arbitrary value instead of
+	// reading outside the array. Valid streams never take these branches.
+	if n > 64 {
+		n = 64
+	}
+	if rem := r.Remaining(); n > rem {
+		n = rem
+	}
+	if n == 0 {
+		return 1
+	}
+	return 1<<uint(n) | r.ReadUint(n)
+}
+
+// AssembleDeltaPacked wraps externally constructed row-offset and gamma
+// payload arrays (mapped container sections) as a DeltaPacked for a graph
+// of numNodes nodes and numEdges edges. Offsets must be monotone from 0
+// and end exactly at the payload bit length — the invariant row decoding
+// needs to stay inside the payload. The gamma stream itself is not decoded
+// here; a corrupt payload yields wrong neighbor values, not panics, as
+// long as the offsets bound each row.
+func AssembleDeltaPacked(offsets *bitpack.Packed, payload *bitarray.Array, numNodes, numEdges int) (*DeltaPacked, error) {
+	if numNodes < 0 || numEdges < 0 || offsets.Len() != numNodes+1 {
+		return nil, fmt.Errorf("csr: delta offsets has %d entries, want %d", offsets.Len(), numNodes+1)
+	}
+	prev := offsets.Get(0)
+	if prev != 0 {
+		return nil, fmt.Errorf("csr: first delta offset %d, want 0", prev)
+	}
+	for i := 1; i <= numNodes; i++ {
+		cur := offsets.Get(i)
+		if cur < prev {
+			return nil, fmt.Errorf("csr: delta offsets decrease at %d (%d < %d)", i, cur, prev)
+		}
+		prev = cur
+	}
+	if int(prev) != payload.Len() {
+		return nil, fmt.Errorf("csr: delta offsets claim %d payload bits, payload has %d", prev, payload.Len())
+	}
+	return &DeltaPacked{offsets: offsets, payload: payload, n: numNodes, m: numEdges}, nil
+}
+
+// Parts returns the packed offset array and the gamma payload backing the
+// structure, for serializers laying out raw sections. Read-only.
+func (dp *DeltaPacked) Parts() (*bitpack.Packed, *bitarray.Array) {
+	return dp.offsets, dp.payload
 }
 
 // NumNodes returns the number of nodes.

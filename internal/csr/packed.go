@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -42,6 +43,27 @@ func PackMatrix(m *Matrix, p int) *Packed {
 func BuildPacked(l edgelist.List, numNodes, p int) *Packed {
 	return PackMatrix(Build(l, numNodes, p), p)
 }
+
+// AssemblePacked wraps externally constructed iA/jA packed arrays — e.g.
+// zero-copy views over a mapped container's sections — as a Packed. Only
+// the offset invariants are validated (monotone from 0, ending exactly at
+// the cols length): that is what query row decoding relies on to stay
+// in-bounds, and it touches only the small iA section so a mapped
+// multi-GB graph does not fault in its neighbor pages at load time. The
+// neighbor-value range scan of the legacy reader is NOT run; callers
+// serving untrusted files should add ValidateCols (or a container CRC
+// check) before handing the graph to algorithms that index by neighbor id.
+func AssemblePacked(off, cols *bitpack.Packed) (*Packed, error) {
+	pk := &Packed{off: off, cols: cols}
+	if err := pk.validateOffsets(); err != nil {
+		return nil, err
+	}
+	return pk, nil
+}
+
+// Parts returns the two packed arrays (iA, jA) backing the CSR, for
+// serializers that lay the raw sections out themselves. Read-only.
+func (pk *Packed) Parts() (off, cols *bitpack.Packed) { return pk.off, pk.cols }
 
 // NumNodes returns the number of nodes.
 func (pk *Packed) NumNodes() int {
@@ -177,8 +199,62 @@ func (pk *Packed) Equal(o *Packed) bool {
 
 const packedFileMagic = "PCSR"
 
+// ContainerMagic is the magic of the mmap-able binary container format
+// (internal/mgraph). The legacy stream readers in this package recognize it
+// only to direct users to the right tool; mgraph owns the format.
+const ContainerMagic = "CSRC"
+
+// ErrContainerFile reports that a legacy stream reader was handed a binary
+// container file — a format mismatch, not corruption.
+var ErrContainerFile = errors.New("csr: file is a binary graph container, not the legacy stream format (open it with internal/mgraph, csrserver -mmap, or csrstats)")
+
+// partStreamBuf is the chunk size WriteTo streams bitpack payloads through:
+// big enough to amortize bufio copies, small enough to stay cache-resident.
+const partStreamBuf = 32 << 10
+
+// writePartStream writes one bitpack payload in the legacy stream framing
+// (u64 payload length, then the bytes MarshalBinary would produce) without
+// materializing the payload: the words are encoded little-endian through
+// the caller's reused scratch buffer. Byte-for-byte identical to writing
+// part.MarshalBinary.
+func writePartStream(bw *bufio.Writer, part *bitpack.Packed, scratch []byte) (int64, error) {
+	words := part.Bits().Words()
+	payloadLen := (4 + 8 + 8) + (4 + 8 + 8*len(words)) // BPK1 header + BARR header + words
+	var hdr [8 + 4 + 8 + 8 + 4 + 8]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(payloadLen))
+	copy(hdr[8:], "BPK1")
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(part.Width()))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(part.Len()))
+	copy(hdr[28:], "BARR")
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(part.Bits().Len()))
+	written := int64(0)
+	n, err := bw.Write(hdr[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for len(words) > 0 {
+		chunk := words
+		if len(chunk) > len(scratch)/8 {
+			chunk = chunk[:len(scratch)/8]
+		}
+		for i, w := range chunk {
+			binary.LittleEndian.PutUint64(scratch[8*i:], w)
+		}
+		n, err := bw.Write(scratch[:8*len(chunk)])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		words = words[len(chunk):]
+	}
+	return written, nil
+}
+
 // WriteTo serializes the packed CSR: magic, two length-prefixed bitpack
-// payloads. It implements io.WriterTo.
+// payloads. It implements io.WriterTo. The payloads are streamed through a
+// reused chunk buffer — no full-array temporary is built, so writing a
+// multi-GB graph costs O(1) extra memory.
 func (pk *Packed) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
@@ -187,20 +263,10 @@ func (pk *Packed) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return written, err
 	}
+	scratch := make([]byte, partStreamBuf)
 	for _, part := range []*bitpack.Packed{pk.off, pk.cols} {
-		payload, err := part.MarshalBinary()
-		if err != nil {
-			return written, err
-		}
-		var hdr [8]byte
-		binary.LittleEndian.PutUint64(hdr[:], uint64(len(payload)))
-		n, err = bw.Write(hdr[:])
-		written += int64(n)
-		if err != nil {
-			return written, err
-		}
-		n, err = bw.Write(payload)
-		written += int64(n)
+		m, err := writePartStream(bw, part, scratch)
+		written += m
 		if err != nil {
 			return written, err
 		}
@@ -216,6 +282,9 @@ func ReadPacked(r io.Reader) (*Packed, error) {
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("csr: packed header: %w", err)
+	}
+	if string(magic) == ContainerMagic {
+		return nil, ErrContainerFile
 	}
 	if string(magic) != packedFileMagic {
 		return nil, fmt.Errorf("csr: bad magic %q", magic)
@@ -257,6 +326,17 @@ func ReadPacked(r io.Reader) (*Packed, error) {
 // inside the node space. Without this a corrupt file would panic at query
 // time instead of failing at load time.
 func (pk *Packed) validate() error {
+	if err := pk.validateOffsets(); err != nil {
+		return err
+	}
+	return pk.ValidateCols()
+}
+
+// validateOffsets checks the iA invariants row decoding depends on —
+// offsets start at 0, never decrease, and end exactly at the cols length —
+// touching only the offsets array. This is the load-time check of the
+// mmap path: O(numNodes), no neighbor pages faulted in.
+func (pk *Packed) validateOffsets() error {
 	n := pk.off.Len()
 	if n == 0 {
 		if pk.cols.Len() != 0 {
@@ -277,6 +357,19 @@ func (pk *Packed) validate() error {
 	}
 	if got, want := pk.cols.Len(), int(prev); got != want {
 		return fmt.Errorf("csr: offsets claim %d edges, cols has %d", want, got)
+	}
+	return nil
+}
+
+// ValidateCols scans the full jA array checking every neighbor id is
+// inside the node space — the O(numEdges) half of validation, needed
+// before graph algorithms may index per-node state by neighbor values.
+// Mapped loads skip it by default (it faults in every neighbor page) and
+// callers opt in for untrusted files.
+func (pk *Packed) ValidateCols() error {
+	n := pk.off.Len()
+	if n == 0 {
+		return nil
 	}
 	numNodes := uint32(n - 1)
 	for i := 0; i < pk.cols.Len(); i++ {

@@ -1,0 +1,118 @@
+package csr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"csrgraph/internal/bitpack"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/gen"
+)
+
+// buildExpectedStream reconstructs the documented legacy layout from the
+// parts' own MarshalBinary — the byte stream WriteTo produced before it was
+// rewritten to stream through a chunk buffer, and must still produce.
+func buildExpectedStream(t *testing.T, magic string, parts ...*bitpack.Packed) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	for _, p := range parts {
+		payload, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lenHdr [8]byte
+		binary.LittleEndian.PutUint64(lenHdr[:], uint64(len(payload)))
+		buf.Write(lenHdr[:])
+		buf.Write(payload)
+	}
+	return buf.Bytes()
+}
+
+// TestWriteToByteCompat pins the streamed WriteTo to the original byte
+// layout for both the packed and weighted stream formats, across widths
+// that exercise partial trailing words.
+func TestWriteToByteCompat(t *testing.T) {
+	for _, edges := range []int{1, 37, 4000} {
+		list, err := gen.ErdosRenyi(200, edges, uint64(edges), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepared := list.Prepared(true, 2)
+		pk := BuildPacked(prepared, prepared.NumNodes(), 2)
+		var got bytes.Buffer
+		n, err := pk.WriteTo(&got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, cols := pk.Parts()
+		want := buildExpectedStream(t, packedFileMagic, off, cols)
+		if n != int64(len(want)) || !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("edges=%d: WriteTo produced %d bytes, want %d identical bytes", edges, n, len(want))
+		}
+		back, err := ReadPacked(bytes.NewReader(got.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(pk) {
+			t.Fatalf("edges=%d: round trip lost data", edges)
+		}
+	}
+}
+
+func TestWeightedWriteToByteCompat(t *testing.T) {
+	wedges := []WeightedEdge{{U: 0, V: 1, W: 10}, {U: 1, V: 3, W: 2}, {U: 3, V: 0, W: 900000}}
+	wm, err := BuildWeighted(wedges, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := PackWeighted(wm, 2)
+	var got bytes.Buffer
+	n, err := pw.WriteTo(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, cols := pw.Parts()
+	expected := append([]byte(packedWeightedMagic), buildExpectedStream(t, packedFileMagic, off, cols, pw.Vals())...)
+	if n != int64(len(expected)) || !bytes.Equal(got.Bytes(), expected) {
+		t.Fatalf("WriteTo produced %d bytes, want %d identical bytes", n, len(expected))
+	}
+	back, err := ReadPackedWeighted(bytes.NewReader(got.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := back.Weight(3, 0); !ok || w != 900000 {
+		t.Fatalf("Weight(3,0) = (%d,%v) after round trip", w, ok)
+	}
+}
+
+// TestLegacyReadersRejectContainer pins the wrong-format error for both
+// legacy entry points (the mgraph side of the mismatch is tested there).
+func TestLegacyReadersRejectContainer(t *testing.T) {
+	container := append([]byte(ContainerMagic), make([]byte, 128)...)
+	if _, err := ReadPacked(bytes.NewReader(container)); !errors.Is(err, ErrContainerFile) {
+		t.Fatalf("ReadPacked = %v, want ErrContainerFile", err)
+	}
+	if _, err := ReadPackedWeighted(bytes.NewReader(container)); !errors.Is(err, ErrContainerFile) {
+		t.Fatalf("ReadPackedWeighted = %v, want ErrContainerFile", err)
+	}
+}
+
+// TestReadPackedTruncation: every prefix of a valid stream must error
+// cleanly, never panic and never allocate absurdly.
+func TestReadPackedTruncation(t *testing.T) {
+	list := edgelist.List{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}
+	pk := BuildPacked(list, 3, 1)
+	var buf bytes.Buffer
+	if _, err := pk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadPacked(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("ReadPacked accepted a %d/%d-byte truncation", cut, len(full))
+		}
+	}
+}

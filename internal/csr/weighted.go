@@ -1,6 +1,7 @@
 package csr
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
@@ -156,6 +157,25 @@ func PackWeighted(m *WeightedMatrix, p int) *PackedWeighted {
 	}
 }
 
+// AssemblePackedWeighted wraps externally constructed iA/jA/vA packed
+// arrays (mapped container sections) as a PackedWeighted, with the same
+// offsets-only validation policy as AssemblePacked plus the vA length
+// invariant.
+func AssemblePackedWeighted(off, cols, vals *bitpack.Packed) (*PackedWeighted, error) {
+	base, err := AssemblePacked(off, cols)
+	if err != nil {
+		return nil, err
+	}
+	if vals.Len() != base.NumEdges() {
+		return nil, fmt.Errorf("csr: vA has %d values, want %d", vals.Len(), base.NumEdges())
+	}
+	return &PackedWeighted{Packed: *base, vals: vals}, nil
+}
+
+// Vals returns the packed vA array, for serializers laying out raw
+// sections. Read-only.
+func (pk *PackedWeighted) Vals() *bitpack.Packed { return pk.vals }
+
 // Weight returns the weight of (u, v) from the packed arrays.
 func (pk *PackedWeighted) Weight(u, v edgelist.NodeID) (uint32, bool) {
 	start, end := pk.RowBounds(u)
@@ -193,33 +213,30 @@ func (pk *PackedWeighted) UnpackWeighted() *WeightedMatrix {
 const packedWeightedMagic = "WCSR"
 
 // WriteTo serializes the packed weighted CSR: magic, the embedded packed
-// CSR (iA, jA), then the length-prefixed packed vA payload.
+// CSR (iA, jA), then the length-prefixed packed vA payload. Like
+// Packed.WriteTo, every payload streams through one reused chunk buffer.
 func (pk *PackedWeighted) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
 	var written int64
-	n, err := io.WriteString(w, packedWeightedMagic)
+	n, err := bw.WriteString(packedWeightedMagic)
 	written += int64(n)
 	if err != nil {
 		return written, err
 	}
-	m, err := pk.Packed.WriteTo(w)
-	written += m
-	if err != nil {
-		return written, err
-	}
-	payload, err := pk.vals.MarshalBinary()
-	if err != nil {
-		return written, err
-	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(len(payload)))
-	n, err = w.Write(hdr[:])
+	n, err = bw.WriteString(packedFileMagic)
 	written += int64(n)
 	if err != nil {
 		return written, err
 	}
-	n, err = w.Write(payload)
-	written += int64(n)
-	return written, err
+	scratch := make([]byte, partStreamBuf)
+	for _, part := range []*bitpack.Packed{pk.off, pk.cols, pk.vals} {
+		m, err := writePartStream(bw, part, scratch)
+		written += m
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
 }
 
 // ReadPackedWeighted deserializes a packed weighted CSR written by
@@ -228,6 +245,9 @@ func ReadPackedWeighted(r io.Reader) (*PackedWeighted, error) {
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("csr: weighted header: %w", err)
+	}
+	if string(magic) == ContainerMagic {
+		return nil, ErrContainerFile
 	}
 	if string(magic) != packedWeightedMagic {
 		return nil, fmt.Errorf("csr: bad weighted magic %q", magic)

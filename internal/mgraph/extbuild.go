@@ -1,0 +1,399 @@
+package mgraph
+
+import (
+	"bufio"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"csrgraph/internal/bitpack"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
+	"csrgraph/internal/radix"
+)
+
+// External-memory container construction, after the pipelined spill-to-disk
+// workflow of Gupta (arXiv:1210.8242): the edge list streams through a
+// bounded buffer of packed (u,v) radix keys; every time the buffer fills it
+// is radix-sorted (the PR-2 kernels), deduplicated, and spilled to a
+// temporary shard file as a sorted run; the runs are then k-way
+// stream-merged — deduplicating across shards and counting degrees on the
+// first pass, emitting packed neighbor values on the second — directly into
+// the container writer. The full edge list never exists in memory: peak
+// RAM is the configured key-buffer budget plus one uint32 degree slot per
+// node, so the build handles graphs whose raw edge lists exceed RAM.
+//
+// Because the spill/merge front end produces exactly the sorted
+// deduplicated key sequence that edgelist.List.Prepared produces in RAM,
+// and the container writer is a pure function of (numNodes, numEdges,
+// values), the emitted file is byte-identical to building in memory and
+// calling WritePackedFile — the equivalence the differential tests pin.
+
+// ExternalOptions configures ExternalBuildFile.
+type ExternalOptions struct {
+	// MemoryBudget caps the spill buffer in bytes (sort keys plus radix
+	// scratch, 16 bytes per buffered edge). At most MemoryBudget/16 edges
+	// are in flight; the floor is 1024 edges so degenerate budgets still
+	// make progress. Default 256 MiB. The buffers grow with the data, so
+	// a small input under a large budget allocates only what it streams.
+	// The budget governs the edge pipeline; the builder additionally
+	// holds 4 bytes per node for the degree array while merging.
+	MemoryBudget int64
+	// TempDir hosts the spill shards (a private subdirectory, removed on
+	// return). Default os.TempDir().
+	TempDir string
+	// Procs is the parallelism of the in-buffer radix sorts. Default
+	// GOMAXPROCS.
+	Procs int
+	// Symmetrize adds the reverse of every non-self-loop edge, matching
+	// edgelist.List.Prepared(true, p).
+	Symmetrize bool
+}
+
+// ExternalStats reports what a build did — primarily so tests can assert a
+// budget actually forced multi-shard spills.
+type ExternalStats struct {
+	InputEdges   int64 // edges streamed from the source
+	Keys         int64 // sort keys generated (input + reverses)
+	UniqueEdges  int64 // deduplicated directed edges in the container
+	NumNodes     int
+	Shards       int   // spill files written
+	SpilledBytes int64 // bytes written to spill files
+}
+
+// shardWriter spills one sorted deduplicated run and remembers its length.
+type spillState struct {
+	dir     string
+	shards  []string
+	stats   ExternalStats
+	scratch []uint64 // radix-sort scratch, grown lazily to the largest flush
+	maxID   uint32   // largest node id seen on either endpoint
+	maxCol  uint32   // largest destination id (the packed neighbor width)
+}
+
+// flushShard sorts, dedups, and spills the buffered keys as one run.
+func (sp *spillState) flushShard(keys []uint64, procs int) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	start := obs.Now()
+	if cap(sp.scratch) < len(keys) {
+		sp.scratch = make([]uint64, len(keys))
+	}
+	radix.Sort64(keys, sp.scratch[:len(keys)], procs)
+	w := 0
+	for i, k := range keys {
+		if i == 0 || k != keys[w-1] {
+			keys[w] = k
+			w++
+		}
+	}
+	keys = keys[:w]
+	start = obs.Tick(spillStageSort, start)
+
+	path := filepath.Join(sp.dir, fmt.Sprintf("shard-%05d.spill", len(sp.shards)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 256<<10)
+	var rec [8]byte
+	for _, k := range keys {
+		putU64(rec[:], k)
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close() //csr:errok write already failed; surfacing the first error
+			return err
+		}
+	}
+	werr := bw.Flush()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	sp.shards = append(sp.shards, path)
+	sp.stats.Shards++
+	sp.stats.SpilledBytes += int64(8 * len(keys))
+	spillShardsTotal.Inc()
+	spillBytesTotal.Add(int64(8 * len(keys)))
+	obs.Tick(spillStageSpill, start)
+	return nil
+}
+
+// runReader streams one sorted shard back during the merge.
+type runReader struct {
+	br  *bufio.Reader
+	f   *os.File
+	cur uint64
+	ok  bool
+}
+
+func (r *runReader) next() error {
+	var rec [8]byte
+	_, err := io.ReadFull(r.br, rec[:])
+	if err == io.EOF {
+		r.ok = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	r.cur = leU64(rec[:])
+	return nil
+}
+
+// runHeap is a min-heap of shard readers keyed by their current element,
+// the k-way merge frontier.
+type runHeap []*runReader
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return h[i].cur < h[j].cur }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeRuns streams the union of all sorted runs in ascending order,
+// skipping duplicates across runs (each run is already internally
+// deduplicated), and calls emit for every unique key.
+func mergeRuns(paths []string, emit func(key uint64) error) error {
+	h := make(runHeap, 0, len(paths))
+	defer func() {
+		for _, r := range h {
+			r.f.Close() //csr:errok read-only spill file
+		}
+	}()
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		r := &runReader{br: bufio.NewReaderSize(f, 256<<10), f: f, ok: true}
+		if err := r.next(); err != nil {
+			f.Close() //csr:errok read-only spill file
+			return err
+		}
+		if r.ok {
+			h = append(h, r)
+		} else {
+			f.Close() //csr:errok read-only spill file
+		}
+	}
+	heap.Init(&h)
+	first := true
+	var last uint64
+	for len(h) > 0 {
+		r := h[0]
+		k := r.cur
+		if first || k != last {
+			if err := emit(k); err != nil {
+				return err
+			}
+			last, first = k, false
+		}
+		if err := r.next(); err != nil {
+			return err
+		}
+		if r.ok {
+			heap.Fix(&h, 0)
+		} else {
+			r.f.Close() //csr:errok read-only spill file
+			heap.Pop(&h)
+		}
+	}
+	return nil
+}
+
+// ExternalBuildFile streams the edge list at input through the
+// spill-to-disk pipeline into a packed-form container at output, under
+// opt.MemoryBudget bytes of edge-buffer memory. Input codecs follow
+// edgelist.StreamFile (SNAP text, binary framing, optional gzip).
+func ExternalBuildFile(input, output string, opt ExternalOptions) (*ExternalStats, error) {
+	return ExternalBuild(func(emit func(u, v uint32) error) error {
+		return edgelist.StreamFile(input, emit)
+	}, output, opt)
+}
+
+// ExternalBuild is ExternalBuildFile over an arbitrary edge stream: source
+// must call emit once per input edge and may be invoked exactly once.
+func ExternalBuild(source func(emit func(u, v uint32) error) error, output string, opt ExternalOptions) (*ExternalStats, error) {
+	if opt.MemoryBudget <= 0 {
+		opt.MemoryBudget = 256 << 20
+	}
+	if opt.Procs <= 0 {
+		opt.Procs = runtime.GOMAXPROCS(0)
+	}
+	capKeys := int(opt.MemoryBudget / 16)
+	if capKeys < 1024 {
+		capKeys = 1024
+	}
+
+	dir, err := os.MkdirTemp(opt.TempDir, "csrspill-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir) //csr:errok best-effort temp cleanup
+
+	sp := &spillState{dir: dir}
+	// The key buffer starts small and doubles toward the budgeted cap, so
+	// peak allocation tracks the data actually streamed rather than the
+	// budget: a 1 GiB budget over a 10k-edge input stays at kilobytes.
+	keys := make([]uint64, 0, min(capKeys, 1<<13))
+
+	// Phase 1 — ingest and spill: pack each edge (and its reverse when
+	// symmetrizing) into a sort key; on a full buffer, sort+dedup+spill.
+	ingestStart := obs.Now()
+	push := func(k uint64) error {
+		if len(keys) == capKeys {
+			if err := sp.flushShard(keys, opt.Procs); err != nil {
+				return err
+			}
+			keys = keys[:0]
+		} else if len(keys) == cap(keys) {
+			grown := make([]uint64, len(keys), min(cap(keys)*2, capKeys))
+			copy(grown, keys)
+			keys = grown
+		}
+		keys = append(keys, k)
+		sp.stats.Keys++
+		return nil
+	}
+	err = source(func(u, v uint32) error {
+		sp.stats.InputEdges++
+		if u > sp.maxID {
+			sp.maxID = u
+		}
+		if v > sp.maxID {
+			sp.maxID = v
+		}
+		if v > sp.maxCol {
+			sp.maxCol = v
+		}
+		if err := push(uint64(u)<<32 | uint64(v)); err != nil {
+			return err
+		}
+		if opt.Symmetrize && u != v {
+			if u > sp.maxCol {
+				sp.maxCol = u
+			}
+			return push(uint64(v)<<32 | uint64(u))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mgraph: external build ingest: %w", err)
+	}
+	if err := sp.flushShard(keys, opt.Procs); err != nil {
+		return nil, fmt.Errorf("mgraph: external build spill: %w", err)
+	}
+	keys, sp.scratch = nil, nil // the budgeted buffers are done; free before the merge
+	obs.Tick(spillStageIngest, ingestStart)
+
+	numNodes := 0
+	if sp.stats.Keys > 0 {
+		numNodes = int(sp.maxID) + 1
+	}
+	sp.stats.NumNodes = numNodes
+
+	// Phase 2 — first merge pass: count degrees and the unique edge total.
+	// The merged sequence is simultaneously written to one consolidated
+	// run so the second pass is a single sequential read instead of a
+	// re-merge.
+	mergeStart := obs.Now()
+	deg := make([]uint32, numNodes)
+	merged := filepath.Join(dir, "merged.spill")
+	mf, err := os.Create(merged)
+	if err != nil {
+		return nil, err
+	}
+	mw := bufio.NewWriterSize(mf, 256<<10)
+	var rec [8]byte
+	err = mergeRuns(sp.shards, func(k uint64) error {
+		deg[k>>32]++
+		sp.stats.UniqueEdges++
+		putU64(rec[:], k)
+		_, werr := mw.Write(rec[:])
+		return werr
+	})
+	if err == nil {
+		err = mw.Flush()
+	}
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mgraph: external build merge: %w", err)
+	}
+
+	// Phase 3 — stream the container: prefix-sum the degrees straight into
+	// the packed offsets section, then re-read the consolidated run into
+	// the packed neighbors section. Widths match the in-RAM pack exactly:
+	// offsets peak at numEdges, neighbors at the largest destination id.
+	m := sp.stats.UniqueEdges
+	err = create(output, func(f *os.File) error {
+		w, err := newContainerWriter(f, 0, 2, uint64(numNodes), uint64(m))
+		if err != nil {
+			return err
+		}
+		offWidth := bitpack.WidthFor(uint32(m))
+		if err := w.begin(KindOffsets, uint32(offWidth), uint64(numNodes)+1); err != nil {
+			return err
+		}
+		running := uint64(0)
+		if err := w.value(running, offWidth); err != nil {
+			return err
+		}
+		for _, d := range deg {
+			running += uint64(d)
+			if err := w.value(running, offWidth); err != nil {
+				return err
+			}
+		}
+		if err := w.end(); err != nil {
+			return err
+		}
+
+		colWidth := bitpack.WidthFor(sp.maxCol)
+		if err := w.begin(KindNeighbors, uint32(colWidth), uint64(m)); err != nil {
+			return err
+		}
+		rf, err := os.Open(merged)
+		if err != nil {
+			return err
+		}
+		defer rf.Close() //csr:errok read-only spill file
+		br := bufio.NewReaderSize(rf, 256<<10)
+		var rec [8]byte
+		for {
+			_, rerr := io.ReadFull(br, rec[:])
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				return rerr
+			}
+			if err := w.value(leU64(rec[:])&0xffffffff, colWidth); err != nil {
+				return err
+			}
+		}
+		if err := w.end(); err != nil {
+			return err
+		}
+		return w.finish()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mgraph: external build write: %w", err)
+	}
+	obs.Tick(spillStageMerge, mergeStart)
+	stats := sp.stats
+	return &stats, nil
+}

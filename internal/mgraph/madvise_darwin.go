@@ -1,0 +1,8 @@
+//go:build darwin
+
+package mgraph
+
+// adviseRange is a no-op on darwin: the stdlib syscall package has no
+// Madvise wrapper there, and the hints are purely best-effort prefetch
+// guidance — the mapping works identically without them.
+func adviseRange(data []byte, off, n int, kind adviseKind) {}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package mgraph
+
+import (
+	"os"
+	"syscall"
+)
+
+// adviseRange applies an access-pattern hint to the pages covering
+// data[off:off+n]. madvise wants page-aligned addresses, so the range is
+// widened to page boundaries; hints are best-effort and failures are
+// ignored — they only cost prefetch efficiency, never correctness.
+func adviseRange(data []byte, off, n int, kind adviseKind) {
+	if n <= 0 || off < 0 || off >= len(data) {
+		return
+	}
+	page := os.Getpagesize()
+	start := off / page * page
+	end := off + n
+	if end > len(data) {
+		end = len(data)
+	}
+	advice := syscall.MADV_WILLNEED
+	if kind == adviseRandom {
+		advice = syscall.MADV_RANDOM
+	}
+	_ = syscall.Madvise(data[start:end], advice) //csr:errok advisory hint; failure only affects prefetching
+}

@@ -1,0 +1,38 @@
+//go:build !linux && !darwin
+
+package mgraph
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile on platforms without the unix mmap path falls back to one
+// aligned heap copy of the file: the container still loads and the views
+// still work, just without shared pages or lazy faulting. The backing is
+// allocated as []uint64 so the section word views are always 8-byte
+// aligned.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	words := make([]uint64, (size+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// munmapBytes is a no-op for the heap fallback; the GC owns the copy.
+func munmapBytes(data []byte) error { return nil }
+
+// adviseKind mirrors the unix build; hints are meaningless without a
+// mapping.
+type adviseKind int
+
+const (
+	adviseWillNeed adviseKind = iota
+	adviseRandom
+)
+
+// adviseRange is a no-op for the heap fallback.
+func adviseRange(data []byte, off, n int, kind adviseKind) {}

@@ -1,0 +1,31 @@
+//go:build linux || darwin
+
+package mgraph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared: the page cache holds
+// the only copy, shared with every other process mapping the same file.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// munmapBytes releases a mapping produced by mapFile.
+func munmapBytes(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// adviseKind selects the madvise hint adviseRange applies.
+type adviseKind int
+
+const (
+	adviseWillNeed adviseKind = iota
+	adviseRandom
+)

@@ -1,0 +1,22 @@
+package mgraph
+
+// Storage-layer instrumentation: the mmap load path reports its wall time
+// and mapped bytes, and the external-memory build reports per-stage wall
+// times for the ingest → sort → spill → merge pipeline plus cumulative
+// shard and spilled-byte counters, so a long build's progress and a
+// server's startup profile are both visible on /metrics.
+
+import "csrgraph/internal/obs"
+
+var (
+	mmapLoadSeconds = obs.GetDurationHistogram("csrgraph_mmap_load_seconds")
+	mmapLoadBytes   = obs.GetGauge("csrgraph_mmap_load_bytes")
+
+	spillStageIngest = obs.GetDurationHistogram(`csrgraph_build_spill_stage_seconds{stage="ingest"}`)
+	spillStageSort   = obs.GetDurationHistogram(`csrgraph_build_spill_stage_seconds{stage="sort"}`)
+	spillStageSpill  = obs.GetDurationHistogram(`csrgraph_build_spill_stage_seconds{stage="spill"}`)
+	spillStageMerge  = obs.GetDurationHistogram(`csrgraph_build_spill_stage_seconds{stage="merge"}`)
+
+	spillShardsTotal = obs.GetCounter("csrgraph_build_spill_shards_total")
+	spillBytesTotal  = obs.GetCounter("csrgraph_build_spill_bytes_total")
+)

@@ -1,0 +1,317 @@
+package mgraph
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"csrgraph/internal/csr"
+)
+
+// containerWriter lays a container out sequentially: sections are streamed
+// through a bit accumulator and a chunk buffer (so the external-memory
+// build never holds an array in RAM), and the header plus section table are
+// back-patched once every section's length and CRC are known. The byte
+// stream it produces is a pure function of (flags, numNodes, numEdges,
+// section values), which is what makes the in-RAM and external-memory
+// builds byte-identical.
+type containerWriter struct {
+	f        *os.File
+	bw       *bufio.Writer
+	off      uint64 // absolute file offset of the next byte
+	flags    uint32
+	numNodes uint64
+	numEdges uint64
+	sections []Section
+
+	// Open-section streaming state.
+	open bool
+	crc  uint32
+	word uint64 // bit accumulator, MSB-first like bitarray.AppendBits
+	fill int    // bits used in word
+	buf  []byte // pending encoded words
+	bufn int
+}
+
+// writerChunk is the flush granularity of the section streamer.
+const writerChunk = 64 << 10
+
+// newContainerWriter starts a container of numSections sections on f,
+// reserving the header and table region (zero-filled until finish).
+func newContainerWriter(f *os.File, flags uint32, numSections int, numNodes, numEdges uint64) (*containerWriter, error) {
+	w := &containerWriter{
+		f:        f,
+		bw:       bufio.NewWriterSize(f, writerChunk),
+		flags:    flags,
+		numNodes: numNodes,
+		numEdges: numEdges,
+		sections: make([]Section, 0, numSections),
+		buf:      make([]byte, writerChunk),
+	}
+	reserved := headerSize + numSections*sectionEntrySize
+	if err := w.pad(uint64(reserved)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// pad writes zeros until the absolute offset reaches target.
+func (w *containerWriter) pad(target uint64) error {
+	for w.off < target {
+		if err := w.bw.WriteByte(0); err != nil {
+			return err
+		}
+		w.off++
+	}
+	return nil
+}
+
+// begin opens the next section: pads to the alignment boundary and records
+// the section's shape. count follows the Section convention (elements for
+// width > 0, bits for width 0).
+func (w *containerWriter) begin(kind, width uint32, count uint64) error {
+	if w.open {
+		return fmt.Errorf("mgraph: begin(%s) with a section still open", KindName(kind))
+	}
+	if err := w.pad((w.off + sectionAlign - 1) / sectionAlign * sectionAlign); err != nil {
+		return err
+	}
+	w.sections = append(w.sections, Section{Kind: kind, Width: width, Count: count, Offset: w.off})
+	w.open, w.crc, w.word, w.fill, w.bufn = true, 0, 0, 0, 0
+	return nil
+}
+
+// flushBuf drains the pending encoded words into the file, folding them
+// into the section CRC.
+func (w *containerWriter) flushBuf() error {
+	if w.bufn == 0 {
+		return nil
+	}
+	w.crc = crc32.Update(w.crc, crcTable, w.buf[:w.bufn])
+	_, err := w.bw.Write(w.buf[:w.bufn])
+	w.off += uint64(w.bufn)
+	w.bufn = 0
+	return err
+}
+
+// emitWord appends one complete little-endian word to the section payload.
+func (w *containerWriter) emitWord(v uint64) error {
+	if w.bufn == len(w.buf) {
+		if err := w.flushBuf(); err != nil {
+			return err
+		}
+	}
+	putU64(w.buf[w.bufn:], v)
+	w.bufn += 8
+	return nil
+}
+
+// value appends the low `width` bits of v to the open section, MSB-first —
+// the exact bit layout bitarray.AppendBits produces, so a streamed section
+// is byte-identical to packing the values in memory and writing the words.
+func (w *containerWriter) value(v uint64, width int) error {
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	room := 64 - w.fill
+	if width < room {
+		w.word |= v << (room - width)
+		w.fill += width
+		return nil
+	}
+	rest := width - room
+	if err := w.emitWord(w.word | v>>rest); err != nil {
+		return err
+	}
+	w.word, w.fill = 0, rest
+	if rest > 0 {
+		w.word = v << (64 - rest)
+	}
+	return nil
+}
+
+// words bulk-appends finished words; the accumulator must be word-aligned
+// (fill 0), which is always true for whole in-memory arrays.
+func (w *containerWriter) words(ws []uint64) error {
+	if w.fill != 0 {
+		return fmt.Errorf("mgraph: words() mid-word (%d bits pending)", w.fill)
+	}
+	for _, v := range ws {
+		if err := w.emitWord(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// end closes the open section: flushes the partial word (its unused low
+// bits are zero) and records the payload CRC into the table entry.
+func (w *containerWriter) end() error {
+	if !w.open {
+		return fmt.Errorf("mgraph: end() with no open section")
+	}
+	if w.fill > 0 {
+		if err := w.emitWord(w.word); err != nil {
+			return err
+		}
+		w.word, w.fill = 0, 0
+	}
+	if err := w.flushBuf(); err != nil {
+		return err
+	}
+	s := &w.sections[len(w.sections)-1]
+	if got, want := w.off-s.Offset, s.Bytes(); got != want {
+		return fmt.Errorf("mgraph: section %s wrote %d bytes, declared %d", KindName(s.Kind), got, want)
+	}
+	s.CRC = w.crc
+	w.open = false
+	return nil
+}
+
+// finish flushes the stream and back-patches the header and section table.
+func (w *containerWriter) finish() error {
+	if w.open {
+		return fmt.Errorf("mgraph: finish() with a section still open")
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	hdr := make([]byte, headerSize+len(w.sections)*sectionEntrySize)
+	copy(hdr[0:4], Magic)
+	putU32(hdr[4:], Version)
+	putU32(hdr[8:], w.flags)
+	putU32(hdr[12:], uint32(len(w.sections)))
+	putU64(hdr[16:], endianMarker)
+	putU64(hdr[24:], w.numNodes)
+	putU64(hdr[32:], w.numEdges)
+	for i, s := range w.sections {
+		e := hdr[headerSize+i*sectionEntrySize:]
+		putU32(e[0:], s.Kind)
+		putU32(e[4:], s.Width)
+		putU64(e[8:], s.Count)
+		putU64(e[16:], s.Offset)
+		putU32(e[24:], s.CRC)
+	}
+	putU32(hdr[40:], crc32.Checksum(hdr[headerSize:], crcTable))
+	putU32(hdr[44:], crc32.Checksum(hdr[0:44], crcTable))
+	_, err := w.f.WriteAt(hdr, 0)
+	return err
+}
+
+// create opens path fresh and runs write, closing and cleaning up on error.
+func create(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path) //csr:errok best-effort cleanup of a failed write
+	}
+	return werr
+}
+
+// WritePackedFile writes pk to path as a packed-form container.
+func WritePackedFile(path string, pk *csr.Packed) error {
+	return create(path, func(f *os.File) error {
+		off, cols := pk.Parts()
+		if off.Len() == 0 {
+			return fmt.Errorf("mgraph: refusing to write packed CSR with empty offsets")
+		}
+		w, err := newContainerWriter(f, 0, 2, uint64(pk.NumNodes()), uint64(pk.NumEdges()))
+		if err != nil {
+			return err
+		}
+		for _, p := range []struct {
+			kind uint32
+			part interface {
+				Width() int
+				Len() int
+			}
+			ws []uint64
+		}{
+			{KindOffsets, off, off.Bits().Words()},
+			{KindNeighbors, cols, cols.Bits().Words()},
+		} {
+			if err := w.begin(p.kind, uint32(p.part.Width()), uint64(p.part.Len())); err != nil {
+				return err
+			}
+			if err := w.words(p.ws); err != nil {
+				return err
+			}
+			if err := w.end(); err != nil {
+				return err
+			}
+		}
+		return w.finish()
+	})
+}
+
+// WriteWeightedFile writes pw to path as a weighted-form container.
+func WriteWeightedFile(path string, pw *csr.PackedWeighted) error {
+	return create(path, func(f *os.File) error {
+		off, cols := pw.Parts()
+		vals := pw.Vals()
+		if off.Len() == 0 {
+			return fmt.Errorf("mgraph: refusing to write packed CSR with empty offsets")
+		}
+		w, err := newContainerWriter(f, flagWeighted, 3, uint64(pw.NumNodes()), uint64(pw.NumEdges()))
+		if err != nil {
+			return err
+		}
+		for _, p := range []struct {
+			kind uint32
+			w, n int
+			ws   []uint64
+		}{
+			{KindOffsets, off.Width(), off.Len(), off.Bits().Words()},
+			{KindNeighbors, cols.Width(), cols.Len(), cols.Bits().Words()},
+			{KindWeights, vals.Width(), vals.Len(), vals.Bits().Words()},
+		} {
+			if err := w.begin(p.kind, uint32(p.w), uint64(p.n)); err != nil {
+				return err
+			}
+			if err := w.words(p.ws); err != nil {
+				return err
+			}
+			if err := w.end(); err != nil {
+				return err
+			}
+		}
+		return w.finish()
+	})
+}
+
+// WriteDeltaFile writes dp to path as a delta-form container.
+func WriteDeltaFile(path string, dp *csr.DeltaPacked) error {
+	return create(path, func(f *os.File) error {
+		off, payload := dp.Parts()
+		w, err := newContainerWriter(f, flagDelta, 2, uint64(dp.NumNodes()), uint64(dp.NumEdges()))
+		if err != nil {
+			return err
+		}
+		if err := w.begin(KindOffsets, uint32(off.Width()), uint64(off.Len())); err != nil {
+			return err
+		}
+		if err := w.words(off.Bits().Words()); err != nil {
+			return err
+		}
+		if err := w.end(); err != nil {
+			return err
+		}
+		if err := w.begin(KindDeltaPayload, 0, uint64(payload.Len())); err != nil {
+			return err
+		}
+		if err := w.words(payload.Words()); err != nil {
+			return err
+		}
+		if err := w.end(); err != nil {
+			return err
+		}
+		return w.finish()
+	})
+}

@@ -12,8 +12,9 @@ import (
 // ErrPropagation forbids silently discarded errors in the layers where a
 // swallowed error becomes a wrong answer or a corrupt file: the HTTP
 // handlers (internal/server), the edge-list readers/writers
-// (internal/edgelist's io.go), and every command under cmd/. Two shapes
-// are flagged:
+// (internal/edgelist's io.go and scan.go), the on-disk container format
+// (internal/mgraph, whose writer back-patches checksums a dropped error
+// would falsify), and every command under cmd/. Two shapes are flagged:
 //
 //   - An expression or defer statement whose call returns an error that
 //     nothing receives.
@@ -25,7 +26,7 @@ import (
 // exempt.
 var ErrPropagation = &analysis.Analyzer{
 	Name: "errpropagation",
-	Doc:  "forbid discarded error returns in internal/server, internal/edgelist io.go, and cmd/ without a //csr:errok justification",
+	Doc:  "forbid discarded error returns in internal/server, internal/mgraph, internal/edgelist io.go/scan.go, and cmd/ without a //csr:errok justification",
 	Run:  runErrPropagation,
 }
 
@@ -34,10 +35,14 @@ var ErrPropagation = &analysis.Analyzer{
 // io.go).
 func errScope(pkgPath string) (all bool, perFile func(filename string) bool) {
 	switch {
-	case strings.HasSuffix(pkgPath, "internal/server"), strings.Contains(pkgPath, "/cmd/"), strings.HasPrefix(pkgPath, "cmd/"):
+	case strings.HasSuffix(pkgPath, "internal/server"), strings.HasSuffix(pkgPath, "internal/mgraph"),
+		strings.Contains(pkgPath, "/cmd/"), strings.HasPrefix(pkgPath, "cmd/"):
 		return true, nil
 	case strings.HasSuffix(pkgPath, "internal/edgelist"):
-		return false, func(filename string) bool { return filepath.Base(filename) == "io.go" }
+		return false, func(filename string) bool {
+			base := filepath.Base(filename)
+			return base == "io.go" || base == "scan.go"
+		}
 	}
 	return false, nil
 }

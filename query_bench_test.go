@@ -18,11 +18,14 @@ package csrgraph
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"csrgraph/internal/csr"
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/mgraph"
 	"csrgraph/internal/query"
 )
 
@@ -31,6 +34,7 @@ const queryBenchEdges = 10_000_000
 
 type queryBenchGraph struct {
 	pk    *csr.Packed
+	mpk   *csr.Packed   // the same graph served from an mmap-backed container
 	edges edgelist.List // raw generated list, for degree-biased sampling
 }
 
@@ -52,7 +56,23 @@ func queryBenchSetup(b *testing.B) map[string]*queryBenchGraph {
 			if err != nil {
 				panic(err)
 			}
-			queryBench[dist] = &queryBenchGraph{pk: csr.PackMatrix(g.m, 4), edges: src}
+			pk := csr.PackMatrix(g.m, 4)
+			// The mmap-backed twin: written once, mapped, and held open for
+			// the process lifetime (benchmarks only compare query paths, so
+			// the mapping is never closed).
+			dir, err := os.MkdirTemp("", "csrquerybench-")
+			if err != nil {
+				panic(err)
+			}
+			path := filepath.Join(dir, "g.csrc")
+			if err := mgraph.WritePackedFile(path, pk); err != nil {
+				panic(err)
+			}
+			m, err := mgraph.Open(path)
+			if err != nil {
+				panic(err)
+			}
+			queryBench[dist] = &queryBenchGraph{pk: pk, mpk: m.Packed(), edges: src}
 		}
 	})
 	return queryBench
@@ -102,6 +122,14 @@ func BenchmarkEdgesExistBatch(b *testing.B) {
 			{"binary", query.EdgesExistBatchBinary},
 			{"search", query.EdgesExistBatchSearch},
 		}
+		// The regression gate for the mmap path: the zero-decode search on
+		// the mapped container must match algo=search on the heap arrays.
+		b.Run(fmt.Sprintf("dist=%s/edges=%d/algo=search-mmap", dist, queryBenchEdges), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query.EdgesExistBatchSearch(g.mpk, probes, 4)
+			}
+			b.ReportMetric(float64(nq)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
 		for _, algo := range algos {
 			b.Run(fmt.Sprintf("dist=%s/edges=%d/algo=%s", dist, queryBenchEdges, algo.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
@@ -166,7 +194,7 @@ func BenchmarkNeighborsBatch(b *testing.B) {
 			batch := queryBenchBatch(g, kind, size)
 			warm := query.Cached(g.pk, query.NewRowCacheShards(64<<20, 16))
 			query.NeighborsBatch(warm, batch, 4) // warm the cache off the clock
-			for cacheLabel, src := range map[string]query.Source{"cold": g.pk, "warm": warm} {
+			for cacheLabel, src := range map[string]query.Source{"cold": g.pk, "warm": warm, "mmap": g.mpk} {
 				b.Run(fmt.Sprintf("dist=%s/batch=%s/cache=%s", dist, kind, cacheLabel), func(b *testing.B) {
 					for i := 0; i < b.N; i++ {
 						query.NeighborsBatch(src, batch, 4)
