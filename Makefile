@@ -7,7 +7,7 @@ GO ?= go
 # lower-variance trajectory points.
 BENCHTIME ?= 100ms
 
-.PHONY: all build build-cross test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-compare bench-compare-query bench-startup fuzz fuzz-smoke experiments clean
+.PHONY: all build build-cross test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-compare bench-compare-query bench-compare-algo bench-startup fuzz fuzz-smoke experiments clean
 
 all: build vet lint test test-race
 
@@ -31,7 +31,7 @@ test:
 # detector should be watching. `race` below covers the whole tree but is
 # too slow for the default loop.
 test-race:
-	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/... ./internal/tcsr/... ./internal/csr/... ./internal/stream/... ./internal/mgraph/...
+	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/... ./internal/tcsr/... ./internal/csr/... ./internal/stream/... ./internal/mgraph/... ./internal/frontier/... ./internal/algo/...
 
 race:
 	$(GO) test -race ./...
@@ -82,6 +82,15 @@ bench-obs:
 	$(GO) test -run '^$$' -bench Obs -benchmem -benchtime $(BENCHTIME) -json . ./internal/obs \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d)$(BENCH_SUFFIX).json
 
+# Traversal-analytics snapshot: the frontier core (BFS sparse↔dense
+# switching, bucketed k-core) vs the retained baselines at 10M edges,
+# appended to the BENCH_<date>.json trajectory. Gate the speedup targets
+# with `go run ./cmd/benchcompare -baseline legacy -new frontier` and
+# `-baseline peel -new bucket` over the same run.
+bench-algo:
+	$(GO) test -run '^$$' -bench 'BenchmarkBFSFrontier|BenchmarkKCore' -benchmem -benchtime $(BENCHTIME) -json . \
+		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d)$(BENCH_SUFFIX).json
+
 # Radix-vs-merge construction-sort delta table: runs BenchmarkSortByUV's
 # algo= variants and pairs them through cmd/benchcompare.
 bench-compare:
@@ -95,6 +104,16 @@ bench-compare-query:
 		-benchtime $(BENCHTIME) . | tee /tmp/benchq.txt \
 		| $(GO) run ./cmd/benchcompare -baseline linear -new search
 	$(GO) run ./cmd/benchcompare -key cache -baseline cold -new warm < /tmp/benchq.txt
+
+# Frontier-vs-baseline regression gate: pairs the algo= variants of the
+# traversal and k-core suites (legacy vs frontier BFS, peel vs bucket
+# k-core). The speedup columns are the acceptance numbers DESIGN.md §13
+# quotes; CI documents this as the pre-merge gate for algorithm changes.
+bench-compare-algo:
+	$(GO) test -run '^$$' -bench 'BenchmarkBFSFrontier|BenchmarkKCore' \
+		-benchtime $(BENCHTIME) . | tee /tmp/bencha.txt \
+		| $(GO) run ./cmd/benchcompare -baseline legacy -new frontier
+	$(GO) run ./cmd/benchcompare -baseline peel -new bucket < /tmp/bencha.txt
 
 # Cold-start delta table: mmap-backed container load vs legacy stream load
 # vs full rebuild at 10M edges, appended to the BENCH_<date>.json
@@ -118,6 +137,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadPacked -fuzztime $(FUZZTIME) ./internal/csr/
 	$(GO) test -fuzz FuzzReadPacked -fuzztime $(FUZZTIME) ./internal/tcsr/
 	$(GO) test -fuzz FuzzParseContainer -fuzztime $(FUZZTIME) ./internal/mgraph/
+	$(GO) test -fuzz FuzzEdgeMap -fuzztime $(FUZZTIME) ./internal/frontier/
 
 # CI's bounded fuzz gate: every target for 10s.
 fuzz-smoke:

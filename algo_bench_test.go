@@ -1,0 +1,95 @@
+// Traversal-analytics benchmarks: the frontier core (internal/frontier)
+// against the retained baselines, at the ISSUE's 10M-edge acceptance size.
+//
+//	BenchmarkBFSFrontier — level-synchronous push-only baseline (algo=legacy)
+//	    vs the frontier core with sparse↔dense switching (algo=frontier) on
+//	    symmetrized uniform and power-law graphs. `go run ./cmd/benchcompare
+//	    -baseline legacy -new frontier` prints the delta table.
+//	BenchmarkKCore — per-level peeling baseline (algo=peel) vs Julienne-style
+//	    bucketed peeling (algo=bucket); pair with `-baseline peel -new bucket`.
+//
+// `make bench-algo` snapshots exactly these into the BENCH_<date>.json
+// trajectory.
+package csrgraph
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"csrgraph/internal/algo"
+	"csrgraph/internal/csr"
+)
+
+// algoBenchProcs is the worker count both variants of every algo benchmark
+// run with: the machine's actual parallelism. Oversubscribing a CPU-bound
+// traversal (the suite's usual fixed 4) measures scheduler churn, not the
+// algorithm, on smaller hosts.
+var algoBenchProcs = runtime.GOMAXPROCS(0)
+
+var (
+	algoBenchOnce sync.Once
+	algoBench     map[string]*csr.Matrix
+)
+
+// algoBenchSetup builds symmetrized 10M-edge CSRs once per distribution
+// from the construction benchmarks' deterministic edge lists. Symmetric
+// graphs are their own transpose, so the frontier variants run dense
+// (pull) rounds without building one.
+func algoBenchSetup(b *testing.B) map[string]*csr.Matrix {
+	b.Helper()
+	inputs := sortBenchInputs(b)
+	algoBenchOnce.Do(func() {
+		algoBench = map[string]*csr.Matrix{}
+		for _, dist := range []string{"uniform", "powerlaw"} {
+			src := inputs[fmt.Sprintf("dist=%s/edges=%d", dist, queryBenchEdges)]
+			g, err := Build(src, WithProcs(4), WithSymmetrize())
+			if err != nil {
+				panic(err)
+			}
+			algoBench[dist] = g.m
+		}
+	})
+	return algoBench
+}
+
+// BenchmarkBFSFrontier compares the retained push-only BFS against the
+// frontier core's direction-switching traversal from a fixed source.
+func BenchmarkBFSFrontier(b *testing.B) {
+	graphs := algoBenchSetup(b)
+	for _, dist := range []string{"uniform", "powerlaw"} {
+		m := graphs[dist]
+		for _, variant := range []string{"legacy", "frontier"} {
+			b.Run(fmt.Sprintf("dist=%s/edges=%d/algo=%s", dist, queryBenchEdges, variant), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if variant == "legacy" {
+						algo.BFS(m, 1, algoBenchProcs)
+					} else {
+						algo.BFSFrontier(m, m, 1, algoBenchProcs)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKCore compares the retained per-level peeling against bucketed
+// peeling over the frontier core.
+func BenchmarkKCore(b *testing.B) {
+	graphs := algoBenchSetup(b)
+	for _, dist := range []string{"uniform", "powerlaw"} {
+		m := graphs[dist]
+		for _, variant := range []string{"peel", "bucket"} {
+			b.Run(fmt.Sprintf("dist=%s/edges=%d/algo=%s", dist, queryBenchEdges, variant), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if variant == "peel" {
+						algo.CoreNumbers(m, algoBenchProcs)
+					} else {
+						algo.CoreNumbersBucketed(m, algoBenchProcs)
+					}
+				}
+			})
+		}
+	}
+}

@@ -17,25 +17,29 @@ const Unreached = algo.Unreached
 type DegreeStats = algo.DegreeStats
 
 // BFS returns hop distances from src (Unreached where unreachable),
-// computed by a level-synchronous parallel breadth-first search.
+// computed by the frontier core (internal/frontier) in push-only mode —
+// level-synchronous rounds over sparse frontiers.
 func (g *Graph) BFS(src NodeID, procs int) []int32 {
-	return algo.BFS(g.m, src, orDefault(procs, g.procs))
+	return algo.BFSFrontier(g.m, nil, src, orDefault(procs, g.procs))
 }
 
 // BFSHybrid is the direction-optimizing (push/pull) BFS: identical output
 // to BFS, but large frontiers switch to scanning in-edges of undiscovered
-// nodes, which is faster on low-diameter social graphs. The transpose
-// required for pull mode is built internally; for graphs built with
-// WithSymmetrize the graph is its own transpose and none is built.
+// nodes, which is faster on low-diameter social graphs. Runs on the
+// frontier core with the default alpha/beta switching policy. The
+// transpose required for pull mode is built internally; for graphs built
+// with WithSymmetrize the graph is its own transpose and none is built.
 func (g *Graph) BFSHybrid(src NodeID, procs int) []int32 {
 	p := orDefault(procs, g.procs)
-	return algo.BFSDirectionOptimizing(g.m, spmatrix.Transpose(g.m, p), src, p)
+	return algo.BFSFrontier(g.m, spmatrix.Transpose(g.m, p), src, p)
 }
 
 // ConnectedComponents labels every node with the smallest node id in its
-// weakly-connected component via parallel label propagation.
+// weakly-connected component via frontier-based min-label propagation:
+// only nodes whose label changed last round propagate in the next.
 func (g *Graph) ConnectedComponents(procs int) []uint32 {
-	return algo.ConnectedComponents(g.m, orDefault(procs, g.procs))
+	p := orDefault(procs, g.procs)
+	return algo.ConnectedComponentsFrontier(g.m, spmatrix.Transpose(g.m, p), p)
 }
 
 // StronglyConnectedComponents labels every node with the smallest node id
@@ -99,16 +103,16 @@ func (g *Graph) HITS(maxIter int, tol float64, procs int) (hubs, authorities []f
 	return algo.HITS(g.m, spmatrix.Transpose(g.m, p), maxIter, tol, p)
 }
 
-// Closeness computes closeness centrality for every node (one BFS per
-// node, source-parallel; Wasserman-Faust corrected for disconnected
-// graphs).
+// Closeness computes closeness centrality for every node (one frontier
+// BFS per node, source-parallel; Wasserman-Faust corrected for
+// disconnected graphs).
 func (g *Graph) Closeness(procs int) []float64 {
-	return algo.Closeness(g.m, orDefault(procs, g.procs))
+	return algo.ClosenessFrontier(g.m, orDefault(procs, g.procs))
 }
 
 // ClosenessOf computes closeness for the given nodes only.
 func (g *Graph) ClosenessOf(nodes []NodeID, procs int) []float64 {
-	return algo.ClosenessSample(g.m, nodes, orDefault(procs, g.procs))
+	return algo.ClosenessSampleFrontier(g.m, nodes, orDefault(procs, g.procs))
 }
 
 // ColorGraph computes a proper vertex coloring of a symmetrized graph
@@ -158,9 +162,11 @@ func TopKBetweenness(scores []float64, k int) (nodes []uint32, vals []float64) {
 }
 
 // CoreNumbers returns the k-core number of every node of a symmetrized
-// graph, computed by parallel peeling.
+// graph, computed by bucketed peeling over the frontier core: work is
+// proportional to the peeled edges instead of rescanning all nodes at
+// every core level.
 func (g *Graph) CoreNumbers(procs int) []uint32 {
-	return algo.CoreNumbers(g.m, orDefault(procs, g.procs))
+	return algo.CoreNumbersBucketed(g.m, orDefault(procs, g.procs))
 }
 
 // LocalClustering returns every node's local clustering coefficient.
@@ -174,9 +180,10 @@ func (g *Graph) GlobalClustering(procs int) (float64, int) {
 	return algo.GlobalClustering(g.m, orDefault(procs, g.procs))
 }
 
-// BFS returns hop distances from src over the compressed graph.
+// BFS returns hop distances from src over the compressed graph (frontier
+// core, push-only: no transpose is materialized for the packed form).
 func (cg *CompressedGraph) BFS(src NodeID, procs int) []int32 {
-	return algo.BFS(cg.pk, src, orDefault(procs, cg.procs))
+	return algo.BFSFrontier(cg.pk, nil, src, orDefault(procs, cg.procs))
 }
 
 // ConnectedComponents labels weakly-connected components over the
@@ -206,9 +213,10 @@ func (cg *CompressedGraph) TwoHopNeighbors(u NodeID, procs int) []uint32 {
 	return algo.TwoHopNeighbors(cg.pk, u, orDefault(procs, cg.procs))
 }
 
-// CoreNumbers returns k-core numbers over the compressed graph.
+// CoreNumbers returns k-core numbers over the compressed graph (bucketed
+// peeling on the frontier core).
 func (cg *CompressedGraph) CoreNumbers(procs int) []uint32 {
-	return algo.CoreNumbers(cg.pk, orDefault(procs, cg.procs))
+	return algo.CoreNumbersBucketed(cg.pk, orDefault(procs, cg.procs))
 }
 
 // LocalClustering returns local clustering coefficients over the

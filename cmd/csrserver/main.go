@@ -12,9 +12,11 @@
 // a checksum and bounds pass over the mapped file before serving.
 //
 // Static endpoints: /healthz, /stats, /neighbors?nodes=...,
-// /degree?nodes=..., /exists?edges=u:v,..., /bfs?src=n.
+// /degree?nodes=..., /exists?edges=u:v,..., /bfs?src=n, and
+// /analytics/bfs?src=n&src=m,... (batched frontier BFS with per-traversal
+// round stats).
 // Temporal endpoints: /healthz, /stats, /active?queries=u:v:t,...,
-// /neighbors?node=u&frame=t.
+// /neighbors?node=u&frame=t, /bfs?src=u&frame=t.
 // Observability: -metrics mounts GET /metrics (Prometheus text), -pprof
 // mounts GET /debug/pprof/, and -log-format selects structured access
 // logging (text, json, or off).

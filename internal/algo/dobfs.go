@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/frontier"
 	"csrgraph/internal/parallel"
 	"csrgraph/internal/query"
 )
@@ -15,8 +16,20 @@ import (
 // undiscovered node scans its *in*-edges (the transpose) for a discovered
 // parent, which touches each hot edge once instead of contending on CAS
 // claims. g is the out-edge CSR and gT its transpose; for symmetrized
-// graphs pass the same structure twice.
+// graphs pass the same structure twice. Uses the default alpha/beta
+// thresholds; BFSDirectionOptimizingPolicy exposes them.
 func BFSDirectionOptimizing(g, gT query.Source, src edgelist.NodeID, p int) []int32 {
+	return BFSDirectionOptimizingPolicy(g, gT, src, frontier.DefaultPolicy(), p)
+}
+
+// BFSDirectionOptimizingPolicy is BFSDirectionOptimizing with explicit
+// Beamer alpha/beta switching thresholds. The direction decision is the
+// same frontier.Policy the frontier core's EdgeMap uses, so the two
+// hybrid traversals (this legacy loop and frontier.BFS) cannot drift: push
+// switches to pull when (|frontier| + frontier out-edges)·alpha > m, pull
+// switches back when |frontier|·beta ≤ n. When g does not report its edge
+// count (no NumEdges method) the traversal stays in push mode.
+func BFSDirectionOptimizingPolicy(g, gT query.Source, src edgelist.NodeID, pol frontier.Policy, p int) []int32 {
 	p = clampProcs(p)
 	n := g.NumNodes()
 	dist := make([]int32, n)
@@ -26,27 +39,40 @@ func BFSDirectionOptimizing(g, gT query.Source, src edgelist.NodeID, p int) []in
 	if int(src) >= n {
 		return dist
 	}
-	// switchThreshold: pull pays off when the frontier exceeds this
-	// fraction of the nodes (Beamer's alpha heuristic, simplified).
-	const switchDenom = 20
+	m := -1
+	if em, ok := g.(interface{ NumEdges() int }); ok {
+		m = em.NumEdges()
+	}
 
 	atomicDist := make([]atomic.Int32, n)
 	for i := range atomicDist {
 		atomicDist[i].Store(Unreached)
 	}
 	atomicDist[src].Store(0)
-	frontier := []uint32{src}
+	front := []uint32{src}
+	wasDense := false
 
-	for level := int32(1); len(frontier) > 0; level++ {
+	for level := int32(1); len(front) > 0; level++ {
 		lvl := level // per-round snapshot: pool bodies must not read the loop counter
-		if len(frontier)*switchDenom < n {
+		useDense := false
+		if m >= 0 {
+			edges := 0
+			if !wasDense {
+				// The pull-side decision only reads the frontier length, so
+				// the degree sum is computed just where the policy needs it.
+				edges = frontier.DegreeSum(g, front, p)
+			}
+			useDense = pol.UseDense(len(front), edges, n, m, wasDense)
+		}
+		wasDense = useDense
+		if !useDense {
 			// Push: expand the frontier along out-edges.
 			nexts := make([][]uint32, p)
-			parallel.For(len(frontier), p, func(c int, r parallel.Range) {
+			parallel.For(len(front), p, func(c int, r parallel.Range) {
 				var buf []uint32
 				var local []uint32
 				for i := r.Start; i < r.End; i++ {
-					buf = g.Row(buf, frontier[i])
+					buf = g.Row(buf, front[i])
 					for _, w := range buf {
 						if atomicDist[w].Load() == Unreached &&
 							atomicDist[w].CompareAndSwap(Unreached, lvl) {
@@ -56,9 +82,9 @@ func BFSDirectionOptimizing(g, gT query.Source, src edgelist.NodeID, p int) []in
 				}
 				nexts[c] = local
 			})
-			frontier = frontier[:0]
+			front = front[:0]
 			for _, local := range nexts {
-				frontier = append(frontier, local...)
+				front = append(front, local...)
 			}
 			continue
 		}
@@ -84,9 +110,9 @@ func BFSDirectionOptimizing(g, gT query.Source, src edgelist.NodeID, p int) []in
 			}
 			nexts[c] = local
 		})
-		frontier = frontier[:0]
+		front = front[:0]
 		for _, local := range nexts {
-			frontier = append(frontier, local...)
+			front = append(front, local...)
 		}
 	}
 	for i := range dist {

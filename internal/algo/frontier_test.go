@@ -1,0 +1,255 @@
+package algo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/frontier"
+	"csrgraph/internal/gen"
+	"csrgraph/internal/spmatrix"
+)
+
+// diffGraphs returns the named graph family zoo the frontier ports are
+// differentially tested over: uniform, power-law, disconnected,
+// single-vertex and empty, each symmetrized when sym.
+func diffGraphs(t *testing.T, sym bool) map[string]*csr.Matrix {
+	t.Helper()
+	rmat, err := gen.RMAT(8, 3000, gen.DefaultRMAT, 0x7357, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disconnected []edgelist.Edge
+	for i := 0; i < 400; i++ {
+		// Two 100-node blobs with no edges between them + isolated tail nodes.
+		u, v := uint32(i*37%100), uint32(i*61%100)
+		disconnected = append(disconnected,
+			edgelist.Edge{U: u, V: v},
+			edgelist.Edge{U: 100 + u, V: 100 + v})
+	}
+	return map[string]*csr.Matrix{
+		"uniform":      randomGraph(300, 2400, 77, sym),
+		"powerlaw":     buildGraph(rmat, 256, sym),
+		"disconnected": buildGraph(disconnected, 210, sym),
+		"single":       buildGraph(nil, 1, sym),
+		"empty":        buildGraph(nil, 0, sym),
+	}
+}
+
+func TestBFSFrontierMatchesBaseline(t *testing.T) {
+	for name, m := range diffGraphs(t, true) {
+		for _, p := range []int{1, 2, 8} {
+			want := BFS(m, 0, p)
+			if got := BFSFrontier(m, nil, 0, p); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s p=%d: push-only frontier BFS diverges", name, p)
+			}
+			if got := BFSFrontier(m, m, 0, p); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s p=%d: hybrid frontier BFS diverges", name, p)
+			}
+		}
+	}
+}
+
+func TestBFSFrontierMatchesBaselineDirected(t *testing.T) {
+	for name, m := range diffGraphs(t, false) {
+		if m.NumNodes() == 0 {
+			continue
+		}
+		mt := spmatrix.Transpose(m, 2)
+		want := bfsReference(m, 0)
+		for _, p := range []int{1, 4} {
+			if got := BFSFrontier(m, mt, 0, p); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s p=%d: directed frontier BFS diverges", name, p)
+			}
+		}
+	}
+}
+
+func TestDOBFSPolicyParameters(t *testing.T) {
+	m := randomGraph(200, 3000, 31, true)
+	want := bfsReference(m, 0)
+	// Degenerate policies force each pure mode; defaults mix.
+	for _, pol := range []frontier.Policy{
+		{},                        // defaults
+		{Alpha: 1, Beta: 1 << 20}, // nearly always push
+		{Alpha: 1 << 20, Beta: 1}, // dense as soon as possible
+		frontier.DefaultPolicy(),
+	} {
+		if got := BFSDirectionOptimizingPolicy(m, m, 0, pol, 4); !reflect.DeepEqual(got, want) {
+			t.Fatalf("policy %+v: DO-BFS diverges", pol)
+		}
+	}
+}
+
+func TestConnectedComponentsFrontierMatchesBaseline(t *testing.T) {
+	for name, m := range diffGraphs(t, true) {
+		for _, p := range []int{1, 2, 8} {
+			want := ConnectedComponents(m, p)
+			// Symmetric graph: with and without the explicit transpose.
+			if got := ConnectedComponentsFrontier(m, m, p); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s p=%d: frontier CC (with gT) diverges", name, p)
+			}
+			if got := ConnectedComponentsFrontier(m, nil, p); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s p=%d: frontier CC (nil gT) diverges", name, p)
+			}
+		}
+	}
+}
+
+func TestConnectedComponentsFrontierDirected(t *testing.T) {
+	// Weak connectivity of a directed graph: compare against label
+	// propagation over the symmetrized version.
+	m := randomGraph(150, 600, 99, false)
+	sym := randomGraph(150, 600, 99, true)
+	want := ConnectedComponents(sym, 4)
+	got := ConnectedComponentsFrontier(m, spmatrix.Transpose(m, 2), 4)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("directed weak CC diverges from symmetrized baseline")
+	}
+	// Directed chain 1→2→0: one weak component regardless of direction.
+	chain := buildGraph([]edgelist.Edge{{U: 1, V: 2}, {U: 2, V: 0}}, 3, false)
+	got = ConnectedComponentsFrontier(chain, spmatrix.Transpose(chain, 1), 1)
+	if !reflect.DeepEqual(got, []uint32{0, 0, 0}) {
+		t.Fatalf("chain CC = %v, want all zeros", got)
+	}
+}
+
+func TestReachableWithinFrontierMatchesBaseline(t *testing.T) {
+	m := randomGraph(200, 1000, 55, false)
+	mt := spmatrix.Transpose(m, 2)
+	n := m.NumNodes()
+	inSubset := make([]int32, n)
+	for i := range inSubset {
+		if i%3 != 0 {
+			inSubset[i] = 1
+		}
+	}
+	inSubset[4] = 1
+	for _, p := range []int{1, 4} {
+		want := reachableWithin(m, 4, inSubset, 1, p)
+		if got := reachableWithinFrontier(m, mt, 4, inSubset, 1, p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("p=%d: forward reachability diverges", p)
+		}
+		wantB := reachableWithin(mt, 4, inSubset, 1, p)
+		if got := reachableWithinFrontier(mt, m, 4, inSubset, 1, p); !reflect.DeepEqual(got, wantB) {
+			t.Fatalf("p=%d: backward reachability diverges", p)
+		}
+	}
+}
+
+func TestSCCStillMatchesAfterFrontierRouting(t *testing.T) {
+	m := randomGraph(120, 700, 64, false)
+	mt := spmatrix.Transpose(m, 2)
+	want := sccReference(m)
+	for _, p := range []int{1, 4} {
+		if got := StronglyConnectedComponents(m, mt, p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("p=%d: SCC diverges from reference", p)
+		}
+	}
+}
+
+func TestCoreNumbersBucketedMatchesBaseline(t *testing.T) {
+	for name, m := range diffGraphs(t, true) {
+		for _, p := range []int{1, 2, 8} {
+			want := CoreNumbers(m, p)
+			if got := CoreNumbersBucketed(m, p); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s p=%d: bucketed core numbers diverge", name, p)
+			}
+		}
+	}
+}
+
+func TestClosenessFrontierMatchesBaseline(t *testing.T) {
+	for name, m := range diffGraphs(t, true) {
+		for _, p := range []int{1, 4} {
+			want := Closeness(m, p)
+			if got := ClosenessFrontier(m, p); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s p=%d: frontier closeness diverges", name, p)
+			}
+		}
+	}
+}
+
+func TestClosenessSampleFrontierMatchesBaseline(t *testing.T) {
+	m := randomGraph(200, 1500, 21, true)
+	nodes := []uint32{0, 7, 7, 199, 5000} // duplicates and out-of-range
+	for _, p := range []int{1, 4} {
+		want := ClosenessSample(m, nodes, p)
+		if got := ClosenessSampleFrontier(m, nodes, p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("p=%d: frontier closeness sample diverges", p)
+		}
+	}
+}
+
+func TestBetweennessFrontierMatchesBaseline(t *testing.T) {
+	for name, m := range diffGraphs(t, true) {
+		n := m.NumNodes()
+		sources := make([]uint32, n)
+		for i := range sources {
+			sources[i] = uint32(i)
+		}
+		want := Betweenness(m, 4)
+		for _, p := range []int{1, 4} {
+			got := BetweennessFrontier(m, m, sources, p)
+			if len(got) != len(want) {
+				t.Fatalf("%s: length mismatch", name)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("%s p=%d: bc[%d] = %g, want %g", name, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBetweennessFrontierOutOfRangeSource(t *testing.T) {
+	m := randomGraph(20, 60, 3, true)
+	got := BetweennessFrontier(m, m, []uint32{999}, 2)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("bc[%d] = %g from out-of-range source", i, v)
+		}
+	}
+}
+
+// sccReference is a serial Tarjan-free reference: label each node by the
+// smallest id among nodes u with u→v and v→u reachability, computed by 2n
+// serial BFS passes — O(n·m), fine at test sizes.
+func sccReference(m *csr.Matrix) []uint32 {
+	n := m.NumNodes()
+	reach := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		reach[u] = serialReach(m, uint32(u))
+	}
+	labels := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		labels[v] = uint32(v)
+		for u := 0; u < n; u++ {
+			if reach[u][v] && reach[v][u] {
+				labels[v] = uint32(u)
+				break
+			}
+		}
+	}
+	return labels
+}
+
+func serialReach(m *csr.Matrix, src uint32) []bool {
+	seen := make([]bool, m.NumNodes())
+	seen[src] = true
+	stack := []uint32{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range m.Neighbors(u) {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}

@@ -56,8 +56,8 @@ func StronglyConnectedComponents(g, gT query.Source, p int) []uint32 {
 				pivot = u
 			}
 		}
-		fwd := reachableWithin(g, pivot, inSubset, gen, p)
-		bwd := reachableWithin(gT, pivot, inSubset, gen, p)
+		fwd := reachableWithinFrontier(g, gT, pivot, inSubset, gen, p)
+		bwd := reachableWithinFrontier(gT, g, pivot, inSubset, gen, p)
 
 		var sccNodes, fwdOnly, bwdOnly, rest []uint32
 		for _, u := range subset {
@@ -85,7 +85,8 @@ func StronglyConnectedComponents(g, gT query.Source, p int) []uint32 {
 // parallelized like BFS but restricted to the subset. Goroutines only
 // read the seen mask (a stale read merely yields a duplicate candidate);
 // writes happen in the serial per-level merge, so the frontier stays
-// deterministic and race-free.
+// deterministic and race-free. Retained as the differential baseline for
+// reachableWithinFrontier (frontier.go), which SCC now calls.
 func reachableWithin(g query.Source, src uint32, inSubset []int32, gen int32, p int) []bool {
 	n := g.NumNodes()
 	seen := make([]bool, n)

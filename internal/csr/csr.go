@@ -158,6 +158,13 @@ func (m *Matrix) RowBounds(u edgelist.NodeID) (start, end int) {
 	return int(m.RowOffsets[u]), int(m.RowOffsets[u+1])
 }
 
+// ColAt returns the neighbor stored at position i of Cols — the O(1)
+// column access the frontier core's dense (pull) mode probes rows through
+// (frontier.IndexedRows).
+//
+//csr:hotpath
+func (m *Matrix) ColAt(i int) uint32 { return m.Cols[i] }
+
 // SearchRow reports whether (u, v) exists by early-exit binary search over
 // the sorted row: the search returns as soon as a probe hits v instead of
 // always narrowing to a lower bound.

@@ -146,6 +146,14 @@ func (pk *Packed) HasEdgeBinary(u, v edgelist.NodeID) bool {
 	return lo < end && pk.cols.Get(lo) == v
 }
 
+// ColAt returns the neighbor stored at position i of the packed jA array —
+// one bitpack random access (a single aligned word load for widths dividing
+// 64). It is the O(1) column access the frontier core's dense (pull) mode
+// probes rows through (frontier.IndexedRows) without materializing them.
+//
+//csr:hotpath
+func (pk *Packed) ColAt(i int) uint32 { return pk.cols.Get(i) }
+
 // gallopMinDegree is the row length above which SearchRange switches from
 // plain binary search to the galloping variant. Short rows fit in a cache
 // line or two of packed bits, where binary search's fewer probes win; on

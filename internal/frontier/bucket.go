@@ -1,0 +1,190 @@
+package frontier
+
+import (
+	"sync/atomic"
+
+	"csrgraph/internal/parallel"
+)
+
+// numOpenBuckets is the width of the open bucket window. 64 keeps the
+// window scan trivial while making overflow reshards rare: a reshard
+// happens once per 64 peel levels, so a graph with max core number c pays
+// ceil(c/64) overflow passes total.
+const numOpenBuckets = 64
+
+// RemovedPri is the priority of a vertex that has been popped (peeled).
+const RemovedPri = ^uint32(0)
+
+// Buckets is the lazy bucket structure of Julienne-style peeling
+// (arXiv:2502.08042): vertices keyed by a monotonically non-increasing
+// priority (induced degree), with the lowest non-empty bucket popped as a
+// frontier. Laziness is the whole trick — Update appends the vertex to its
+// new bucket without deleting the old entry, and PopMin filters stale
+// entries by checking the authoritative priority array, claiming live ones
+// with a CAS so duplicates collapse. Only a window of numOpenBuckets
+// buckets above the current peel level is kept materialized; everything
+// higher sits in one overflow list that is resharded when the window
+// advances.
+//
+// Update is single-goroutine (call it between parallel rounds); PopMin
+// parallelizes its filtering internally.
+type Buckets struct {
+	pri      []atomic.Uint32 // authoritative priority per vertex; RemovedPri once popped
+	cur      uint32          // priority represented by open[0]
+	open     [numOpenBuckets][]uint32
+	overflow []uint32
+	prifn    func(v uint32) uint32 // optional refresh source for overflow priorities
+}
+
+// NewBuckets builds the structure over the initial priorities (one per
+// vertex, all inserted; values must be < RemovedPri).
+func NewBuckets(pri []uint32) *Buckets {
+	b := &Buckets{pri: make([]atomic.Uint32, len(pri))}
+	for v, pv := range pri {
+		b.pri[v].Store(pv)
+		b.place(uint32(v), pv)
+	}
+	return b
+}
+
+// place appends v to the bucket holding priority pv (window or overflow).
+func (b *Buckets) place(v, pv uint32) {
+	if pv >= b.cur+numOpenBuckets {
+		b.overflow = append(b.overflow, v)
+		return
+	}
+	i := pv - b.cur
+	b.open[i] = append(b.open[i], v)
+}
+
+// SetPriorityFn installs an authoritative priority source consulted when
+// the window advances: each live overflow entry is re-read through f
+// before placement. Callers that stop feeding Update for vertices outside
+// the window (the cheap-overflow pattern — see WindowTop) must install
+// one, since the stored priorities of overflow vertices are then stale.
+func (b *Buckets) SetPriorityFn(f func(v uint32) uint32) { b.prifn = f }
+
+// WindowTop returns the first priority outside the open bucket window.
+// Vertices at or above it live in the overflow list and their exact
+// priority is irrelevant until the window advances, so callers may skip
+// Update for them entirely — provided a SetPriorityFn source lets the
+// reshard recover the true values.
+func (b *Buckets) WindowTop() uint32 { return b.cur + numOpenBuckets }
+
+// Priority returns v's current priority (RemovedPri once popped).
+//
+//csr:hotpath
+func (b *Buckets) Priority(v uint32) uint32 { return b.pri[v].Load() }
+
+// Removed reports whether v has been popped.
+//
+//csr:hotpath
+func (b *Buckets) Removed(v uint32) bool { return b.pri[v].Load() == RemovedPri }
+
+// Update moves v to priority np (which must be >= the last popped
+// priority; peeling clamps at the current level). Lazy: the old bucket
+// entry stays behind and is filtered on pop. No-op for popped vertices or
+// unchanged priorities.
+func (b *Buckets) Update(v, np uint32) {
+	old := b.pri[v].Load()
+	if old == RemovedPri || old == np {
+		return
+	}
+	b.pri[v].Store(np)
+	// An overflow-to-overflow move needs no new entry: the vertex's existing
+	// overflow entry still covers it, and the reshard places by (refreshed)
+	// priority, not by which bucket the entry was recorded in.
+	if old >= b.cur+numOpenBuckets && np >= b.cur+numOpenBuckets {
+		return
+	}
+	b.place(v, np)
+}
+
+// PopMin removes and returns the lowest-priority non-empty bucket: its
+// priority k and the vertices in it, which are marked removed
+// (priority RemovedPri). ids == nil means the structure is empty. The
+// stale-entry filter runs with p processors; the returned order is
+// nondeterministic.
+func (b *Buckets) PopMin(p int) (k uint32, ids []uint32) {
+	for {
+		for i := 0; i < numOpenBuckets; i++ {
+			cands := b.open[i]
+			if len(cands) == 0 {
+				continue
+			}
+			b.open[i] = nil
+			k := b.cur + uint32(i)
+			if live := b.claim(cands, k, p); len(live) > 0 {
+				bucketsPopped.Inc()
+				return k, live
+			}
+		}
+		if len(b.overflow) == 0 {
+			return 0, nil
+		}
+		// Window exhausted: advance it one full width and reshard the
+		// overflow. Every vertex with a priority inside the old window was
+		// also present in an open bucket (Update places every move into the
+		// window), so advancing cannot skip live vertices.
+		b.cur += numOpenBuckets
+		overflow := b.overflow
+		b.overflow = nil
+		for _, v := range overflow {
+			pv := b.pri[v].Load()
+			if pv == RemovedPri {
+				continue // popped
+			}
+			if b.prifn != nil {
+				if np := b.prifn(v); np != pv {
+					pv = np
+					b.pri[v].Store(np)
+				}
+			}
+			if pv < b.cur {
+				continue // stale: re-bucketed into the old window
+			}
+			b.place(v, pv)
+		}
+	}
+}
+
+// claim filters one popped bucket down to its live entries: vertices whose
+// authoritative priority still equals k, claimed by CAS to RemovedPri so
+// lazy duplicates collapse to one winner.
+func (b *Buckets) claim(cands []uint32, k uint32, p int) []uint32 {
+	if p > len(cands) {
+		p = len(cands)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p == 1 || len(cands) < 2048 {
+		live := cands[:0]
+		for _, v := range cands {
+			if b.pri[v].CompareAndSwap(k, RemovedPri) {
+				live = append(live, v)
+			}
+		}
+		return live
+	}
+	outs := make([][]uint32, p)
+	parallel.ForDynamic(len(cands), p, 0, func(w int, r parallel.Range) {
+		local := outs[w]
+		for i := r.Start; i < r.End; i++ {
+			v := cands[i]
+			if b.pri[v].CompareAndSwap(k, RemovedPri) {
+				local = append(local, v)
+			}
+		}
+		outs[w] = local
+	})
+	total := 0
+	for _, local := range outs {
+		total += len(local)
+	}
+	live := make([]uint32, 0, total)
+	for _, local := range outs {
+		live = append(live, local...)
+	}
+	return live
+}

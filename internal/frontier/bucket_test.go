@@ -1,0 +1,178 @@
+package frontier
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBucketsPopsInPriorityOrder(t *testing.T) {
+	pri := []uint32{5, 1, 3, 1, 5, 0}
+	b := NewBuckets(pri)
+	var order []uint32
+	for {
+		k, ids := b.PopMin(2)
+		if ids == nil {
+			break
+		}
+		for _, v := range ids {
+			if pri[v] != k {
+				t.Fatalf("vertex %d popped at %d, has priority %d", v, k, pri[v])
+			}
+			if !b.Removed(v) {
+				t.Fatalf("popped vertex %d not marked removed", v)
+			}
+			order = append(order, k)
+		}
+	}
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("pop priorities not monotone: %v", order)
+	}
+	if len(order) != len(pri) {
+		t.Fatalf("popped %d vertices, want %d", len(order), len(pri))
+	}
+}
+
+func TestBucketsUpdateMovesVertex(t *testing.T) {
+	b := NewBuckets([]uint32{4, 4, 4})
+	b.Update(1, 0) // vertex 1 drops to priority 0
+	k, ids := b.PopMin(1)
+	if k != 0 || len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("PopMin = (%d, %v), want (0, [1])", k, ids)
+	}
+	// The stale entry for vertex 1 in bucket 4 must not resurface.
+	k, ids = b.PopMin(1)
+	if k != 4 || len(ids) != 2 {
+		t.Fatalf("PopMin = (%d, %v), want priority 4 with both survivors", k, ids)
+	}
+	if _, ids := b.PopMin(1); ids != nil {
+		t.Fatal("structure should be empty")
+	}
+}
+
+func TestBucketsOverflowReshard(t *testing.T) {
+	// Priorities far beyond the 64-wide window force overflow reshards.
+	const n = 500
+	pri := make([]uint32, n)
+	for v := range pri {
+		pri[v] = uint32(v) // 0..499 spans ~8 windows
+	}
+	b := NewBuckets(pri)
+	for want := uint32(0); want < n; want++ {
+		k, ids := b.PopMin(4)
+		if ids == nil {
+			t.Fatalf("empty at priority %d", want)
+		}
+		if k != want || len(ids) != 1 || ids[0] != want {
+			t.Fatalf("PopMin = (%d, %v), want (%d, [%d])", k, ids, want, want)
+		}
+	}
+	if _, ids := b.PopMin(4); ids != nil {
+		t.Fatal("structure should be empty")
+	}
+}
+
+func TestBucketsLazyDuplicatesCollapse(t *testing.T) {
+	// Many updates to the same vertex leave many stale entries; the vertex
+	// must still pop exactly once, at its final priority.
+	b := NewBuckets([]uint32{90, 50})
+	for np := uint32(89); np >= 10; np-- {
+		b.Update(0, np)
+	}
+	k, ids := b.PopMin(2)
+	if k != 10 || len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("PopMin = (%d, %v), want (10, [0])", k, ids)
+	}
+	if b.Priority(0) != RemovedPri {
+		t.Fatal("popped vertex keeps a live priority")
+	}
+	b.Update(0, 5) // updating a removed vertex is a no-op
+	k, ids = b.PopMin(2)
+	if k != 50 || len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("PopMin = (%d, %v), want (50, [1])", k, ids)
+	}
+}
+
+func TestBucketsParallelClaimLargeBucket(t *testing.T) {
+	// One bucket above the parallel-claim threshold (2048) exercises the
+	// ForDynamic filter path.
+	const n = 5000
+	pri := make([]uint32, n)
+	b := NewBuckets(pri) // all at priority 0
+	k, ids := b.PopMin(8)
+	if k != 0 || len(ids) != n {
+		t.Fatalf("PopMin claimed %d vertices at %d, want %d at 0", len(ids), k, n)
+	}
+	seen := make([]bool, n)
+	for _, v := range ids {
+		if seen[v] {
+			t.Fatalf("vertex %d claimed twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBucketsRandomizedAgainstSerialPeel(t *testing.T) {
+	// Drive Buckets with random monotone updates and check every vertex
+	// pops exactly once at its authoritative priority.
+	rng := rand.New(rand.NewSource(42))
+	const n = 300
+	pri := make([]uint32, n)
+	for v := range pri {
+		pri[v] = uint32(rng.Intn(200))
+	}
+	b := NewBuckets(pri)
+	popped := make([]bool, n)
+	var last uint32
+	for {
+		k, ids := b.PopMin(3)
+		if ids == nil {
+			break
+		}
+		if k < last {
+			t.Fatalf("priority went backwards: %d after %d", k, last)
+		}
+		last = k
+		for _, v := range ids {
+			if popped[v] {
+				t.Fatalf("vertex %d popped twice", v)
+			}
+			popped[v] = true
+		}
+		// Random monotone churn: bump some un-popped vertices to >= k.
+		for i := 0; i < 10; i++ {
+			v := uint32(rng.Intn(n))
+			if !popped[v] && !b.Removed(v) {
+				b.Update(v, k+uint32(rng.Intn(100)))
+			}
+		}
+	}
+	for v, ok := range popped {
+		if !ok {
+			t.Fatalf("vertex %d never popped", v)
+		}
+	}
+}
+
+func TestBucketsPriorityFnRefreshesOverflow(t *testing.T) {
+	// The cheap-overflow pattern: callers skip Update entirely for vertices
+	// at or above WindowTop, keeping true priorities in their own array, and
+	// install a SetPriorityFn so reshards recover them. Priorities here drop
+	// far below the values NewBuckets saw, without any Update call.
+	true32 := []uint32{200, 300, 450, 70}
+	b := NewBuckets([]uint32{400, 400, 480, 90}) // stale initial guesses
+	b.SetPriorityFn(func(v uint32) uint32 { return true32[v] })
+	if b.WindowTop() != numOpenBuckets {
+		t.Fatalf("WindowTop = %d at start, want %d", b.WindowTop(), numOpenBuckets)
+	}
+	want := []struct{ k, v uint32 }{{70, 3}, {200, 0}, {300, 1}, {450, 2}}
+	for _, w := range want {
+		k, ids := b.PopMin(2)
+		if k != w.k || len(ids) != 1 || ids[0] != w.v {
+			t.Fatalf("PopMin = (%d, %v), want (%d, [%d])", k, ids, w.k, w.v)
+		}
+	}
+	if _, ids := b.PopMin(2); ids != nil {
+		t.Fatal("structure should be empty")
+	}
+}

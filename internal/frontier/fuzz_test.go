@@ -1,0 +1,65 @@
+package frontier
+
+import (
+	"reflect"
+	"testing"
+
+	"csrgraph/internal/edgelist"
+)
+
+// FuzzEdgeMap decodes a random graph and a random frontier from the fuzz
+// input and checks the two EdgeMap directions against each other: with a
+// CAS-claiming visit function, sparse (push) and dense (pull) must produce
+// the same output subset and the same visited set, on both the indexed
+// probe and the decoded-row fallback.
+func FuzzEdgeMap(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 1, 2, 2, 3, 0}, uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{64, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, frontBits uint8) {
+		if len(data) < 1 {
+			return
+		}
+		n := int(data[0])%64 + 1
+		data = data[1:]
+		var es []edgelist.Edge
+		for i := 0; i+1 < len(data) && len(es) < 512; i += 2 {
+			es = append(es, edgelist.Edge{
+				U: uint32(data[i]) % uint32(n),
+				V: uint32(data[i+1]) % uint32(n),
+			})
+		}
+		m := testGraph(es, n, true)
+		var front []uint32
+		for b := 0; b < 8; b++ {
+			if frontBits&(1<<b) != 0 {
+				if v := uint32(b * n / 8); int(v) < n {
+					front = append(front, v)
+				}
+			}
+		}
+		if len(front) == 0 {
+			front = []uint32{0}
+		}
+		seen := make(map[uint32]bool)
+		dedup := front[:0]
+		for _, v := range front {
+			if !seen[v] {
+				seen[v] = true
+				dedup = append(dedup, v)
+			}
+		}
+		front = dedup
+		for _, p := range []int{1, 4} {
+			sIDs, sMask := runVisit(m, m, front, n, p, ForceSparse)
+			dIDs, dMask := runVisit(m, m, front, n, p, ForceDense)
+			if !reflect.DeepEqual(sIDs, dIDs) || !reflect.DeepEqual(sMask, dMask) {
+				t.Fatalf("p=%d: sparse/dense diverge: %v vs %v", p, sIDs, dIDs)
+			}
+			fIDs, fMask := runVisit(m, rowOnly{m}, front, n, p, ForceDense)
+			if !reflect.DeepEqual(sIDs, fIDs) || !reflect.DeepEqual(sMask, fMask) {
+				t.Fatalf("p=%d: row-fallback dense diverges", p)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@
 //	GET /degree?nodes=1,2,3            degree batch
 //	GET /exists?edges=1:2,3:4          Algorithm 7 batch
 //	GET /bfs?src=7                     hop distances from src
+//	GET /analytics/bfs?src=7&src=9,12  batched BFS with per-traversal round stats
 //	GET /metrics                       Prometheus exposition (WithMetrics)
 //	GET /debug/pprof/...               profiling (WithPprof)
 package server
@@ -26,6 +27,8 @@ import (
 
 	"csrgraph/internal/algo"
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/frontier"
+	"csrgraph/internal/obs"
 	"csrgraph/internal/query"
 )
 
@@ -36,6 +39,18 @@ const maxBatch = 100_000
 // maxBFSNodes bounds the graph size for the BFS endpoint, whose response
 // is O(nodes).
 const maxBFSNodes = 50_000_000
+
+// maxBFSSources bounds one /analytics/bfs request's source count: each
+// source is a full traversal with an O(nodes) distance array in the
+// response.
+const maxBFSSources = 64
+
+// Per-request frontier analytics series: how many sources a batched BFS
+// request carries, and how many frontier rounds one traversal takes.
+var (
+	bfsSources = obs.GetHistogram("csrgraph_http_bfs_sources")
+	bfsRounds  = obs.GetHistogram("csrgraph_http_bfs_rounds")
+)
 
 // Handler serves queries over one immutable graph.
 type Handler struct {
@@ -71,6 +86,7 @@ func New(g query.Source, procs int, opts ...Option) *Handler {
 	h.o.handle(h.mux, "GET /degree", h.degree)
 	h.o.handle(h.mux, "GET /exists", h.exists)
 	h.o.handle(h.mux, "GET /bfs", h.bfs)
+	h.o.handle(h.mux, "GET /analytics/bfs", h.analyticsBFS)
 	if cfg.metrics {
 		h.o.mountMetrics(h.mux, func(w io.Writer) {
 			if h.cache != nil {
@@ -164,14 +180,65 @@ func (h *Handler) bfs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("src must be a single node id"))
 		return
 	}
-	dist := algo.BFS(h.g, nodes[0], h.procs)
+	h.writeJSON(w, h.bfsResult(nodes[0]))
+}
+
+// analyticsBFS runs one frontier-core BFS per requested source and returns
+// the distances plus the per-traversal round breakdown (total, sparse,
+// dense) the switching policy produced. Sources come from repeated src
+// parameters, each optionally comma-separated: ?src=7&src=9,12.
+func (h *Handler) analyticsBFS(w http.ResponseWriter, r *http.Request) {
+	if h.g.NumNodes() > maxBFSNodes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("graph too large for the bfs endpoint (%d nodes)", h.g.NumNodes()))
+		return
+	}
+	var srcs []edgelist.NodeID
+	for _, raw := range r.URL.Query()["src"] {
+		nodes, err := h.parseNodes(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		srcs = append(srcs, nodes...)
+	}
+	if len(srcs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing src parameter"))
+		return
+	}
+	if len(srcs) > maxBFSSources {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d sources exceeds limit %d", len(srcs), maxBFSSources))
+		return
+	}
+	bfsSources.Observe(int64(len(srcs)))
+	out := make([]map[string]any, len(srcs))
+	for i, src := range srcs {
+		out[i] = h.bfsResult(src)
+	}
+	h.writeJSON(w, out)
+}
+
+// bfsResult runs one frontier BFS from src (push-only: the served graph
+// has no transpose at hand) and folds it into the response shape shared by
+// /bfs and /analytics/bfs.
+func (h *Handler) bfsResult(src edgelist.NodeID) map[string]any {
+	dist, st := algo.BFSFrontierStats(h.g, nil, src, frontier.DefaultPolicy(), h.procs)
+	bfsRounds.Observe(int64(st.Rounds))
 	reached := 0
 	for _, d := range dist {
 		if d != algo.Unreached {
 			reached++
 		}
 	}
-	h.writeJSON(w, map[string]any{"src": nodes[0], "reached": reached, "distances": dist})
+	return map[string]any{
+		"src":           src,
+		"reached":       reached,
+		"rounds":        st.Rounds,
+		"sparse_rounds": st.SparseRounds,
+		"dense_rounds":  st.DenseRounds,
+		"distances":     dist,
+	}
 }
 
 func (h *Handler) parseNodes(s string) ([]edgelist.NodeID, error) {

@@ -204,3 +204,74 @@ func TestRowCacheDisabled(t *testing.T) {
 		t.Fatalf("stats advertises a disabled cache: %s", body)
 	}
 }
+
+func TestAnalyticsBFSBatch(t *testing.T) {
+	// Repeated src params and comma lists both contribute sources.
+	rec, body := get(t, testHandler(t), "/analytics/bfs?src=0&src=2,3")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var out []struct {
+		Src          uint32  `json:"src"`
+		Reached      int     `json:"reached"`
+		Rounds       int     `json:"rounds"`
+		SparseRounds int     `json:"sparse_rounds"`
+		DenseRounds  int     `json:"dense_rounds"`
+		Distances    []int32 `json:"distances"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3", len(out))
+	}
+	// Graph: 0→1, 0→2, 1→2, 2→3.
+	if out[0].Src != 0 || out[0].Reached != 4 || len(out[0].Distances) != 4 {
+		t.Fatalf("src 0: %+v", out[0])
+	}
+	if out[1].Src != 2 || out[1].Reached != 2 {
+		t.Fatalf("src 2: %+v", out[1])
+	}
+	if out[2].Src != 3 || out[2].Reached != 1 {
+		t.Fatalf("src 3: %+v", out[2])
+	}
+	for _, r := range out {
+		if r.Rounds != r.SparseRounds+r.DenseRounds {
+			t.Fatalf("round stats inconsistent: %+v", r)
+		}
+		if r.Rounds == 0 && r.Reached > 1 {
+			t.Fatalf("missing round stats: %+v", r)
+		}
+	}
+}
+
+func TestAnalyticsBFSBadRequests(t *testing.T) {
+	h := testHandler(t)
+	for _, url := range []string{
+		"/analytics/bfs",          // missing src
+		"/analytics/bfs?src=",     // empty src
+		"/analytics/bfs?src=999",  // out of range
+		"/analytics/bfs?src=0,zz", // malformed
+	} {
+		rec, body := get(t, h, url)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", url, rec.Code, body)
+		}
+	}
+	// Source-count cap.
+	srcs := make([]string, maxBFSSources+1)
+	for i := range srcs {
+		srcs[i] = "0"
+	}
+	rec, body := get(t, h, "/analytics/bfs?src="+strings.Join(srcs, ","))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400: %s", rec.Code, body)
+	}
+}
+
+func TestBFSSingleSrcOutOfRangeIs400(t *testing.T) {
+	rec, body := get(t, testHandler(t), "/bfs?src=999")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", rec.Code, body)
+	}
+}

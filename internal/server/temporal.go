@@ -7,6 +7,8 @@ import (
 	"strings"
 	"time"
 
+	"csrgraph/internal/algo"
+	"csrgraph/internal/frontier"
 	"csrgraph/internal/tcsr"
 )
 
@@ -19,6 +21,7 @@ import (
 //	GET /stats                            frame and node counts
 //	GET /active?queries=u:v:t,...         batched activity queries
 //	GET /neighbors?node=u&frame=t         active neighbors of u at frame t
+//	GET /bfs?src=u&frame=t                hop distances over the frame's active edges
 type TemporalHandler struct {
 	pt    *tcsr.Packed
 	procs int
@@ -40,6 +43,7 @@ func NewTemporal(pt *tcsr.Packed, procs int, opts ...Option) *TemporalHandler {
 	h.o.handle(h.mux, "GET /stats", h.stats)
 	h.o.handle(h.mux, "GET /active", h.active)
 	h.o.handle(h.mux, "GET /neighbors", h.neighbors)
+	h.o.handle(h.mux, "GET /bfs", h.bfs)
 	if cfg.metrics {
 		h.o.mountMetrics(h.mux, nil)
 	}
@@ -129,4 +133,56 @@ func (h *TemporalHandler) neighbors(w http.ResponseWriter, r *http.Request) {
 		row = []uint32{}
 	}
 	h.writeJSON(w, map[string]any{"node": u, "frame": t, "neighbors": row})
+}
+
+// frameSource adapts one TCSR frame to the frontier core's graph surface:
+// rows are the frame's active neighbor sets. No edge count is exposed, so
+// traversals stay in push mode (no transpose exists for a frame either).
+type frameSource struct {
+	pt *tcsr.Packed
+	t  int
+}
+
+func (f frameSource) NumNodes() int       { return f.pt.NumNodes() }
+func (f frameSource) Degree(u uint32) int { return len(f.pt.ActiveNeighbors(u, f.t)) }
+func (f frameSource) Row(dst []uint32, u uint32) []uint32 {
+	return f.pt.ActiveNeighbors(u, f.t)
+}
+
+// bfs answers point-in-time hop distances: a frontier BFS over the edges
+// active at the requested frame. Out-of-range src or frame is a 400, like
+// every other malformed request on this handler.
+func (h *TemporalHandler) bfs(w http.ResponseWriter, r *http.Request) {
+	if h.pt.NumNodes() > maxBFSNodes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("graph too large for the bfs endpoint (%d nodes)", h.pt.NumNodes()))
+		return
+	}
+	src, err1 := strconv.ParseUint(r.URL.Query().Get("src"), 10, 32)
+	t, err2 := strconv.Atoi(r.URL.Query().Get("frame"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("need numeric src and frame parameters"))
+		return
+	}
+	if int(src) >= h.pt.NumNodes() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("src %d out of range [0,%d)", src, h.pt.NumNodes()))
+		return
+	}
+	if t < 0 || t >= h.pt.NumFrames() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("frame %d out of range [0,%d)", t, h.pt.NumFrames()))
+		return
+	}
+	dist, st := algo.BFSFrontierStats(frameSource{pt: h.pt, t: t}, nil, uint32(src), frontier.DefaultPolicy(), h.procs)
+	bfsRounds.Observe(int64(st.Rounds))
+	reached := 0
+	for _, d := range dist {
+		if d != algo.Unreached {
+			reached++
+		}
+	}
+	h.writeJSON(w, map[string]any{
+		"src": src, "frame": t, "reached": reached, "rounds": st.Rounds, "distances": dist,
+	})
 }

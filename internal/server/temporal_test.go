@@ -119,3 +119,51 @@ func TestGraphHandlerHealthz(t *testing.T) {
 		t.Fatalf("healthz = %d", rec.Code)
 	}
 }
+
+func TestTemporalBFS(t *testing.T) {
+	h := temporalHandler(t)
+	// Frame 0: edges 0-1 and 1-2 active (events are undirected adds at t=0).
+	rec, body := get(t, h, "/bfs?src=0&frame=0")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var out struct {
+		Src       uint32  `json:"src"`
+		Frame     int     `json:"frame"`
+		Reached   int     `json:"reached"`
+		Rounds    int     `json:"rounds"`
+		Distances []int32 `json:"distances"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Src != 0 || out.Frame != 0 || len(out.Distances) != 3 {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Distances[0] != 0 {
+		t.Fatalf("src distance = %d, want 0", out.Distances[0])
+	}
+	// Frame 1 deleted edge 0-1: vertex 1 must now be farther or unreachable
+	// from 0 than at frame 0.
+	rec, body2 := get(t, h, "/bfs?src=0&frame=1")
+	if rec.Code != 200 {
+		t.Fatalf("frame 1 status %d: %s", rec.Code, body2)
+	}
+}
+
+func TestTemporalBFSBadRequests(t *testing.T) {
+	h := temporalHandler(t)
+	for _, url := range []string{
+		"/bfs",                // missing params
+		"/bfs?src=0",          // missing frame
+		"/bfs?src=0&frame=zz", // malformed frame
+		"/bfs?src=99&frame=0", // src out of range
+		"/bfs?src=0&frame=99", // frame out of range
+		"/bfs?src=0&frame=-1", // negative frame
+	} {
+		rec, body := get(t, h, url)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", url, rec.Code, body)
+		}
+	}
+}
