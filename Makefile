@@ -7,7 +7,7 @@ GO ?= go
 # lower-variance trajectory points.
 BENCHTIME ?= 100ms
 
-.PHONY: all build build-cross test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-compare bench-compare-query bench-compare-algo bench-startup fuzz fuzz-smoke experiments clean
+.PHONY: all build build-cross test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-compare bench-compare-query bench-compare-algo bench-compare-shard bench-startup bench-shard fuzz fuzz-smoke experiments clean
 
 all: build vet lint test test-race
 
@@ -31,7 +31,7 @@ test:
 # detector should be watching. `race` below covers the whole tree but is
 # too slow for the default loop.
 test-race:
-	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/... ./internal/tcsr/... ./internal/csr/... ./internal/stream/... ./internal/mgraph/... ./internal/frontier/... ./internal/algo/...
+	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/... ./internal/tcsr/... ./internal/csr/... ./internal/stream/... ./internal/mgraph/... ./internal/frontier/... ./internal/algo/... ./internal/shard/...
 
 race:
 	$(GO) test -race ./...
@@ -114,6 +114,23 @@ bench-compare-algo:
 		-benchtime $(BENCHTIME) . | tee /tmp/bencha.txt \
 		| $(GO) run ./cmd/benchcompare -baseline legacy -new frontier
 	$(GO) run ./cmd/benchcompare -baseline peel -new bucket < /tmp/bencha.txt
+
+# Sharded serving-tier snapshot: the scatter-gather router's aggregate
+# batch throughput across shard counts (shards=1|2|4|8) against the
+# single-engine baseline (shards=single), appended to the BENCH_<date>.json
+# trajectory like bench-json. The powerlaw EdgesExistBatch pairing is the
+# tier's acceptance number (DESIGN.md §14).
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardEdgesExistBatch|BenchmarkShardNeighborsBatch' \
+		-benchmem -benchtime $(BENCHTIME) -json . \
+		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d)$(BENCH_SUFFIX).json
+
+# Sharded-vs-single delta tables: pairs the shards= variants of the
+# serving-tier suites (single-engine baseline vs the 8-shard router).
+bench-compare-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardEdgesExistBatch|BenchmarkShardNeighborsBatch' \
+		-benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchcompare -key shards -baseline single -new 8
 
 # Cold-start delta table: mmap-backed container load vs legacy stream load
 # vs full rebuild at 10M edges, appended to the BENCH_<date>.json

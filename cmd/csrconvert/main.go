@@ -26,6 +26,7 @@ import (
 	"csrgraph/internal/harness"
 	"csrgraph/internal/mgraph"
 	"csrgraph/internal/order"
+	"csrgraph/internal/shard"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func run(args []string) error {
 	ordering := fs.String("order", "none", "relabel nodes before packing: none, degree or bfs")
 	format := fs.String("format", "auto", "output format: auto, pcsr (legacy stream), container (mmap-able .csrc)")
 	extmemMB := fs.Int("extmem-mb", 0, "external-memory build budget in MiB (0 = in-RAM; container output only)")
+	partition := fs.Int("partition", 0, "cut into K edge-balanced shards: -out becomes a JSON manifest with one container per shard")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +73,9 @@ func run(args []string) error {
 		if *ordering != "none" {
 			return fmt.Errorf("-extmem-mb is incompatible with -order: relabeling needs the whole graph in memory")
 		}
+		if *partition > 0 {
+			return fmt.Errorf("-extmem-mb is incompatible with -partition: the cut needs the whole offsets array in memory")
+		}
 		return runExternal(*in, *out, *extmemMB, *procs, *symmetrize)
 	}
 
@@ -94,6 +99,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *partition > 0 {
+		return runPartition(m, *out, *partition, *procs, rawSize, len(l), start)
+	}
 	pk := csr.PackMatrix(m, *procs)
 	elapsed := time.Since(start)
 
@@ -111,6 +119,33 @@ func run(args []string) error {
 		pk.NumBits(), pk.OffsetBits())
 	fmt.Printf("built in: %v with %d processors\n", elapsed, *procs)
 	fmt.Printf("wrote:    %s (%s)\n", *out, outFormat)
+	return nil
+}
+
+// runPartition cuts the built matrix into K edge-balanced range shards and
+// writes one container per shard plus the JSON manifest csrserver serves
+// from. Pair with -order so each contiguous range is also cache-compact.
+func runPartition(m *csr.Matrix, out string, k, procs int, rawSize int64, inputEdges int, start time.Time) error {
+	part, err := shard.CutByEdges(m.RowOffsets, k)
+	if err != nil {
+		return err
+	}
+	shards, err := shard.Split(m, part, procs)
+	if err != nil {
+		return err
+	}
+	mf, err := shard.WriteShards(out, shards, part, procs)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("input:    %d edges, %s\n", inputEdges, harness.HumanBytes(rawSize))
+	fmt.Printf("cut:      %d edge-balanced shards (%s strategy)\n", k, mf.Strategy)
+	for s, sh := range mf.Shards {
+		fmt.Printf("  shard %d: [%d, %d) %d nodes, %d edges -> %s\n", s, sh.Lo, sh.Hi, sh.Nodes, sh.Edges, sh.File)
+	}
+	fmt.Printf("built in: %v with %d processors\n", elapsed, procs)
+	fmt.Printf("wrote:    %s (manifest)\n", out)
 	return nil
 }
 

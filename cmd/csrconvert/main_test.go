@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"csrgraph/internal/csr"
 	"csrgraph/internal/edgelist"
 	"csrgraph/internal/mgraph"
+	"csrgraph/internal/shard"
 )
 
 func writeTestGraph(t *testing.T, dir string) string {
@@ -147,5 +150,53 @@ func TestConvertExternalMemory(t *testing.T) {
 	}
 	if err := run([]string{"-in", in, "-out", ext, "-extmem-mb", "1", "-order", "degree"}); err == nil {
 		t.Fatal("want error for -extmem-mb with -order")
+	}
+}
+
+func TestConvertPartition(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.txt")
+	// 8 nodes in a ring plus chords so every shard gets edges.
+	var buf bytes.Buffer
+	for u := 0; u < 8; u++ {
+		fmt.Fprintf(&buf, "%d %d\n%d %d\n", u, (u+1)%8, u, (u+3)%8)
+	}
+	if err := os.WriteFile(in, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "p.shards.json")
+	if err := run([]string{"-in", in, "-out", out, "-partition", "2", "-procs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := shard.LoadManifest(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Nodes != 8 || mf.Edges != 16 || len(mf.Shards) != 2 {
+		t.Fatalf("manifest = %+v", mf)
+	}
+	maps, err := shard.OpenShards(out, mf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := 0
+	for _, m := range maps {
+		edges += m.Packed().NumEdges()
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if edges != 16 {
+		t.Fatalf("shards hold %d edges, want 16", edges)
+	}
+}
+
+func TestConvertPartitionConflicts(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "g.shards.json")
+	err := run([]string{"-in", in, "-out", out, "-partition", "2", "-extmem-mb", "64", "-format", "container"})
+	if err == nil || !strings.Contains(err.Error(), "-partition") {
+		t.Fatalf("extmem+partition = %v, want conflict error", err)
 	}
 }

@@ -34,7 +34,9 @@ import (
 	"csrgraph/internal/csr"
 	"csrgraph/internal/harness"
 	"csrgraph/internal/mgraph"
+	"csrgraph/internal/query"
 	"csrgraph/internal/server"
+	"csrgraph/internal/shard"
 	"csrgraph/internal/tcsr"
 )
 
@@ -47,6 +49,8 @@ func main() {
 	cacheMB := fs.Int("cache-mb", 64, "hot-row cache size in MiB for -graph (0 disables)")
 	mmapOn := fs.Bool("mmap", false, "memory-map a container graph (-graph must be a .csrc container)")
 	verify := fs.Bool("verify", false, "with -mmap: checksum sections and bounds-check neighbors before serving")
+	shards := fs.Int("shards", 0, "serve through the sharded tier: cut -graph into K edge-balanced shards (0 = single engine; implied by a manifest -graph)")
+	replicas := fs.Int("replicas", 1, "replica engines per shard (sharded tier only)")
 	metrics := fs.Bool("metrics", false, "collect metrics and serve GET /metrics (Prometheus text)")
 	pprofOn := fs.Bool("pprof", false, "serve GET /debug/pprof/ profiling endpoints")
 	logFormat := fs.String("log-format", "off", "access log format: text, json, or off")
@@ -58,7 +62,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "csrserver:", err)
 		os.Exit(2)
 	}
-	handler, desc, err := buildHandler(*graphPath, *temporalPath, *procs, *cacheMB, *mmapOn, *verify, opts...)
+	handler, desc, err := buildHandler(serveConfig{
+		graphPath:    *graphPath,
+		temporalPath: *temporalPath,
+		procs:        *procs,
+		cacheMB:      *cacheMB,
+		mmapOn:       *mmapOn,
+		verify:       *verify,
+		shards:       *shards,
+		replicas:     *replicas,
+	}, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "csrserver:", err)
 		os.Exit(2)
@@ -93,13 +106,44 @@ func obsOptions(metrics, pprofOn bool, logFormat string) ([]server.Option, error
 	return opts, nil
 }
 
+// serveConfig is the resolved flag set buildHandler dispatches on.
+type serveConfig struct {
+	graphPath, temporalPath string
+	procs, cacheMB          int
+	mmapOn, verify          bool
+	shards, replicas        int
+}
+
 // buildHandler resolves the flag combination into an http.Handler.
-func buildHandler(graphPath, temporalPath string, procs, cacheMB int, mmapOn, verify bool, opts ...server.Option) (http.Handler, string, error) {
+func buildHandler(c serveConfig, opts ...server.Option) (http.Handler, string, error) {
+	graphPath, temporalPath := c.graphPath, c.temporalPath
+	procs, cacheMB := c.procs, c.cacheMB
+	mmapOn, verify := c.mmapOn, c.verify
+	manifest := graphPath != "" && shard.IsManifestPath(graphPath)
 	switch {
 	case graphPath != "" && temporalPath != "":
 		return nil, "", fmt.Errorf("-graph and -temporal are mutually exclusive")
+	case temporalPath != "" && c.shards > 0:
+		return nil, "", fmt.Errorf("-shards needs -graph: the sharded tier serves static graphs")
 	case mmapOn && graphPath == "":
 		return nil, "", fmt.Errorf("-mmap needs -graph")
+	case manifest:
+		return buildManifestHandler(c, opts...)
+	case graphPath != "" && c.shards > 0:
+		src, desc, err := openSource(graphPath, mmapOn, verify)
+		if err != nil {
+			return nil, "", err
+		}
+		part, pks, err := shard.PartitionSource(src, c.shards, procs)
+		if err != nil {
+			return nil, "", err
+		}
+		rt, err := buildRouter(part, pks, c)
+		if err != nil {
+			return nil, "", err
+		}
+		return server.NewSharded(rt, procs, opts...),
+			fmt.Sprintf("%s, %d shards x %d replicas", desc, c.shards, c.replicas), nil
 	case graphPath != "" && mmapOn:
 		var mopts []mgraph.OpenOption
 		if verify {
@@ -139,4 +183,78 @@ func buildHandler(graphPath, temporalPath string, procs, cacheMB int, mmapOn, ve
 		return server.NewTemporal(pt, procs, opts...), desc, nil
 	}
 	return nil, "", fmt.Errorf("one of -graph or -temporal is required")
+}
+
+// openSource loads a whole graph as a query source for in-process
+// partitioning: mapped container or legacy packed stream.
+func openSource(graphPath string, mmapOn, verify bool) (query.Source, string, error) {
+	if mmapOn {
+		var mopts []mgraph.OpenOption
+		if verify {
+			mopts = append(mopts, mgraph.WithVerify())
+		}
+		m, err := mgraph.Open(graphPath, mopts...)
+		if err != nil {
+			return nil, "", err
+		}
+		src := m.Source()
+		return src, fmt.Sprintf("%d nodes / %d edges (%s container, mmap)",
+			src.NumNodes(), m.NumEdges, m.GraphForm()), nil
+	}
+	pk, err := csr.LoadPackedFile(graphPath)
+	if err != nil {
+		return nil, "", err
+	}
+	return pk, fmt.Sprintf("%d nodes / %d edges (%d-bit neighbors)",
+		pk.NumNodes(), pk.NumEdges(), pk.NumBits()), nil
+}
+
+// buildManifestHandler serves an offline-partitioned graph: every shard
+// container in the manifest is mapped independently and replicas share
+// each mapping (the page cache is shared; the caches and in-flight
+// accounting are not).
+func buildManifestHandler(c serveConfig, opts ...server.Option) (http.Handler, string, error) {
+	mf, err := shard.LoadManifest(c.graphPath)
+	if err != nil {
+		return nil, "", err
+	}
+	if c.shards > 0 && c.shards != len(mf.Shards) {
+		return nil, "", fmt.Errorf("-shards %d conflicts with the manifest's %d shards", c.shards, len(mf.Shards))
+	}
+	part, err := mf.Partition()
+	if err != nil {
+		return nil, "", err
+	}
+	maps, err := shard.OpenShards(c.graphPath, mf, c.verify)
+	if err != nil {
+		return nil, "", err
+	}
+	// The mappings live for the whole process; exit unmaps.
+	pks := make([]*csr.Packed, len(maps))
+	for s, m := range maps {
+		pks[s] = m.Packed()
+	}
+	rt, err := buildRouter(part, pks, c)
+	if err != nil {
+		return nil, "", err
+	}
+	desc := fmt.Sprintf("%d nodes / %d edges (%d shards x %d replicas, mmap, %s cut)",
+		mf.Nodes, mf.Edges, len(mf.Shards), c.replicas, mf.Strategy)
+	return server.NewSharded(rt, c.procs, opts...), desc, nil
+}
+
+// buildRouter assembles the replica engines and router over per-shard
+// packed sources. The -cache-mb budget is divided across the shards so the
+// sharded tier's total cache footprint matches the single-engine flag.
+func buildRouter(part *shard.Partition, pks []*csr.Packed, c serveConfig) (*shard.Router, error) {
+	replicas := c.replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	perShard := (int64(c.cacheMB) << 20) / int64(len(pks))
+	engines := make([][]*shard.Engine, len(pks))
+	for s, pk := range pks {
+		engines[s] = shard.NewReplicas(s, replicas, pk, shard.EngineConfig{CacheBytes: perShard})
+	}
+	return shard.NewRouter(part, engines, shard.RouterConfig{})
 }

@@ -22,7 +22,7 @@ func TestBuildHandlerGraph(t *testing.T) {
 	if err := pk.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	h, desc, err := buildHandler(path, "", 2, 1, false, false)
+	h, desc, err := buildHandler(serveConfig{graphPath: path, procs: 2, cacheMB: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestBuildHandlerTemporal(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	h, _, err := buildHandler("", path, 2, 0, false, false)
+	h, _, err := buildHandler(serveConfig{temporalPath: path, procs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestBuildHandlerWithMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer obs.SetEnabled(false)
-	h, _, err := buildHandler(path, "", 2, 1, false, false, opts...)
+	h, _, err := buildHandler(serveConfig{graphPath: path, procs: 2, cacheMB: 1}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,16 +105,16 @@ func TestBuildHandlerWithMetrics(t *testing.T) {
 }
 
 func TestBuildHandlerErrors(t *testing.T) {
-	if _, _, err := buildHandler("", "", 2, 0, false, false); err == nil {
+	if _, _, err := buildHandler(serveConfig{procs: 2}); err == nil {
 		t.Fatal("want error for no input")
 	}
-	if _, _, err := buildHandler("a", "b", 2, 0, false, false); err == nil {
+	if _, _, err := buildHandler(serveConfig{graphPath: "a", temporalPath: "b", procs: 2}); err == nil {
 		t.Fatal("want error for both inputs")
 	}
-	if _, _, err := buildHandler("/nonexistent.pcsr", "", 2, 0, false, false); err == nil {
+	if _, _, err := buildHandler(serveConfig{graphPath: "/nonexistent.pcsr", procs: 2}); err == nil {
 		t.Fatal("want error for missing graph file")
 	}
-	if _, _, err := buildHandler("", "/nonexistent.tcsr", 2, 0, false, false); err == nil {
+	if _, _, err := buildHandler(serveConfig{temporalPath: "/nonexistent.tcsr", procs: 2}); err == nil {
 		t.Fatal("want error for missing temporal file")
 	}
 }
@@ -127,7 +127,7 @@ func TestBuildHandlerMmap(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, verify := range []bool{false, true} {
-		h, desc, err := buildHandler(path, "", 2, 1, true, verify)
+		h, desc, err := buildHandler(serveConfig{graphPath: path, procs: 2, cacheMB: 1, mmapOn: true, verify: verify})
 		if err != nil {
 			t.Fatalf("verify=%v: %v", verify, err)
 		}
@@ -141,14 +141,14 @@ func TestBuildHandlerMmap(t *testing.T) {
 		}
 	}
 	// -mmap without -graph, and -mmap on a legacy stream, both fail early.
-	if _, _, err := buildHandler("", "", 2, 1, true, false); err == nil {
+	if _, _, err := buildHandler(serveConfig{procs: 2, cacheMB: 1, mmapOn: true}); err == nil {
 		t.Fatal("want error for -mmap without -graph")
 	}
 	legacy := filepath.Join(dir, "g.pcsr")
 	if err := pk.SaveFile(legacy); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := buildHandler(legacy, "", 2, 1, true, false); !errors.Is(err, mgraph.ErrLegacyStream) {
+	if _, _, err := buildHandler(serveConfig{graphPath: legacy, procs: 2, cacheMB: 1, mmapOn: true}); !errors.Is(err, mgraph.ErrLegacyStream) {
 		t.Fatalf("mmap on legacy stream = %v, want ErrLegacyStream", err)
 	}
 }

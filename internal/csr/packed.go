@@ -375,11 +375,17 @@ func (pk *Packed) validateOffsets() error {
 // Mapped loads skip it by default (it faults in every neighbor page) and
 // callers opt in for untrusted files.
 func (pk *Packed) ValidateCols() error {
-	n := pk.off.Len()
-	if n == 0 {
+	if pk.off.Len() == 0 {
 		return nil
 	}
-	numNodes := uint32(n - 1)
+	return pk.ValidateColsBound(uint32(pk.off.Len() - 1))
+}
+
+// ValidateColsBound is ValidateCols against an explicit node space. Shard
+// containers need it: their rows are local but their neighbor values are
+// GLOBAL ids, so the valid bound is the whole graph's node count, not the
+// shard's row count.
+func (pk *Packed) ValidateColsBound(numNodes uint32) error {
 	for i := 0; i < pk.cols.Len(); i++ {
 		if v := pk.cols.Get(i); v >= numNodes {
 			return fmt.Errorf("csr: neighbor %d at position %d outside node space %d", v, i, numNodes)

@@ -30,7 +30,8 @@ type Mapped struct {
 
 // openConfig collects Open options.
 type openConfig struct {
-	verify bool
+	verify    bool
+	nodeSpace int // >0: neighbor-range bound override (sharded containers)
 }
 
 // OpenOption customizes Open.
@@ -41,6 +42,14 @@ type OpenOption func(*openConfig)
 // file — integrity over startup latency.
 func WithVerify() OpenOption {
 	return func(c *openConfig) { c.verify = true }
+}
+
+// WithNodeSpace overrides the node space the verify pass scans neighbor
+// values against. Shard containers store local rows with GLOBAL neighbor
+// ids, so their valid bound is the whole graph's node count, not the
+// container's own row count. No effect without WithVerify.
+func WithNodeSpace(n int) OpenOption {
+	return func(c *openConfig) { c.nodeSpace = n }
 }
 
 // Open maps the container at path and assembles zero-copy graph views over
@@ -84,9 +93,15 @@ func Open(path string, opts ...OpenOption) (*Mapped, error) {
 	}
 	if cfg.verify {
 		if pk := c.Packed(); pk != nil {
-			if err := pk.ValidateCols(); err != nil {
+			verr := error(nil)
+			if cfg.nodeSpace > 0 {
+				verr = pk.ValidateColsBound(uint32(cfg.nodeSpace))
+			} else {
+				verr = pk.ValidateCols()
+			}
+			if verr != nil {
 				unmapFile(data, mapped) //csr:errok error path; the validation failure is the error to surface
-				return nil, fmt.Errorf("mgraph: %w", err)
+				return nil, fmt.Errorf("mgraph: %w", verr)
 			}
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/obs"
+	"csrgraph/internal/parallel"
 )
 
 // RowCache is a sharded, byte-budgeted LRU of decoded neighbor rows keyed
@@ -216,15 +218,18 @@ func (s *cacheShard) evict(e *cacheEntry) {
 type CachedSource struct {
 	src   Source
 	cache *RowCache
+	avg   int // average degree, precomputed once for dynamicGrain
 }
 
 // Cached wraps src with cache. A nil cache returns src unchanged, so
-// "cache disabled" costs nothing.
+// "cache disabled" costs nothing. The wrapper precomputes the source's
+// average degree at wrap time, so batch grain sizing over the wrapper never
+// re-probes the underlying graph (AvgDegreeHinter).
 func Cached(src Source, cache *RowCache) Source {
 	if cache == nil {
 		return src
 	}
-	return &CachedSource{src: src, cache: cache}
+	return &CachedSource{src: src, cache: cache, avg: avgDegreeOf(src)}
 }
 
 // NumNodes returns the number of nodes.
@@ -242,6 +247,10 @@ func (cs *CachedSource) NumEdges() int {
 	}
 	return 0
 }
+
+// AvgDegreeHint returns the average degree captured at wrap time
+// (AvgDegreeHinter), so grain sizing skips the per-call probe.
+func (cs *CachedSource) AvgDegreeHint() int { return cs.avg }
 
 // Row returns u's row, serving repeated lookups from the cache. dst is
 // ignored (like csr.Matrix.Row): the returned slice is shared, immutable,
@@ -262,18 +271,90 @@ func (cs *CachedSource) SearchRow(u, v edgelist.NodeID) bool {
 	if s, ok := cs.src.(Searcher); ok {
 		return s.SearchRow(u, v)
 	}
-	row := cs.Row(nil, u)
-	lo, hi := 0, len(row)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if row[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(row) && row[lo] == v
+	return SearchSorted(cs.Row(nil, u), v)
 }
 
 // Stats reports the wrapped cache's counters.
 func (cs *CachedSource) Stats() CacheStats { return cs.cache.Stats() }
+
+// SearchSorted binary-searches a sorted decoded row for v. The search is
+// branch-free: the conditional advance is a data move the compiler turns
+// into a conditional select, so a probe never pays a branch-mispredict
+// per level — on hub rows the comparison outcome is a coin flip, and the
+// ~15 mispredicts of a branchy search cost more than the loads.
+//
+//csr:hotpath
+func SearchSorted(row []uint32, v edgelist.NodeID) bool {
+	base, n := 0, len(row)
+	for n > 1 {
+		half := n >> 1
+		if row[base+half-1] < v {
+			base += half
+		}
+		n -= half
+	}
+	return n == 1 && row[base] == v
+}
+
+// existsAdmitDegree is the minimum degree an existence miss must have for
+// its row to be decoded into the cache. Short rows are cheap to search in
+// place and would only churn the budget; long (hub) rows are exactly where
+// a decoded, contiguous row beats O(log d) random accesses into the packed
+// bits — and power-law traffic re-probes those few rows constantly. The
+// threshold matches the degree where the packed search switches to
+// galloping.
+const existsAdmitDegree = 128
+
+// EdgesExistBatchCached is EdgesExistBatchSearch with a hot-row cache on
+// the probe path: probes whose source row is cached binary-search the
+// decoded row (contiguous, cache-resident for repeated hubs) instead of
+// random-accessing the packed bits, and misses on hub-sized rows
+// (degree >= existsAdmitDegree) decode the row into the cache so the next
+// probe on the same hub is fast. Cold or short-row probes fall through to
+// the zero-decode packed search. A nil cache is exactly
+// EdgesExistBatchSearch.
+//
+// This is the per-shard engine's existence path: each shard's cache holds
+// only that shard's hubs, so one shard's churn never evicts another's.
+func EdgesExistBatchCached(g Source, cache *RowCache, edges []edgelist.Edge, p int) []bool {
+	if cache == nil {
+		return EdgesExistBatchSearch(g, edges, p)
+	}
+	start := obs.Now()
+	results := make([]bool, len(edges))
+	p = clampProcs(p, len(edges))
+	s, searchable := g.(Searcher)
+	if searchable {
+		dispatchCached.Inc()
+	} else {
+		dispatchDecode.Inc()
+	}
+	bufs := make([][]uint32, p)
+	parallel.ForDynamic(len(edges), p, searchGrain, func(w int, r parallel.Range) {
+		for i := r.Start; i < r.End; i++ {
+			e := edges[i]
+			if row, ok := cache.Get(e.U); ok {
+				results[i] = SearchSorted(row, e.V)
+				continue
+			}
+			if g.Degree(e.U) >= existsAdmitDegree {
+				// Decode once into a fresh slice the cache takes ownership
+				// of; the probe is answered from the decoded row.
+				row := g.Row(nil, e.U)
+				cache.Put(e.U, row)
+				results[i] = SearchSorted(row, e.V)
+				continue
+			}
+			if searchable {
+				results[i] = s.SearchRow(e.U, e.V)
+				continue
+			}
+			buf := g.Row(bufs[w], e.U)
+			bufs[w] = buf
+			results[i] = SearchSorted(buf, e.V)
+		}
+	})
+	existsBatchSize.Observe(int64(len(edges)))
+	obs.Tick(existsBatchSeconds, start)
+	return results
+}

@@ -50,6 +50,36 @@ const grainTargetWork = 4096
 // amortization matters.
 const searchGrain = 256
 
+// AvgDegreeHinter is a Source that has already computed its average degree
+// once, so per-batch grain sizing reads a field instead of re-deriving the
+// estimate from NumEdges/NumNodes on every call. Wrappers that sit between
+// the scheduler and the raw CSR (the hot-row cache, the shard engines'
+// per-shard sources) implement it: a sharded router fans one request out
+// into many small per-shard sub-batches, and without the hint every leg
+// would repay the degree probe through the whole wrapper chain.
+type AvgDegreeHinter interface {
+	// AvgDegreeHint returns ceil-ish average out-degree (>= 1).
+	AvgDegreeHint() int
+}
+
+// avgDegreeOf derives the average-degree estimate dynamicGrain sizes grabs
+// with: the precomputed hint when the source carries one, the
+// NumEdges/NumNodes probe otherwise, and a flat default for sources that
+// expose neither.
+//
+//csr:hotpath
+func avgDegreeOf(g Source) int {
+	if h, ok := g.(AvgDegreeHinter); ok {
+		if avg := h.AvgDegreeHint(); avg > 0 {
+			return avg
+		}
+	}
+	if ec, ok := g.(interface{ NumEdges() int }); ok && g.NumNodes() > 0 {
+		return ec.NumEdges()/g.NumNodes() + 1
+	}
+	return 8
+}
+
 // dynamicGrain picks the work-stealing grab size for row-decoding batches
 // over g: roughly grainTargetWork neighbors of expected decode work per
 // grab (via the source's average degree), bounded so a batch still splits
@@ -57,11 +87,7 @@ const searchGrain = 256
 //
 //csr:hotpath
 func dynamicGrain(g Source, n, p int) int {
-	avg := 8
-	if ec, ok := g.(interface{ NumEdges() int }); ok && g.NumNodes() > 0 {
-		avg = ec.NumEdges()/g.NumNodes() + 1
-	}
-	grain := grainTargetWork / avg
+	grain := grainTargetWork / avgDegreeOf(g)
 	if limit := n / (4 * p); grain > limit {
 		grain = limit
 	}

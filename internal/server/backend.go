@@ -1,0 +1,193 @@
+// Backend seam between the HTTP handlers and the query engines: the same
+// routes serve one in-process engine (New) or the sharded scatter-gather
+// tier (NewSharded). Handlers parse and validate; backends answer.
+package server
+
+import (
+	"fmt"
+	"io"
+
+	"csrgraph/internal/algo"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/frontier"
+	"csrgraph/internal/query"
+	"csrgraph/internal/shard"
+)
+
+// backend answers the query endpoints over one immutable graph.
+type backend interface {
+	numNodes() int
+	neighbors(ids []edgelist.NodeID) ([][]uint32, error)
+	degrees(ids []edgelist.NodeID) ([]int, error)
+	edgesExist(edges []edgelist.Edge) ([]bool, error)
+	bfs(src edgelist.NodeID) (bfsTraversal, error)
+	// statsInto adds backend-specific fields to the /stats payload.
+	statsInto(out map[string]any)
+	// metricsInto appends backend-specific exposition lines to /metrics.
+	metricsInto(w io.Writer)
+}
+
+// bfsTraversal is one BFS answer plus its round accounting. The sparse and
+// dense counts only exist for the frontier-switching engine; the sharded
+// traversal is expansion-only (hasPhases false).
+type bfsTraversal struct {
+	dist      []int32
+	rounds    int
+	sparse    int
+	dense     int
+	hasPhases bool
+}
+
+// singleBackend serves from one in-process engine: the pre-sharding data
+// path, unchanged — plus the cache-aware existence probes.
+type singleBackend struct {
+	g     query.Source // raw source: BFS, degrees, existence probes
+	rows  query.Source // g, fronted by the hot-row cache when enabled
+	cache *query.RowCache
+	procs int
+}
+
+func newSingleBackend(g query.Source, cacheBytes int64, procs int) *singleBackend {
+	b := &singleBackend{g: g, cache: query.NewRowCache(cacheBytes), procs: procs}
+	b.rows = query.Cached(g, b.cache)
+	return b
+}
+
+func (b *singleBackend) numNodes() int { return b.g.NumNodes() }
+
+func (b *singleBackend) neighbors(ids []edgelist.NodeID) ([][]uint32, error) {
+	return query.NeighborsBatch(b.rows, ids, b.procs), nil
+}
+
+func (b *singleBackend) degrees(ids []edgelist.NodeID) ([]int, error) {
+	return query.CountBatch(b.g, ids, b.procs), nil
+}
+
+func (b *singleBackend) edgesExist(edges []edgelist.Edge) ([]bool, error) {
+	return query.EdgesExistBatchCached(b.g, b.cache, edges, b.procs), nil
+}
+
+func (b *singleBackend) bfs(src edgelist.NodeID) (bfsTraversal, error) {
+	dist, st := algo.BFSFrontierStats(b.g, nil, src, frontier.DefaultPolicy(), b.procs)
+	return bfsTraversal{
+		dist: dist, rounds: st.Rounds,
+		sparse: st.SparseRounds, dense: st.DenseRounds, hasPhases: true,
+	}, nil
+}
+
+func (b *singleBackend) statsInto(out map[string]any) {
+	if ec, ok := b.g.(interface{ NumEdges() int }); ok {
+		out["edges"] = ec.NumEdges()
+	}
+	if sz, ok := b.g.(interface{ SizeBytes() int64 }); ok {
+		// For a packed CSR this is the bit-packed payload footprint —
+		// Table II's "CSR" column for the graph being served.
+		out["size_bytes"] = sz.SizeBytes()
+	}
+	if b.cache != nil {
+		out["cache"] = b.cache.Stats()
+	}
+}
+
+func (b *singleBackend) metricsInto(w io.Writer) {
+	if b.cache != nil {
+		writeCacheMetrics(w, b.cache.Stats())
+	}
+}
+
+// shardBackend serves through the scatter-gather router. Batch validation
+// happens twice by design — the handler rejects early with a proper 400,
+// and the router revalidates because it is also a library entry point.
+type shardBackend struct {
+	rt *shard.Router
+}
+
+func (b *shardBackend) numNodes() int { return b.rt.Partition().NumNodes() }
+
+func (b *shardBackend) neighbors(ids []edgelist.NodeID) ([][]uint32, error) {
+	return b.rt.NeighborsBatch(ids)
+}
+
+func (b *shardBackend) degrees(ids []edgelist.NodeID) ([]int, error) {
+	return b.rt.DegreeBatch(ids)
+}
+
+func (b *shardBackend) edgesExist(edges []edgelist.Edge) ([]bool, error) {
+	return b.rt.EdgesExistBatch(edges)
+}
+
+func (b *shardBackend) bfs(src edgelist.NodeID) (bfsTraversal, error) {
+	dist, rounds, err := b.rt.BFS(src)
+	if err != nil {
+		return bfsTraversal{}, err
+	}
+	return bfsTraversal{dist: dist, rounds: rounds}, nil
+}
+
+// statsInto reports the shard topology: per shard, the owned range and
+// per-replica row-cache counters, so operators see which shard's cache is
+// absorbing the hub traffic instead of one process-wide aggregate.
+func (b *shardBackend) statsInto(out map[string]any) {
+	part := b.rt.Partition()
+	out["strategy"] = part.Strategy().String()
+	out["shards"] = b.topology()
+	edges := 0
+	for s := 0; s < b.rt.NumShards(); s++ {
+		for _, e := range b.rt.Replicas(s)[:1] {
+			if ec, ok := e.SourceEdges(); ok {
+				edges += ec
+			}
+		}
+	}
+	if edges > 0 {
+		out["edges"] = edges
+	}
+}
+
+func (b *shardBackend) topology() []map[string]any {
+	part := b.rt.Partition()
+	shards := make([]map[string]any, b.rt.NumShards())
+	for s := range shards {
+		lo, hi := part.Bounds(s)
+		replicas := b.rt.Replicas(s)
+		reps := make([]map[string]any, len(replicas))
+		for r, e := range replicas {
+			rep := map[string]any{"inflight": e.Inflight()}
+			if st, ok := e.TryCacheStats(); ok {
+				rep["cache"] = st
+			}
+			reps[r] = rep
+		}
+		shards[s] = map[string]any{
+			"shard":       s,
+			"lo":          lo,
+			"hi":          hi,
+			"nodes":       part.ShardNodes(s),
+			"queue_depth": b.rt.QueueDepth(s),
+			"replicas":    reps,
+		}
+	}
+	return shards
+}
+
+// metricsInto emits per-shard, per-replica row-cache series with shard and
+// replica labels — the sharded analogue of writeCacheMetrics.
+func (b *shardBackend) metricsInto(w io.Writer) {
+	for s := 0; s < b.rt.NumShards(); s++ {
+		for _, e := range b.rt.Replicas(s) {
+			st, ok := e.TryCacheStats()
+			if !ok {
+				continue
+			}
+			writeShardCacheMetrics(w, s, e.Replica(), st)
+		}
+	}
+}
+
+// writeShardCacheMetrics is writeCacheMetrics with shard/replica labels.
+func writeShardCacheMetrics(w io.Writer, s, r int, st query.CacheStats) {
+	lbl := fmt.Sprintf(`{shard="%d",replica="%d"}`, s, r)
+	_, _ = fmt.Fprintf(w, //csr:errok best-effort exposition; client disconnect mid-scrape is benign
+		"csrgraph_rowcache_hits_total%s %d\ncsrgraph_rowcache_misses_total%s %d\ncsrgraph_rowcache_entries%s %d\ncsrgraph_rowcache_bytes%s %d\n",
+		lbl, st.Hits, lbl, st.Misses, lbl, st.Entries, lbl, st.Bytes)
+}

@@ -18,7 +18,6 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -27,9 +26,9 @@ import (
 
 	"csrgraph/internal/algo"
 	"csrgraph/internal/edgelist"
-	"csrgraph/internal/frontier"
 	"csrgraph/internal/obs"
 	"csrgraph/internal/query"
+	"csrgraph/internal/shard"
 )
 
 // maxBatch bounds one request's query count to keep a single request from
@@ -52,11 +51,10 @@ var (
 	bfsRounds  = obs.GetHistogram("csrgraph_http_bfs_rounds")
 )
 
-// Handler serves queries over one immutable graph.
+// Handler serves queries over one immutable graph through a backend — one
+// in-process engine (New) or the sharded scatter-gather tier (NewSharded).
 type Handler struct {
-	g     query.Source // raw source: BFS, degrees, existence probes
-	rows  query.Source // g, fronted by the hot-row cache when enabled
-	cache *query.RowCache
+	b     backend
 	procs int
 	mux   *http.ServeMux
 	o     *httpObs
@@ -70,14 +68,26 @@ func New(g query.Source, procs int, opts ...Option) *Handler {
 		procs = 1
 	}
 	cfg := newConfig(opts)
+	return newHandler(newSingleBackend(g, cfg.cacheBytes, procs), procs, cfg)
+}
+
+// NewSharded builds a Handler answering through the scatter-gather router.
+// Row-cache budgets are per shard engine (set at engine build), so
+// WithRowCache is ignored here; the other options apply unchanged.
+func NewSharded(rt *shard.Router, procs int, opts ...Option) *Handler {
+	if procs < 1 {
+		procs = 1
+	}
+	return newHandler(&shardBackend{rt: rt}, procs, newConfig(opts))
+}
+
+func newHandler(b backend, procs int, cfg config) *Handler {
 	h := &Handler{
-		g:     g,
-		cache: query.NewRowCache(cfg.cacheBytes),
+		b:     b,
 		procs: procs,
 		mux:   http.NewServeMux(),
 		o:     newHTTPObs(cfg),
 	}
-	h.rows = query.Cached(g, h.cache)
 	h.o.handle(h.mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		h.writeJSON(w, map[string]bool{"ok": true})
 	})
@@ -88,11 +98,7 @@ func New(g query.Source, procs int, opts ...Option) *Handler {
 	h.o.handle(h.mux, "GET /bfs", h.bfs)
 	h.o.handle(h.mux, "GET /analytics/bfs", h.analyticsBFS)
 	if cfg.metrics {
-		h.o.mountMetrics(h.mux, func(w io.Writer) {
-			if h.cache != nil {
-				writeCacheMetrics(w, h.cache.Stats())
-			}
-		})
+		h.o.mountMetrics(h.mux, h.b.metricsInto)
 	}
 	if cfg.pprof {
 		mountPprof(h.mux)
@@ -105,21 +111,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.Serv
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{
-		"nodes":          h.g.NumNodes(),
+		"nodes":          h.b.numNodes(),
 		"procs":          h.procs,
 		"uptime_seconds": time.Since(h.o.start).Seconds(),
 	}
-	if ec, ok := h.g.(interface{ NumEdges() int }); ok {
-		out["edges"] = ec.NumEdges()
-	}
-	if sz, ok := h.g.(interface{ SizeBytes() int64 }); ok {
-		// For a packed CSR this is the bit-packed payload footprint —
-		// Table II's "CSR" column for the graph being served.
-		out["size_bytes"] = sz.SizeBytes()
-	}
-	if h.cache != nil {
-		out["cache"] = h.cache.Stats()
-	}
+	h.b.statsInto(out)
 	h.writeJSON(w, out)
 }
 
@@ -129,7 +125,11 @@ func (h *Handler) neighbors(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	results := query.NeighborsBatch(h.rows, nodes, h.procs)
+	results, err := h.b.neighbors(nodes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	out := make([]map[string]any, len(nodes))
 	for i, u := range nodes {
 		row := results[i]
@@ -147,7 +147,11 @@ func (h *Handler) degree(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	results := query.CountBatch(h.g, nodes, h.procs)
+	results, err := h.b.degrees(nodes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	out := make([]map[string]any, len(nodes))
 	for i, u := range nodes {
 		out[i] = map[string]any{"node": u, "degree": results[i]}
@@ -161,7 +165,11 @@ func (h *Handler) exists(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	results := query.EdgesExistBatchSearch(h.g, edges, h.procs)
+	results, err := h.b.edgesExist(edges)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	out := make([]map[string]any, len(edges))
 	for i, e := range edges {
 		out[i] = map[string]any{"u": e.U, "v": e.V, "exists": results[i]}
@@ -170,9 +178,9 @@ func (h *Handler) exists(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) bfs(w http.ResponseWriter, r *http.Request) {
-	if h.g.NumNodes() > maxBFSNodes {
+	if h.b.numNodes() > maxBFSNodes {
 		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("graph too large for the bfs endpoint (%d nodes)", h.g.NumNodes()))
+			fmt.Errorf("graph too large for the bfs endpoint (%d nodes)", h.b.numNodes()))
 		return
 	}
 	nodes, err := h.parseNodes(r.URL.Query().Get("src"))
@@ -180,7 +188,12 @@ func (h *Handler) bfs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("src must be a single node id"))
 		return
 	}
-	h.writeJSON(w, h.bfsResult(nodes[0]))
+	out, err := h.bfsResult(nodes[0])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	h.writeJSON(w, out)
 }
 
 // analyticsBFS runs one frontier-core BFS per requested source and returns
@@ -188,9 +201,9 @@ func (h *Handler) bfs(w http.ResponseWriter, r *http.Request) {
 // dense) the switching policy produced. Sources come from repeated src
 // parameters, each optionally comma-separated: ?src=7&src=9,12.
 func (h *Handler) analyticsBFS(w http.ResponseWriter, r *http.Request) {
-	if h.g.NumNodes() > maxBFSNodes {
+	if h.b.numNodes() > maxBFSNodes {
 		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("graph too large for the bfs endpoint (%d nodes)", h.g.NumNodes()))
+			fmt.Errorf("graph too large for the bfs endpoint (%d nodes)", h.b.numNodes()))
 		return
 	}
 	var srcs []edgelist.NodeID
@@ -214,31 +227,44 @@ func (h *Handler) analyticsBFS(w http.ResponseWriter, r *http.Request) {
 	bfsSources.Observe(int64(len(srcs)))
 	out := make([]map[string]any, len(srcs))
 	for i, src := range srcs {
-		out[i] = h.bfsResult(src)
+		res, err := h.bfsResult(src)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		out[i] = res
 	}
 	h.writeJSON(w, out)
 }
 
-// bfsResult runs one frontier BFS from src (push-only: the served graph
-// has no transpose at hand) and folds it into the response shape shared by
-// /bfs and /analytics/bfs.
-func (h *Handler) bfsResult(src edgelist.NodeID) map[string]any {
-	dist, st := algo.BFSFrontierStats(h.g, nil, src, frontier.DefaultPolicy(), h.procs)
-	bfsRounds.Observe(int64(st.Rounds))
+// bfsResult runs one BFS from src through the backend (frontier-switching
+// in-process, distributed per-round exchange when sharded) and folds it
+// into the response shape shared by /bfs and /analytics/bfs. The
+// sparse/dense round breakdown only appears when the engine has switching
+// phases to report.
+func (h *Handler) bfsResult(src edgelist.NodeID) (map[string]any, error) {
+	tr, err := h.b.bfs(src)
+	if err != nil {
+		return nil, err
+	}
+	bfsRounds.Observe(int64(tr.rounds))
 	reached := 0
-	for _, d := range dist {
+	for _, d := range tr.dist {
 		if d != algo.Unreached {
 			reached++
 		}
 	}
-	return map[string]any{
-		"src":           src,
-		"reached":       reached,
-		"rounds":        st.Rounds,
-		"sparse_rounds": st.SparseRounds,
-		"dense_rounds":  st.DenseRounds,
-		"distances":     dist,
+	out := map[string]any{
+		"src":       src,
+		"reached":   reached,
+		"rounds":    tr.rounds,
+		"distances": tr.dist,
 	}
+	if tr.hasPhases {
+		out["sparse_rounds"] = tr.sparse
+		out["dense_rounds"] = tr.dense
+	}
+	return out, nil
 }
 
 func (h *Handler) parseNodes(s string) ([]edgelist.NodeID, error) {
@@ -255,8 +281,8 @@ func (h *Handler) parseNodes(s string) ([]edgelist.NodeID, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad node id %q", part)
 		}
-		if int(v) >= h.g.NumNodes() {
-			return nil, fmt.Errorf("node %d out of range [0,%d)", v, h.g.NumNodes())
+		if int(v) >= h.b.numNodes() {
+			return nil, fmt.Errorf("node %d out of range [0,%d)", v, h.b.numNodes())
 		}
 		out[i] = uint32(v)
 	}
@@ -285,8 +311,8 @@ func (h *Handler) parseEdges(s string) ([]edgelist.Edge, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad edge %q", part)
 		}
-		if int(u) >= h.g.NumNodes() || int(v) >= h.g.NumNodes() {
-			return nil, fmt.Errorf("edge %q out of range [0,%d)", part, h.g.NumNodes())
+		if int(u) >= h.b.numNodes() || int(v) >= h.b.numNodes() {
+			return nil, fmt.Errorf("edge %q out of range [0,%d)", part, h.b.numNodes())
 		}
 		out[i] = edgelist.Edge{U: uint32(u), V: uint32(v)}
 	}

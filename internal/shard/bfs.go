@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"csrgraph/internal/algo"
+	"csrgraph/internal/edgelist"
+)
+
+// BFS runs a distributed breadth-first traversal across the shards and
+// returns the hop distance from src to every global id (algo.Unreached for
+// unreachable nodes) plus the number of frontier rounds.
+//
+// Each round is two phases with a barrier between them, which is what
+// makes the traversal race-free without per-node atomics:
+//
+//   - expand: every shard with frontier rows decodes them (global neighbor
+//     values, no translation) and groups the discovered ids by owner into
+//     per-destination outboxes. The phase only READS dist.
+//   - absorb: every destination shard drains its inboxes, claiming unseen
+//     nodes at level+1. A shard is the single writer for its owned dist
+//     entries — ownership is a partition of the id space — so concurrent
+//     absorbs write disjoint indices.
+func (r *Router) BFS(src edgelist.NodeID) ([]int32, int, error) {
+	n := r.part.NumNodes()
+	if int(src) >= n {
+		return nil, 0, fmt.Errorf("shard: bfs source %d out of range [0, %d)", src, n)
+	}
+	routedBFS.Add(1)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = algo.Unreached
+	}
+	dist[src] = 0
+
+	k := r.part.NumShards()
+	frontier := make([][]edgelist.NodeID, k) // local ids per shard
+	s0, l0 := r.part.ToLocal(src)
+	frontier[s0] = append(frontier[s0], l0)
+	// outbox[s][d] holds global ids shard s discovered for shard d this
+	// round; reused (truncated, not freed) across rounds.
+	outbox := make([][][]uint32, k)
+	for s := range outbox {
+		outbox[s] = make([][]uint32, k)
+	}
+
+	rounds := 0
+	level := int32(0)
+	for {
+		// Expand: one leg per shard holding frontier rows.
+		var legs []leg
+		for s := range frontier {
+			if len(frontier[s]) > 0 {
+				legs = append(legs, leg{st: r.shards[s], lo: s})
+			}
+		}
+		if len(legs) == 0 {
+			break
+		}
+		rounds++
+		r.runLegs(legs, func(l leg) {
+			s := l.lo // shard id; BFS legs are whole-frontier, not index ranges
+			e := l.st.pick()
+			e.enter()
+			expandShard(r.part, e, frontier[s], dist, outbox[s])
+			e.leave()
+		})
+
+		// Absorb: one goroutine per destination shard; disjoint dist writes.
+		next := make([][]edgelist.NodeID, k)
+		var wg sync.WaitGroup
+		wg.Add(k)
+		for d := 0; d < k; d++ {
+			go func(d int) {
+				defer wg.Done()
+				next[d] = absorbShard(r.part, d, outbox, dist, level+1)
+			}(d)
+		}
+		wg.Wait()
+		frontier = next
+		level++
+	}
+	bfsRounds.Observe(int64(rounds))
+	return dist, rounds, nil
+}
+
+// expandShard decodes the shard's frontier rows and buckets unseen
+// neighbors by owner. Reads dist as a stale filter only — absorb holds the
+// authoritative check.
+func expandShard(part *Partition, e *Engine, frontier []edgelist.NodeID, dist []int32, out [][]uint32) {
+	for d := range out {
+		out[d] = out[d][:0]
+	}
+	var buf []uint32
+	for _, lu := range frontier {
+		buf = e.Row(buf, lu)
+		for _, v := range buf {
+			if dist[v] == algo.Unreached {
+				d := part.ShardOf(v)
+				out[d] = append(out[d], v)
+			}
+		}
+	}
+}
+
+// absorbShard claims every unseen inbox id owned by shard d at the given
+// level and returns d's next frontier (local ids). Only d's goroutine
+// writes d's dist entries.
+func absorbShard(part *Partition, d int, outbox [][][]uint32, dist []int32, level int32) []edgelist.NodeID {
+	var next []edgelist.NodeID
+	for s := range outbox {
+		for _, v := range outbox[s][d] {
+			if dist[v] == algo.Unreached {
+				dist[v] = level
+				_, lv := part.ToLocal(v)
+				next = append(next, lv)
+			}
+		}
+	}
+	return next
+}
+
+// BFSBatch runs BFS from each source, preserving input order, and returns
+// the distance vectors.
+func (r *Router) BFSBatch(srcs []edgelist.NodeID) ([][]int32, error) {
+	out := make([][]int32, len(srcs))
+	for i, src := range srcs {
+		dist, _, err := r.BFS(src)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = dist
+	}
+	return out, nil
+}

@@ -1,0 +1,377 @@
+package shard
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"csrgraph/internal/algo"
+	"csrgraph/internal/csr"
+	"csrgraph/internal/edgelist"
+	"csrgraph/internal/query"
+)
+
+// buildRouter partitions m into k edge-balanced shards with r replicas each
+// and the given per-engine cache budget.
+func buildRouter(t *testing.T, m *csr.Matrix, k, replicas int, cacheBytes int64) *Router {
+	t.Helper()
+	part, pks, err := PartitionSource(csr.PackMatrix(m, 1), k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([][]*Engine, k)
+	for s, pk := range pks {
+		engines[s] = NewReplicas(s, replicas, pk, EngineConfig{CacheBytes: cacheBytes})
+	}
+	rt, err := NewRouter(part, engines, RouterConfig{MaxLeg: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// testProbes builds hub-skewed existence probes (half true edges, half
+// random) plus the reference answers from the unsharded engine.
+func testProbes(t *testing.T, m *csr.Matrix, count int, seed int64) ([]edgelist.Edge, []bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := uint32(m.NumNodes())
+	probes := make([]edgelist.Edge, count)
+	for i := range probes {
+		u := rng.Uint32() % n
+		if deg := m.Degree(u); deg > 0 && i%2 == 0 {
+			probes[i] = edgelist.Edge{U: u, V: m.Neighbors(u)[rng.Intn(deg)]}
+		} else {
+			probes[i] = edgelist.Edge{U: u, V: rng.Uint32() % n}
+		}
+	}
+	return probes, query.EdgesExistBatch(csr.PackMatrix(m, 1), probes, 1)
+}
+
+// TestRouterDifferential pins the sharded answers to the unsharded engine
+// across shard counts, for every routed operation.
+func TestRouterDifferential(t *testing.T) {
+	m := testMatrix(t, 400, 6000, 10)
+	pk := csr.PackMatrix(m, 1)
+	rng := rand.New(rand.NewSource(11))
+	ids := make([]edgelist.NodeID, 700)
+	for i := range ids {
+		ids[i] = rng.Uint32() % uint32(m.NumNodes())
+	}
+	probes, wantExists := testProbes(t, m, 900, 12)
+	wantRows := query.NeighborsBatch(pk, ids, 1)
+	wantDeg := query.CountBatch(pk, ids, 1)
+	wantDist := algo.BFS(pk, 3, 1)
+
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, replicas := range []int{1, 2} {
+			rt := buildRouter(t, m, k, replicas, 1<<20)
+			gotRows, err := rt.NeighborsBatch(ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotRows, wantRows) {
+				t.Fatalf("k=%d r=%d: NeighborsBatch differs", k, replicas)
+			}
+			gotDeg, err := rt.DegreeBatch(ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotDeg, wantDeg) {
+				t.Fatalf("k=%d r=%d: DegreeBatch differs", k, replicas)
+			}
+			gotExists, err := rt.EdgesExistBatch(probes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotExists, wantExists) {
+				t.Fatalf("k=%d r=%d: EdgesExistBatch differs", k, replicas)
+			}
+			gotDist, rounds, err := rt.BFS(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotDist, wantDist) {
+				t.Fatalf("k=%d r=%d: BFS distances differ", k, replicas)
+			}
+			if rounds < 1 {
+				t.Fatalf("k=%d r=%d: BFS took %d rounds", k, replicas, rounds)
+			}
+			// Run the warm pass too: cached rows must not change answers.
+			gotExists, err = rt.EdgesExistBatch(probes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotExists, wantExists) {
+				t.Fatalf("k=%d r=%d: warm EdgesExistBatch differs", k, replicas)
+			}
+		}
+	}
+}
+
+// slowSource delays every row decode — the adversarial-latency shard.
+type slowSource struct {
+	query.Source
+	delay time.Duration
+}
+
+func (s slowSource) Row(dst []uint32, u edgelist.NodeID) []uint32 {
+	time.Sleep(s.delay)
+	return s.Source.Row(dst, u)
+}
+
+func (s slowSource) Degree(u edgelist.NodeID) int {
+	time.Sleep(s.delay)
+	return s.Source.Degree(u)
+}
+
+// TestRouterOrderingUnderSlowShard injects latency into one shard and
+// checks the merged output still lands at the original indices: fast
+// shards' legs complete and merge first, but ordering is positional, not
+// completion-order.
+func TestRouterOrderingUnderSlowShard(t *testing.T) {
+	m := testMatrix(t, 200, 3000, 13)
+	part, pks, err := PartitionSource(csr.PackMatrix(m, 1), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([][]*Engine, 4)
+	for s, pk := range pks {
+		var src query.Source = pk
+		if s == 1 {
+			src = slowSource{Source: pk, delay: 200 * time.Microsecond}
+		}
+		engines[s] = []*Engine{NewEngine(s, 0, src, EngineConfig{})}
+	}
+	rt, err := NewRouter(part, engines, RouterConfig{MaxLeg: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refPk := csr.PackMatrix(m, 1)
+	rng := rand.New(rand.NewSource(14))
+	// Interleave ids so every leg's results land scattered through the
+	// output, with plenty aimed at the slow shard.
+	ids := make([]edgelist.NodeID, 500)
+	for i := range ids {
+		ids[i] = rng.Uint32() % uint32(m.NumNodes())
+	}
+	got, err := rt.NeighborsBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := query.NeighborsBatch(refPk, ids, 1); !reflect.DeepEqual(got, want) {
+		t.Fatal("slow shard broke merge ordering for NeighborsBatch")
+	}
+	probes, wantExists := testProbes(t, m, 600, 15)
+	gotExists, err := rt.EdgesExistBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotExists, wantExists) {
+		t.Fatal("slow shard broke merge ordering for EdgesExistBatch")
+	}
+}
+
+// TestRouterEmptyShard routes over a partition with an empty middle shard.
+func TestRouterEmptyShard(t *testing.T) {
+	m := testMatrix(t, 100, 1500, 16)
+	part, err := Range([]uint32{0, 40, 40, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := csr.PackMatrix(m, 1)
+	ms, err := SplitSource(pk, part, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([][]*Engine, len(ms))
+	for s, sm := range ms {
+		engines[s] = []*Engine{NewEngine(s, 0, csr.PackMatrix(sm, 1), EngineConfig{})}
+	}
+	rt, err := NewRouter(part, engines, RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]edgelist.NodeID, m.NumNodes())
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	got, err := rt.NeighborsBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := query.NeighborsBatch(pk, ids, 1); !reflect.DeepEqual(got, want) {
+		t.Fatal("empty shard broke NeighborsBatch")
+	}
+	dist, _, err := rt.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := algo.BFS(pk, 0, 1); !reflect.DeepEqual(dist, want) {
+		t.Fatal("empty shard broke BFS")
+	}
+}
+
+// TestRouterSingleShardBatch sends a batch that lands entirely in one
+// shard: exactly the legs for that shard run (inline when just one), and
+// answers still match.
+func TestRouterSingleShardBatch(t *testing.T) {
+	m := testMatrix(t, 200, 3000, 17)
+	rt := buildRouter(t, m, 4, 1, 0)
+	lo, hi := rt.Partition().Bounds(2)
+	var ids []edgelist.NodeID
+	for u := lo; u < hi && len(ids) < 50; u++ {
+		ids = append(ids, u)
+	}
+	got, err := rt.NeighborsBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := query.NeighborsBatch(csr.PackMatrix(m, 1), ids, 1); !reflect.DeepEqual(got, want) {
+		t.Fatal("single-shard batch differs")
+	}
+}
+
+// TestRouterOutOfRange pins the error contract: any id outside [0, n)
+// fails the whole batch before any leg runs.
+func TestRouterOutOfRange(t *testing.T) {
+	m := testMatrix(t, 100, 1000, 18)
+	rt := buildRouter(t, m, 2, 1, 0)
+	n := uint32(m.NumNodes())
+	if _, err := rt.NeighborsBatch([]edgelist.NodeID{0, n}); err == nil {
+		t.Fatal("NeighborsBatch accepted out-of-range id")
+	}
+	if _, err := rt.DegreeBatch([]edgelist.NodeID{n + 5}); err == nil {
+		t.Fatal("DegreeBatch accepted out-of-range id")
+	}
+	if _, err := rt.EdgesExistBatch([]edgelist.Edge{{U: n, V: 0}}); err == nil {
+		t.Fatal("EdgesExistBatch accepted out-of-range U")
+	}
+	if _, err := rt.EdgesExistBatch([]edgelist.Edge{{U: 0, V: n}}); err == nil {
+		t.Fatal("EdgesExistBatch accepted out-of-range V")
+	}
+	if _, _, err := rt.BFS(n); err == nil {
+		t.Fatal("BFS accepted out-of-range source")
+	}
+	if _, err := rt.BFSBatch([]edgelist.NodeID{0, n}); err == nil {
+		t.Fatal("BFSBatch accepted out-of-range source")
+	}
+}
+
+// TestRouterEmptyBatch: zero-length batches return empty results, no error.
+func TestRouterEmptyBatch(t *testing.T) {
+	m := testMatrix(t, 50, 400, 19)
+	rt := buildRouter(t, m, 2, 1, 0)
+	if rows, err := rt.NeighborsBatch(nil); err != nil || len(rows) != 0 {
+		t.Fatalf("empty NeighborsBatch: %v, %d rows", err, len(rows))
+	}
+	if ok, err := rt.EdgesExistBatch(nil); err != nil || len(ok) != 0 {
+		t.Fatalf("empty EdgesExistBatch: %v, %d answers", err, len(ok))
+	}
+}
+
+// TestRouterBFSBatch checks the batch wrapper preserves order.
+func TestRouterBFSBatch(t *testing.T) {
+	m := testMatrix(t, 150, 2000, 20)
+	rt := buildRouter(t, m, 4, 1, 0)
+	pk := csr.PackMatrix(m, 1)
+	srcs := []edgelist.NodeID{0, 7, 149}
+	got, err := rt.BFSBatch(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range srcs {
+		if want := algo.BFS(pk, src, 1); !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("BFSBatch[%d] (src %d) differs", i, src)
+		}
+	}
+}
+
+// TestRouterModStrategy runs the differential through a mod partition —
+// strided ownership instead of ranges.
+func TestRouterModStrategy(t *testing.T) {
+	m := testMatrix(t, 300, 4000, 21)
+	pk := csr.PackMatrix(m, 1)
+	part, err := Mod(m.NumNodes(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := SplitSource(pk, part, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([][]*Engine, len(ms))
+	for s, sm := range ms {
+		engines[s] = []*Engine{NewEngine(s, 0, csr.PackMatrix(sm, 1), EngineConfig{CacheBytes: 1 << 18})}
+	}
+	rt, err := NewRouter(part, engines, RouterConfig{MaxLeg: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	ids := make([]edgelist.NodeID, 400)
+	for i := range ids {
+		ids[i] = rng.Uint32() % uint32(m.NumNodes())
+	}
+	got, err := rt.NeighborsBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := query.NeighborsBatch(pk, ids, 1); !reflect.DeepEqual(got, want) {
+		t.Fatal("mod partition broke NeighborsBatch")
+	}
+	dist, _, err := rt.BFS(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := algo.BFS(pk, 5, 1); !reflect.DeepEqual(dist, want) {
+		t.Fatal("mod partition broke BFS")
+	}
+}
+
+// TestReplicaSpread checks multi-replica shards actually spread legs: with
+// round-robin tiebreak over equal loads, both replicas must see traffic.
+func TestReplicaSpread(t *testing.T) {
+	m := testMatrix(t, 200, 3000, 23)
+	rt := buildRouter(t, m, 2, 2, 1<<18)
+	rng := rand.New(rand.NewSource(24))
+	for round := 0; round < 20; round++ {
+		ids := make([]edgelist.NodeID, 300)
+		for i := range ids {
+			ids[i] = rng.Uint32() % uint32(m.NumNodes())
+		}
+		if _, err := rt.NeighborsBatch(ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < rt.NumShards(); s++ {
+		for _, e := range rt.Replicas(s) {
+			if e.CacheStats().Misses == 0 {
+				t.Errorf("shard %d replica %d never saw traffic", s, e.Replica())
+			}
+		}
+	}
+}
+
+// TestNewRouterValidation pins the constructor's shape checks.
+func TestNewRouterValidation(t *testing.T) {
+	m := testMatrix(t, 100, 1000, 25)
+	part, pks, err := PartitionSource(csr.PackMatrix(m, 1), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRouter(part, [][]*Engine{{NewEngine(0, 0, pks[0], EngineConfig{})}}, RouterConfig{}); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	if _, err := NewRouter(part, [][]*Engine{{NewEngine(0, 0, pks[0], EngineConfig{})}, {}}, RouterConfig{}); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	if _, err := NewRouter(part, [][]*Engine{
+		{NewEngine(0, 0, pks[0], EngineConfig{})},
+		{NewEngine(1, 0, pks[0], EngineConfig{})}, // wrong shard's rows
+	}, RouterConfig{}); err == nil && part.ShardNodes(0) != part.ShardNodes(1) {
+		t.Fatal("row-count mismatch accepted")
+	}
+}

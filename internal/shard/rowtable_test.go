@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"csrgraph/internal/edgelist"
+)
+
+// TestRowTableProbeIndex pins the table's admit/index/contains invariants
+// on a tiny deterministic row set.
+func TestRowTableProbeIndex(t *testing.T) {
+	rows := map[edgelist.NodeID][]uint32{
+		0: {0, 3, 7}, // includes the (0,0) self-loop key edge case
+		1: {},
+		2: {1, 2, 4, 8, 16, 32},
+	}
+	tab := newRowTable(4, 1<<16)
+	for u, row := range rows {
+		if tab.indexed(u) {
+			t.Fatalf("row %d indexed before admission", u)
+		}
+		tab.admit(u, row)
+		tab.index(u, row)
+		if !tab.indexed(u) {
+			t.Fatalf("row %d not indexed after index()", u)
+		}
+	}
+	if tab.indexed(3) {
+		t.Fatal("untouched row reports indexed")
+	}
+	for u, row := range rows {
+		got := tab.row(u)
+		if len(got) != len(row) {
+			t.Fatalf("row(%d) = %v, want %v", u, got, row)
+		}
+		present := map[uint32]bool{}
+		for _, v := range row {
+			present[v] = true
+		}
+		for v := uint32(0); v < 40; v++ {
+			if tab.contains(u, v) != present[v] {
+				t.Fatalf("contains(%d, %d) = %v, want %v", u, v, tab.contains(u, v), present[v])
+			}
+		}
+	}
+	st := tab.Stats()
+	if st.Entries != 3 || st.Bytes <= 0 || st.MaxB <= st.Bytes {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRowTableBudget checks that admission and indexing stop at their
+// budgets instead of growing without bound, and that refused rows still
+// answer correctly through the caller's fallback.
+func TestRowTableBudget(t *testing.T) {
+	// Budget fits the probe-set carve-out plus roughly one small row.
+	tab := newRowTable(1024, 600)
+	big := make([]uint32, 4096)
+	for i := range big {
+		big[i] = uint32(i)
+	}
+	tab.admit(5, big)
+	if tab.row(5) != nil {
+		t.Fatal("oversized row admitted past byte budget")
+	}
+	tab.index(5, big) // exceeds the set's reserve bound
+	if tab.indexed(5) {
+		t.Fatal("oversized row indexed past set capacity")
+	}
+	small := []uint32{1, 2, 3}
+	tab.admit(7, small)
+	if tab.row(7) == nil {
+		t.Fatal("small row refused with budget available")
+	}
+	if newRowTable(8, 0) != nil {
+		t.Fatal("zero budget should disable the table")
+	}
+}
+
+// TestRowTableConcurrent hammers one table from many goroutines admitting
+// and probing overlapping rows; run under -race this pins the
+// publish-before-flag ordering.
+func TestRowTableConcurrent(t *testing.T) {
+	const n = 64
+	tab := newRowTable(n, 1<<20)
+	rowOf := func(u edgelist.NodeID) []uint32 {
+		row := make([]uint32, 0, 8)
+		for v := uint32(0); v < 8; v++ {
+			row = append(row, u*8+v)
+		}
+		return row
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				u := (seed + uint32(iter)) % n
+				if tab.indexed(u) {
+					if !tab.contains(u, u*8) || tab.contains(u, u*8+9) {
+						t.Errorf("indexed row %d answered wrong", u)
+						return
+					}
+					continue
+				}
+				row := tab.row(u)
+				if row == nil {
+					row = rowOf(u)
+					tab.admit(u, row)
+				}
+				tab.index(u, row)
+			}
+		}(uint32(w * 13))
+	}
+	wg.Wait()
+	for u := edgelist.NodeID(0); u < n; u++ {
+		if tab.indexed(u) && !tab.contains(u, u*8+7) {
+			t.Fatalf("row %d indexed but missing its last edge", u)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Serving-tier benchmarks for the sharded scatter-gather router: the
+// per-shard row caches against the single-engine packed search they
+// replace, on the 10M-edge acceptance graphs.
+//
+//	BenchmarkShardEdgesExistBatch — degree-biased existence probes,
+//	    shards=single (one engine, zero-decode packed search — the
+//	    pre-sharding serving path) vs shards=1|2|4|8 (the router with one
+//	    byte-budgeted row cache per shard). Hub probes repeat, so the
+//	    per-shard caches answer them from decoded contiguous rows instead
+//	    of packed random bit access.
+//	BenchmarkShardNeighborsBatch — hub-heavy row decodes through the same
+//	    single/router split.
+//
+// `make bench-compare-shard` prints the delta tables from exactly these
+// sub-benchmarks (-key shards -baseline single -new 8).
+package csrgraph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"csrgraph/internal/query"
+	"csrgraph/internal/shard"
+)
+
+// shardBenchCacheBytes is the total row-cache budget, divided across the
+// shards — the same accounting csrserver's -cache-mb flag uses, so the
+// K-shard variants never hold more cache than the single-engine flag would.
+const shardBenchCacheBytes = 64 << 20
+
+var (
+	shardBenchOnce    sync.Once
+	shardBenchRouters map[string]map[int]*shard.Router
+)
+
+// shardBenchSetup cuts the 10M-edge benchmark graphs into routers for every
+// shard count once; replicas are 1 (replication spreads load, not
+// throughput, on one machine).
+func shardBenchSetup(b *testing.B) map[string]map[int]*shard.Router {
+	b.Helper()
+	graphs := queryBenchSetup(b)
+	shardBenchOnce.Do(func() {
+		shardBenchRouters = map[string]map[int]*shard.Router{}
+		for _, dist := range []string{"uniform", "powerlaw"} {
+			g := graphs[dist]
+			shardBenchRouters[dist] = map[int]*shard.Router{}
+			for _, k := range []int{1, 2, 4, 8} {
+				part, pks, err := shard.PartitionSource(g.pk, k, 4)
+				if err != nil {
+					panic(err)
+				}
+				engines := make([][]*shard.Engine, k)
+				for s, pk := range pks {
+					engines[s] = shard.NewReplicas(s, 1, pk, shard.EngineConfig{
+						CacheBytes: shardBenchCacheBytes / int64(k),
+					})
+				}
+				rt, err := shard.NewRouter(part, engines, shard.RouterConfig{})
+				if err != nil {
+					panic(err)
+				}
+				shardBenchRouters[dist][k] = rt
+			}
+		}
+	})
+	return shardBenchRouters
+}
+
+// BenchmarkShardEdgesExistBatch is the sharded tier's acceptance benchmark:
+// aggregate existence-probe throughput through the router against the
+// single-engine baseline.
+func BenchmarkShardEdgesExistBatch(b *testing.B) {
+	graphs := queryBenchSetup(b)
+	routers := shardBenchSetup(b)
+	const nq = 4096
+	for _, dist := range []string{"uniform", "powerlaw"} {
+		g := graphs[dist]
+		probes := queryBenchProbes(g, nq)
+		b.Run(fmt.Sprintf("dist=%s/edges=%d/shards=single", dist, queryBenchEdges), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query.EdgesExistBatchSearch(g.pk, probes, 4)
+			}
+			b.ReportMetric(float64(nq)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+		for _, k := range []int{1, 2, 4, 8} {
+			rt := routers[dist][k]
+			if _, err := rt.EdgesExistBatch(probes); err != nil { // warm the shard caches off the clock
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("dist=%s/edges=%d/shards=%d", dist, queryBenchEdges, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := rt.EdgesExistBatch(probes); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(nq)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+	}
+}
+
+// BenchmarkShardNeighborsBatch measures hub-heavy batched row decodes
+// through the router's scatter-gather path.
+func BenchmarkShardNeighborsBatch(b *testing.B) {
+	graphs := queryBenchSetup(b)
+	routers := shardBenchSetup(b)
+	const size = 2048
+	for _, dist := range []string{"uniform", "powerlaw"} {
+		g := graphs[dist]
+		batch := queryBenchBatch(g, "hub", size)
+		b.Run(fmt.Sprintf("dist=%s/batch=hub/shards=single", dist), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query.NeighborsBatch(g.pk, batch, 4)
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+		for _, k := range []int{1, 2, 4, 8} {
+			rt := routers[dist][k]
+			if _, err := rt.NeighborsBatch(batch); err != nil { // warm off the clock
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("dist=%s/batch=hub/shards=%d", dist, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := rt.NeighborsBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+	}
+}
