@@ -7,7 +7,7 @@ GO ?= go
 # lower-variance trajectory points.
 BENCHTIME ?= 100ms
 
-.PHONY: all build build-cross test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-compare bench-compare-query bench-compare-algo bench-compare-shard bench-startup bench-shard fuzz fuzz-smoke experiments clean
+.PHONY: all build build-cross test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-trace bench-compare bench-compare-query bench-compare-algo bench-compare-shard bench-startup bench-shard fuzz fuzz-smoke experiments clean
 
 all: build vet lint test test-race
 
@@ -31,7 +31,7 @@ test:
 # detector should be watching. `race` below covers the whole tree but is
 # too slow for the default loop.
 test-race:
-	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/... ./internal/tcsr/... ./internal/csr/... ./internal/stream/... ./internal/mgraph/... ./internal/frontier/... ./internal/algo/... ./internal/shard/...
+	$(GO) test -race ./internal/parallel/... ./internal/query/... ./internal/bitpack/... ./internal/radix/... ./internal/edgelist/... ./internal/obs/... ./internal/server/... ./internal/tcsr/... ./internal/csr/... ./internal/stream/... ./internal/mgraph/... ./internal/frontier/... ./internal/algo/... ./internal/shard/... ./internal/trace/...
 
 race:
 	$(GO) test -race ./...
@@ -89,6 +89,15 @@ bench-obs:
 # `-baseline peel -new bucket` over the same run.
 bench-algo:
 	$(GO) test -run '^$$' -bench 'BenchmarkBFSFrontier|BenchmarkKCore' -benchmem -benchtime $(BENCHTIME) -json . \
+		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d)$(BENCH_SUFFIX).json
+
+# Tracing overhead snapshot: the recorder microbenchmarks plus the 8-shard
+# existence-probe acceptance benchmark under trace=off|sampled|always,
+# appended to the BENCH_<date>.json trajectory like bench-json. The sampled
+# variant gates the <=5% overhead budget at the production 1/256 rate; pair
+# with `go run ./cmd/benchcompare -key trace -baseline off -new sampled`.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkTrace|BenchmarkRecorder' -benchmem -benchtime $(BENCHTIME) -json . ./internal/trace \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d)$(BENCH_SUFFIX).json
 
 # Radix-vs-merge construction-sort delta table: runs BenchmarkSortByUV's

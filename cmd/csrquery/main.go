@@ -11,6 +11,12 @@
 //
 // Batched queries run in parallel across -procs processors (Section V of
 // the paper).
+//
+// With -server the query goes to a running csrserver instead, and -trace
+// additionally prints the request's per-stage latency breakdown (the server
+// must be started with -trace-sample):
+//
+//	csrquery -server http://localhost:8080 -trace exists 17:42
 package main
 
 import (
@@ -39,10 +45,21 @@ func run(args []string) error {
 	graphPath := fs.String("graph", "", "packed CSR file")
 	temporalPath := fs.String("temporal", "", "packed TCSR file (mutually exclusive with -graph)")
 	procs := fs.Int("procs", 4, "processors for batched queries")
+	serverURL := fs.String("server", "", "query a running csrserver at this base URL instead of a local file")
+	traceOn := fs.Bool("trace", false, "with -server: trace the request and print its per-stage latency breakdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
+	if *serverURL != "" {
+		if *graphPath != "" || *temporalPath != "" {
+			return fmt.Errorf("-server is mutually exclusive with -graph and -temporal")
+		}
+		return runRemote(*serverURL, *traceOn, rest, os.Stdout)
+	}
+	if *traceOn {
+		return fmt.Errorf("-trace needs -server: local queries have no trace recorder")
+	}
 	if *temporalPath != "" {
 		if *graphPath != "" {
 			return fmt.Errorf("-graph and -temporal are mutually exclusive")

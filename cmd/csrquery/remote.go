@@ -1,0 +1,180 @@
+// Remote mode: with -server, csrquery sends its subcommand to a running
+// csrserver instead of opening a graph file, and with -trace it asks the
+// server to trace the request (X-Trace: 1) and prints the per-stage latency
+// breakdown fetched back from /debug/traces by the echoed request id:
+//
+//	csrquery -server http://localhost:8080 -trace exists 17:42 9:3
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// traceFetchRetries x traceFetchDelay bounds the wait for the trace to land
+// in the server's ring: Finish runs after the response body is written, so
+// an immediate fetch can race it.
+const (
+	traceFetchRetries = 5
+	traceFetchDelay   = 50 * time.Millisecond
+)
+
+// runRemote dispatches a subcommand against a csrserver at base.
+func runRemote(base string, traceOn bool, rest []string, out io.Writer) error {
+	if len(rest) == 0 {
+		return fmt.Errorf("need a subcommand: neighbors, exists, degree, bfs or stats")
+	}
+	base = strings.TrimRight(base, "/")
+	var path string
+	switch rest[0] {
+	case "stats":
+		path = "/stats"
+	case "neighbors", "degree":
+		if len(rest) < 2 {
+			return fmt.Errorf("%s: need at least one node id", rest[0])
+		}
+		path = "/" + rest[0] + "?nodes=" + strings.Join(rest[1:], ",")
+	case "exists":
+		if len(rest) < 2 {
+			return fmt.Errorf("exists: need at least one u:v pair")
+		}
+		path = "/exists?edges=" + strings.Join(rest[1:], ",")
+	case "bfs":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: bfs <src>")
+		}
+		path = "/bfs?src=" + rest[1]
+	default:
+		return fmt.Errorf("unknown remote subcommand %q", rest[0])
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	req, err := http.NewRequest("GET", base+path, nil)
+	if err != nil {
+		return err
+	}
+	if traceOn {
+		req.Header.Set("X-Trace", "1")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close() //csr:errok read-only response body; close cannot lose data
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, _ = fmt.Fprintln(out, strings.TrimSpace(string(body))) //csr:errok best-effort stdout; a failed write cannot be reported anywhere better
+	if !traceOn {
+		return nil
+	}
+	id := resp.Header.Get("X-Request-ID")
+	if len(id) != 16 {
+		return fmt.Errorf("server did not trace the request (no trace id in X-Request-ID; is -trace-sample off?)")
+	}
+	return printTrace(client, base, id, out)
+}
+
+// remoteTrace mirrors the /debug/traces wire shape; span stages arrive as
+// names ("queue_wait"), so they decode as strings.
+type remoteTrace struct {
+	ID        string `json:"id"`
+	Op        string `json:"op"`
+	TotalNS   int64  `json:"total_ns"`
+	Slow      bool   `json:"slow"`
+	Truncated int    `json:"truncated_spans"`
+	Spans     []struct {
+		Stage    string `json:"stage"`
+		Shard    int    `json:"shard"`
+		Replica  int    `json:"replica"`
+		Items    int    `json:"items"`
+		Extra    int64  `json:"extra"`
+		OffsetNS int64  `json:"offset_ns"`
+		DurNS    int64  `json:"dur_ns"`
+	} `json:"spans"`
+}
+
+// printTrace fetches trace id from the server (retrying briefly: the trace
+// lands in the ring after the response is written) and prints the
+// per-stage breakdown table.
+func printTrace(client *http.Client, base, id string, out io.Writer) error {
+	var (
+		tr      remoteTrace
+		lastErr error
+	)
+	for attempt := 0; ; attempt++ {
+		lastErr = fetchTrace(client, base, id, &tr)
+		if lastErr == nil {
+			break
+		}
+		if attempt+1 >= traceFetchRetries {
+			return fmt.Errorf("trace %s: %w", id, lastErr)
+		}
+		time.Sleep(traceFetchDelay)
+	}
+
+	// Table output is best-effort stdout; write errors surface at Flush.
+	_, _ = fmt.Fprintf(out, "\ntrace %s  op=%s  total=%s", tr.ID, tr.Op, time.Duration(tr.TotalNS)) //csr:errok see above
+	if tr.Slow {
+		_, _ = fmt.Fprint(out, "  SLOW") //csr:errok see above
+	}
+	if tr.Truncated > 0 {
+		_, _ = fmt.Fprintf(out, "  (+%d spans truncated)", tr.Truncated) //csr:errok see above
+	}
+	_, _ = fmt.Fprintln(out) //csr:errok see above
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	_, _ = fmt.Fprintln(w, "STAGE\tSHARD\tREPLICA\tITEMS\tEXTRA\tOFFSET\tDUR\t%") //csr:errok buffered; Flush returns the error
+	for _, sp := range tr.Spans {
+		share := 0.0
+		if tr.TotalNS > 0 {
+			share = 100 * float64(sp.DurNS) / float64(tr.TotalNS)
+		}
+		shard, replica := "-", "-"
+		if sp.Shard >= 0 {
+			shard = fmt.Sprint(sp.Shard)
+		}
+		if sp.Replica >= 0 {
+			replica = fmt.Sprint(sp.Replica)
+		}
+		_, _ = fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%s\t%s\t%.1f\n", //csr:errok buffered; Flush returns the error
+			sp.Stage, shard, replica, sp.Items, sp.Extra,
+			time.Duration(sp.OffsetNS), time.Duration(sp.DurNS), share)
+	}
+	return w.Flush()
+}
+
+// fetchTrace loads one retained trace by id.
+func fetchTrace(client *http.Client, base, id string, tr *remoteTrace) error {
+	resp, err := client.Get(base + "/debug/traces?id=" + id)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close() //csr:errok read-only response body; close cannot lose data
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Traces []remoteTrace `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return err
+	}
+	if len(out.Traces) != 1 {
+		return fmt.Errorf("expected one trace, got %d", len(out.Traces))
+	}
+	*tr = out.Traces[0]
+	return nil
+}

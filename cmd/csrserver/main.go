@@ -19,7 +19,17 @@
 // /neighbors?node=u&frame=t, /bfs?src=u&frame=t.
 // Observability: -metrics mounts GET /metrics (Prometheus text), -pprof
 // mounts GET /debug/pprof/, and -log-format selects structured access
-// logging (text, json, or off).
+// logging (text, json, or off). -trace-sample enables request tracing:
+//
+//	csrserver -graph g.pcsr -trace-sample 1/256 -trace-slow 250ms
+//
+// "1/256" head-samples one request in 256 (rounded up to a power of two),
+// "always" traces everything, "force" traces only requests carrying an
+// "X-Trace: 1" header, and "off" disables tracing. Traced requests echo
+// their trace id in X-Request-ID; retained traces are served by GET
+// /debug/traces and GET /debug/traces/summary. -trace-buf sizes the
+// retained ring and -trace-slow logs any trace over the threshold as a
+// structured warn record through the access logger.
 package main
 
 import (
@@ -29,6 +39,8 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"csrgraph/internal/csr"
@@ -38,6 +50,7 @@ import (
 	"csrgraph/internal/server"
 	"csrgraph/internal/shard"
 	"csrgraph/internal/tcsr"
+	"csrgraph/internal/trace"
 )
 
 func main() {
@@ -54,6 +67,9 @@ func main() {
 	metrics := fs.Bool("metrics", false, "collect metrics and serve GET /metrics (Prometheus text)")
 	pprofOn := fs.Bool("pprof", false, "serve GET /debug/pprof/ profiling endpoints")
 	logFormat := fs.String("log-format", "off", "access log format: text, json, or off")
+	traceSample := fs.String("trace-sample", "off", `request tracing: "off", "always", "force" (X-Trace: 1 only), or a head-sampling rate like "1/256"`)
+	traceBuf := fs.Int("trace-buf", 1024, "retained-trace ring capacity (rounded up to a power of two)")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "log traces over this total as slow-query records (0 disables)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -62,6 +78,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "csrserver:", err)
 		os.Exit(2)
 	}
+	tropt, err := traceOption(*traceSample, *traceBuf, *traceSlow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrserver:", err)
+		os.Exit(2)
+	}
+	opts = append(opts, tropt...)
 	handler, desc, err := buildHandler(serveConfig{
 		graphPath:    *graphPath,
 		temporalPath: *temporalPath,
@@ -104,6 +126,34 @@ func obsOptions(metrics, pprofOn bool, logFormat string) ([]server.Option, error
 		return nil, fmt.Errorf("unknown -log-format %q (want text, json, or off)", logFormat)
 	}
 	return opts, nil
+}
+
+// traceOption translates the -trace-sample/-trace-buf/-trace-slow flags
+// into a server.WithTracing option ("off" yields none). "force" builds a
+// recorder with sampling disabled, so only X-Trace: 1 requests trace.
+func traceOption(sample string, buf int, slow time.Duration) ([]server.Option, error) {
+	var rate uint64
+	switch sample {
+	case "off", "", "0":
+		return nil, nil
+	case "always", "1":
+		rate = 1
+	case "force":
+		rate = 0
+	default:
+		s := strings.TrimPrefix(sample, "1/")
+		v, err := strconv.ParseUint(s, 10, 32)
+		if err != nil || v == 0 {
+			return nil, fmt.Errorf(`bad -trace-sample %q (want "off", "always", "force", or a rate like "1/256")`, sample)
+		}
+		rate = v
+	}
+	rec := trace.NewRecorder(trace.RecorderConfig{
+		Capacity:      buf,
+		Sample:        rate,
+		SlowThreshold: slow,
+	})
+	return []server.Option{server.WithTracing(rec)}, nil
 }
 
 // serveConfig is the resolved flag set buildHandler dispatches on.
@@ -256,5 +306,7 @@ func buildRouter(part *shard.Partition, pks []*csr.Packed, c serveConfig) (*shar
 	for s, pk := range pks {
 		engines[s] = shard.NewReplicas(s, replicas, pk, shard.EngineConfig{CacheBytes: perShard})
 	}
-	return shard.NewRouter(part, engines, shard.RouterConfig{})
+	// Verified flows to /healthz: with -verify the shard payloads were
+	// checksum-checked at load, and readiness reporting says so.
+	return shard.NewRouter(part, engines, shard.RouterConfig{Verified: c.verify})
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"csrgraph/internal/csr"
 	"csrgraph/internal/edgelist"
@@ -101,6 +102,60 @@ func TestBuildHandlerWithMetrics(t *testing.T) {
 		if rec.Code != 200 {
 			t.Errorf("%s = %d, want 200", url, rec.Code)
 		}
+	}
+}
+
+func TestTraceOption(t *testing.T) {
+	for _, off := range []string{"off", "", "0"} {
+		opts, err := traceOption(off, 1024, 0)
+		if err != nil || len(opts) != 0 {
+			t.Errorf("trace-sample %q: opts = %d, err = %v; want none", off, len(opts), err)
+		}
+	}
+	for _, on := range []string{"always", "1", "force", "1/256", "256"} {
+		opts, err := traceOption(on, 64, time.Millisecond)
+		if err != nil || len(opts) != 1 {
+			t.Errorf("trace-sample %q: opts = %d, err = %v; want 1 option", on, len(opts), err)
+		}
+	}
+	for _, bad := range []string{"sometimes", "1/0", "-4", "1/2.5"} {
+		if _, err := traceOption(bad, 64, 0); err == nil {
+			t.Errorf("trace-sample %q accepted", bad)
+		}
+	}
+}
+
+// TestBuildHandlerTraced drives a forced trace through a flag-built sharded
+// handler and reads it back from /debug/traces — the csrserver analogue of
+// the curl quick-start in the README.
+func TestBuildHandlerTraced(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.pcsr")
+	l := edgelist.List{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}}
+	pk := csr.BuildPacked(l, 4, 2)
+	if err := pk.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := traceOption("force", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := buildHandler(serveConfig{graphPath: path, procs: 2, cacheMB: 1, shards: 2, replicas: 1}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/exists?edges=0:1,2:3", nil)
+	req.Header.Set("X-Trace", "1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	id := rec.Header().Get("X-Request-ID")
+	if rec.Code != 200 || len(id) != 16 {
+		t.Fatalf("traced exists: code %d, id %q", rec.Code, id)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id="+id, nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"queue_wait"`) {
+		t.Fatalf("/debug/traces?id=%s = %d: %s", id, rec.Code, rec.Body.String())
 	}
 }
 

@@ -151,7 +151,16 @@ type Histogram struct {
 	scale   float64
 	count   atomic.Int64
 	sum     atomic.Int64
+	ex      atomic.Pointer[exemplar]
 	buckets [histBuckets]atomic.Int64
+}
+
+// exemplar is the largest observation seen so far paired with the trace id
+// that produced it, published as one immutable value so readers never see
+// a value from one observation with the id of another.
+type exemplar struct {
+	v  int64
+	id uint64
 }
 
 // NewHistogram returns an unregistered histogram exposing raw values
@@ -185,6 +194,34 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records d in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
 
+// ObserveExemplar records v (subject to the usual enabled gate) and, when v
+// is the largest observation this histogram has seen, remembers id as its
+// exemplar — the trace id answering "which request was the worst one". The
+// exemplar update is NOT gated on Enabled, mirroring Gauge: request tracing
+// works without -metrics, and the max is maintained with a CAS loop that
+// allocates only on a new maximum (logarithmically rare).
+func (h *Histogram) ObserveExemplar(v int64, id uint64) {
+	h.Observe(v)
+	for {
+		cur := h.ex.Load()
+		if cur != nil && cur.v >= v {
+			return
+		}
+		if h.ex.CompareAndSwap(cur, &exemplar{v: v, id: id}) {
+			return
+		}
+	}
+}
+
+// Exemplar returns the id and value of the largest observation recorded via
+// ObserveExemplar (zeros if none).
+func (h *Histogram) Exemplar() (id uint64, v int64) {
+	if e := h.ex.Load(); e != nil {
+		return e.id, e.v
+	}
+	return 0, 0
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -208,6 +245,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i := 0; i < histBuckets; i++ {
 		cum += h.buckets[i].Load()
 		if cum >= rank {
+			if i == histBuckets-1 {
+				// The overflow bucket has no finite upper boundary — it
+				// absorbs everything past 2^62, including sentinel-large
+				// values like MaxInt64. Report its LOWER bound: "at least
+				// 2^62" is honest, while 2^63 would exceed every int64
+				// observation that can exist.
+				return float64(uint64(1) << uint(histBuckets-2))
+			}
 			return float64(uint64(1) << uint(i))
 		}
 	}

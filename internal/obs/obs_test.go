@@ -83,6 +83,91 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestQuantileOverflowBucket is the regression test for the last-bucket
+// clamp: sentinel-large observations (MaxInt64) land in the overflow bucket,
+// whose reported quantile must be the bucket's LOWER bound (2^62) — the old
+// upper-bound answer (2^63) exceeded every representable observation.
+func TestQuantileOverflowBucket(t *testing.T) {
+	enable(t)
+	h := NewHistogram()
+	for i := 0; i < 4; i++ {
+		h.Observe(math.MaxInt64)
+	}
+	want := float64(uint64(1) << 62)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+	// A mixed distribution must still cross in the overflow bucket for high
+	// quantiles and clamp the same way.
+	h2 := NewHistogram()
+	h2.Observe(100)
+	h2.Observe(math.MaxInt64)
+	if got := h2.Quantile(1); got != want {
+		t.Fatalf("mixed Quantile(1) = %g, want %g", got, want)
+	}
+	if got := h2.Quantile(0.25); got != 128 {
+		t.Fatalf("mixed Quantile(0.25) = %g, want 128", got)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	enable(t)
+	h := NewHistogram()
+	if id, v := h.Exemplar(); id != 0 || v != 0 {
+		t.Fatalf("empty exemplar = %d/%d", id, v)
+	}
+	h.ObserveExemplar(100, 7)
+	h.ObserveExemplar(50, 8) // smaller: must not displace
+	if id, v := h.Exemplar(); id != 7 || v != 100 {
+		t.Fatalf("exemplar = %d/%d, want 7/100", id, v)
+	}
+	h.ObserveExemplar(200, 9)
+	if id, v := h.Exemplar(); id != 9 || v != 200 {
+		t.Fatalf("exemplar = %d/%d, want 9/200", id, v)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("ObserveExemplar must also Observe: count = %d", h.Count())
+	}
+}
+
+// TestExemplarUngated: tracing works without -metrics, so the max/id pair
+// updates even while collection is off (the histogram part stays gated).
+func TestExemplarUngated(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(100, 3)
+	if id, v := h.Exemplar(); id != 3 || v != 100 {
+		t.Fatalf("disabled exemplar = %d/%d, want 3/100", id, v)
+	}
+	if h.Count() != 0 {
+		t.Fatalf("disabled ObserveExemplar recorded %d observations", h.Count())
+	}
+}
+
+func TestExemplarConcurrent(t *testing.T) {
+	enable(t)
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				h.ObserveExemplar(int64(i), uint64(w*10000+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	id, v := h.Exemplar()
+	if v != 1000 {
+		t.Fatalf("exemplar value = %d, want 1000", v)
+	}
+	if id%10000 != 1000 {
+		t.Fatalf("exemplar id %d does not match value 1000", id)
+	}
+}
+
 func TestHistogramDisabled(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(10)

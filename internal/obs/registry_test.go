@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"fmt"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -94,6 +97,95 @@ func TestWritePrometheusEmptyHistogram(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryConcurrentFirstRegistration races many goroutines through the
+// FIRST registration of the same series names: exactly one series object
+// must win per name (every caller gets the same pointer), and counts
+// recorded through any of the returned handles must all land in it. The
+// race detector is half the assertion.
+func TestRegistryConcurrentFirstRegistration(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	r := NewRegistry()
+	const workers = 16
+	counters := make([]*Counter, workers)
+	hists := make([]*Histogram, workers)
+	gauges := make([]*Gauge, workers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < workers; w++ {
+		done.Add(1)
+		go func(w int) {
+			defer done.Done()
+			start.Wait() // maximize the first-registration collision window
+			counters[w] = r.Counter(`t_first_total{k="v"}`)
+			counters[w].Inc()
+			hists[w] = r.Histogram("t_first_seconds", 1e-9)
+			hists[w].Observe(int64(w + 1))
+			gauges[w] = r.Gauge("t_first_ratio")
+		}(w)
+	}
+	start.Done()
+	done.Wait()
+	for w := 1; w < workers; w++ {
+		if counters[w] != counters[0] || hists[w] != hists[0] || gauges[w] != gauges[0] {
+			t.Fatalf("worker %d got a different series object", w)
+		}
+	}
+	if got := counters[0].Value(); got != workers {
+		t.Fatalf("counter = %d, want %d — increments split across duplicate series", got, workers)
+	}
+	if got := hists[0].Count(); got != workers {
+		t.Fatalf("histogram count = %d, want %d", got, workers)
+	}
+}
+
+// TestWritePrometheusDuringRegistration scrapes the registry while new
+// series are still being registered: every exposition must be well-formed
+// (no torn families) and the final scrape must contain everything.
+func TestWritePrometheusDuringRegistration(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	r := NewRegistry()
+	const n = 64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			r.Counter(fmt.Sprintf(`t_inflight_total{i="%d"}`, i)).Inc()
+		}
+		close(stop)
+	}()
+	for {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil && err != io.EOF {
+			t.Fatalf("scrape during registration: %v", err)
+		}
+		out := b.String()
+		// A family TYPE line appears at most once no matter when we scrape.
+		if c := strings.Count(out, "# TYPE t_inflight_total counter"); c > 1 {
+			t.Fatalf("torn exposition: %d TYPE lines", c)
+		}
+		select {
+		case <-stop:
+			wg.Wait()
+			var final strings.Builder
+			if err := r.WritePrometheus(&final); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				want := fmt.Sprintf(`t_inflight_total{i="%d"} 1`, i)
+				if !strings.Contains(final.String(), want) {
+					t.Fatalf("final scrape missing %q", want)
+				}
+			}
+			return
+		default:
 		}
 	}
 }

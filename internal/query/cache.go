@@ -8,6 +8,7 @@ import (
 	"csrgraph/internal/edgelist"
 	"csrgraph/internal/obs"
 	"csrgraph/internal/parallel"
+	"csrgraph/internal/trace"
 )
 
 // RowCache is a sharded, byte-budgeted LRU of decoded neighbor rows keyed
@@ -317,10 +318,17 @@ const existsAdmitDegree = 128
 // This is the per-shard engine's existence path: each shard's cache holds
 // only that shard's hubs, so one shard's churn never evicts another's.
 func EdgesExistBatchCached(g Source, cache *RowCache, edges []edgelist.Edge, p int) []bool {
+	return EdgesExistBatchCachedTraced(g, cache, edges, p, nil)
+}
+
+// EdgesExistBatchCachedTraced is EdgesExistBatchCached stamping spans into
+// tr: a schedule span, then a search span over the cache-fronted probe body.
+func EdgesExistBatchCachedTraced(g Source, cache *RowCache, edges []edgelist.Edge, p int, tr *trace.Trace) []bool {
 	if cache == nil {
-		return EdgesExistBatchSearch(g, edges, p)
+		return EdgesExistBatchSearchTraced(g, edges, p, tr)
 	}
 	start := obs.Now()
+	ts := tr.Now()
 	results := make([]bool, len(edges))
 	p = clampProcs(p, len(edges))
 	s, searchable := g.(Searcher)
@@ -330,6 +338,8 @@ func EdgesExistBatchCached(g Source, cache *RowCache, edges []edgelist.Edge, p i
 		dispatchDecode.Inc()
 	}
 	bufs := make([][]uint32, p)
+	tr.Span(trace.StageSchedule, len(edges), ts)
+	tx := tr.Now()
 	parallel.ForDynamic(len(edges), p, searchGrain, func(w int, r parallel.Range) {
 		for i := r.Start; i < r.End; i++ {
 			e := edges[i]
@@ -354,6 +364,7 @@ func EdgesExistBatchCached(g Source, cache *RowCache, edges []edgelist.Edge, p i
 			results[i] = SearchSorted(buf, e.V)
 		}
 	})
+	tr.Span(trace.StageSearch, len(edges), tx)
 	existsBatchSize.Observe(int64(len(edges)))
 	obs.Tick(existsBatchSeconds, start)
 	return results

@@ -29,6 +29,7 @@ import (
 	"csrgraph/internal/edgelist"
 	"csrgraph/internal/obs"
 	"csrgraph/internal/parallel"
+	"csrgraph/internal/trace"
 )
 
 // Source is a CSR-shaped graph that can produce a node's neighbor row.
@@ -51,11 +52,22 @@ type Source interface {
 // ranges sized to roughly constant decode work. Decode buffers are
 // per-worker and reused across grabs.
 func NeighborsBatch(g Source, uNodes []edgelist.NodeID, p int) [][]uint32 {
+	return NeighborsBatchTraced(g, uNodes, p, nil)
+}
+
+// NeighborsBatchTraced is NeighborsBatch stamping spans into tr (nil means
+// untraced): a schedule span for proc clamping, grain sizing, and scratch
+// allocation, then a decode span covering the parallel row-decoding body.
+func NeighborsBatchTraced(g Source, uNodes []edgelist.NodeID, p int, tr *trace.Trace) [][]uint32 {
 	start := obs.Now()
+	ts := tr.Now()
 	results := make([][]uint32, len(uNodes))
 	p = clampProcs(p, len(uNodes))
+	grain := dynamicGrain(g, len(uNodes), p)
 	bufs := make([][]uint32, p)
-	parallel.ForDynamic(len(uNodes), p, dynamicGrain(g, len(uNodes), p), func(w int, r parallel.Range) {
+	tr.Span(trace.StageSchedule, len(uNodes), ts)
+	td := tr.Now()
+	parallel.ForDynamic(len(uNodes), p, grain, func(w int, r parallel.Range) {
 		for i := r.Start; i < r.End; i++ {
 			buf := g.Row(bufs[w], uNodes[i])
 			bufs[w] = buf
@@ -64,6 +76,7 @@ func NeighborsBatch(g Source, uNodes []edgelist.NodeID, p int) [][]uint32 {
 			results[i] = row
 		}
 	})
+	tr.Span(trace.StageDecode, len(uNodes), td)
 	neighborsBatchSize.Observe(int64(len(uNodes)))
 	obs.Tick(neighborsBatchSeconds, start)
 	return results
@@ -152,11 +165,19 @@ func EdgeExistsSplit(g Source, u, v edgelist.NodeID, p int) bool {
 // CountBatch answers an array of degree queries with p processors; a
 // convenience built on the same dispatch pattern as Algorithm 9.
 func CountBatch(g Source, uNodes []edgelist.NodeID, p int) []int {
+	return CountBatchTraced(g, uNodes, p, nil)
+}
+
+// CountBatchTraced is CountBatch stamping one exec span over the parallel
+// degree-lookup body.
+func CountBatchTraced(g Source, uNodes []edgelist.NodeID, p int, tr *trace.Trace) []int {
+	tx := tr.Now()
 	results := make([]int, len(uNodes))
 	parallel.For(len(uNodes), p, func(_ int, r parallel.Range) {
 		for i := r.Start; i < r.End; i++ {
 			results[i] = g.Degree(uNodes[i])
 		}
 	})
+	tr.Span(trace.StageExec, len(uNodes), tx)
 	return results
 }

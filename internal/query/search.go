@@ -21,6 +21,7 @@ import (
 	"csrgraph/internal/edgelist"
 	"csrgraph/internal/obs"
 	"csrgraph/internal/parallel"
+	"csrgraph/internal/trace"
 )
 
 // Searcher is a Source that can answer an existence query by searching a
@@ -117,23 +118,37 @@ func clampProcs(p, n int) int {
 // instead of an O(d) row decode); any other source falls back to decoding
 // each row into a per-worker buffer and binary-searching it.
 func EdgesExistBatchSearch(g Source, edges []edgelist.Edge, p int) []bool {
+	return EdgesExistBatchSearchTraced(g, edges, p, nil)
+}
+
+// EdgesExistBatchSearchTraced is EdgesExistBatchSearch stamping spans into
+// tr: a schedule span, then a search span (zero-decode path) or a decode
+// span (fallback), so a trace shows which dispatch the batch actually took.
+func EdgesExistBatchSearchTraced(g Source, edges []edgelist.Edge, p int, tr *trace.Trace) []bool {
 	start := obs.Now()
+	ts := tr.Now()
 	results := make([]bool, len(edges))
 	p = clampProcs(p, len(edges))
 	if s, ok := g.(Searcher); ok {
 		dispatchSearch.Inc()
+		tr.Span(trace.StageSchedule, len(edges), ts)
+		tx := tr.Now()
 		parallel.ForDynamic(len(edges), p, searchGrain, func(_ int, r parallel.Range) {
 			for i := r.Start; i < r.End; i++ {
 				results[i] = s.SearchRow(edges[i].U, edges[i].V)
 			}
 		})
+		tr.Span(trace.StageSearch, len(edges), tx)
 		existsBatchSize.Observe(int64(len(edges)))
 		obs.Tick(existsBatchSeconds, start)
 		return results
 	}
 	dispatchDecode.Inc()
+	grain := dynamicGrain(g, len(edges), p)
 	bufs := make([][]uint32, p)
-	parallel.ForDynamic(len(edges), p, dynamicGrain(g, len(edges), p), func(w int, r parallel.Range) {
+	tr.Span(trace.StageSchedule, len(edges), ts)
+	tx := tr.Now()
+	parallel.ForDynamic(len(edges), p, grain, func(w int, r parallel.Range) {
 		for i := r.Start; i < r.End; i++ {
 			e := edges[i]
 			buf := g.Row(bufs[w], e.U)
@@ -150,6 +165,7 @@ func EdgesExistBatchSearch(g Source, edges []edgelist.Edge, p int) []bool {
 			results[i] = lo < len(buf) && buf[lo] == e.V
 		}
 	})
+	tr.Span(trace.StageDecode, len(edges), tx)
 	existsBatchSize.Observe(int64(len(edges)))
 	obs.Tick(existsBatchSeconds, start)
 	return results

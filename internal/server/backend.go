@@ -12,17 +12,22 @@ import (
 	"csrgraph/internal/frontier"
 	"csrgraph/internal/query"
 	"csrgraph/internal/shard"
+	"csrgraph/internal/trace"
 )
 
-// backend answers the query endpoints over one immutable graph.
+// backend answers the query endpoints over one immutable graph. The tr
+// parameter is the request's live trace — nil on untraced requests, which
+// is the common case and costs each stamping site one pointer compare.
 type backend interface {
 	numNodes() int
-	neighbors(ids []edgelist.NodeID) ([][]uint32, error)
-	degrees(ids []edgelist.NodeID) ([]int, error)
-	edgesExist(edges []edgelist.Edge) ([]bool, error)
-	bfs(src edgelist.NodeID) (bfsTraversal, error)
+	neighbors(ids []edgelist.NodeID, tr *trace.Trace) ([][]uint32, error)
+	degrees(ids []edgelist.NodeID, tr *trace.Trace) ([]int, error)
+	edgesExist(edges []edgelist.Edge, tr *trace.Trace) ([]bool, error)
+	bfs(src edgelist.NodeID, tr *trace.Trace) (bfsTraversal, error)
 	// statsInto adds backend-specific fields to the /stats payload.
 	statsInto(out map[string]any)
+	// healthInto adds backend-specific readiness fields to /healthz.
+	healthInto(out map[string]any)
 	// metricsInto appends backend-specific exposition lines to /metrics.
 	metricsInto(w io.Writer)
 }
@@ -55,24 +60,32 @@ func newSingleBackend(g query.Source, cacheBytes int64, procs int) *singleBacken
 
 func (b *singleBackend) numNodes() int { return b.g.NumNodes() }
 
-func (b *singleBackend) neighbors(ids []edgelist.NodeID) ([][]uint32, error) {
-	return query.NeighborsBatch(b.rows, ids, b.procs), nil
+func (b *singleBackend) neighbors(ids []edgelist.NodeID, tr *trace.Trace) ([][]uint32, error) {
+	return query.NeighborsBatchTraced(b.rows, ids, b.procs, tr), nil
 }
 
-func (b *singleBackend) degrees(ids []edgelist.NodeID) ([]int, error) {
-	return query.CountBatch(b.g, ids, b.procs), nil
+func (b *singleBackend) degrees(ids []edgelist.NodeID, tr *trace.Trace) ([]int, error) {
+	return query.CountBatchTraced(b.g, ids, b.procs, tr), nil
 }
 
-func (b *singleBackend) edgesExist(edges []edgelist.Edge) ([]bool, error) {
-	return query.EdgesExistBatchCached(b.g, b.cache, edges, b.procs), nil
+func (b *singleBackend) edgesExist(edges []edgelist.Edge, tr *trace.Trace) ([]bool, error) {
+	return query.EdgesExistBatchCachedTraced(b.g, b.cache, edges, b.procs, tr), nil
 }
 
-func (b *singleBackend) bfs(src edgelist.NodeID) (bfsTraversal, error) {
+func (b *singleBackend) bfs(src edgelist.NodeID, tr *trace.Trace) (bfsTraversal, error) {
+	x := tr.Now()
 	dist, st := algo.BFSFrontierStats(b.g, nil, src, frontier.DefaultPolicy(), b.procs)
+	tr.Span(trace.StageExec, st.Rounds, x)
 	return bfsTraversal{
 		dist: dist, rounds: st.Rounds,
 		sparse: st.SparseRounds, dense: st.DenseRounds, hasPhases: true,
 	}, nil
+}
+
+// healthInto: a single in-process engine is ready by construction (the
+// graph loaded before the handler existed).
+func (b *singleBackend) healthInto(out map[string]any) {
+	out["backend"] = "single"
 }
 
 func (b *singleBackend) statsInto(out map[string]any) {
@@ -104,24 +117,46 @@ type shardBackend struct {
 
 func (b *shardBackend) numNodes() int { return b.rt.Partition().NumNodes() }
 
-func (b *shardBackend) neighbors(ids []edgelist.NodeID) ([][]uint32, error) {
-	return b.rt.NeighborsBatch(ids)
+func (b *shardBackend) neighbors(ids []edgelist.NodeID, tr *trace.Trace) ([][]uint32, error) {
+	return b.rt.NeighborsBatchTraced(ids, tr)
 }
 
-func (b *shardBackend) degrees(ids []edgelist.NodeID) ([]int, error) {
-	return b.rt.DegreeBatch(ids)
+func (b *shardBackend) degrees(ids []edgelist.NodeID, tr *trace.Trace) ([]int, error) {
+	return b.rt.DegreeBatchTraced(ids, tr)
 }
 
-func (b *shardBackend) edgesExist(edges []edgelist.Edge) ([]bool, error) {
-	return b.rt.EdgesExistBatch(edges)
+func (b *shardBackend) edgesExist(edges []edgelist.Edge, tr *trace.Trace) ([]bool, error) {
+	return b.rt.EdgesExistBatchTraced(edges, tr)
 }
 
-func (b *shardBackend) bfs(src edgelist.NodeID) (bfsTraversal, error) {
-	dist, rounds, err := b.rt.BFS(src)
+func (b *shardBackend) bfs(src edgelist.NodeID, tr *trace.Trace) (bfsTraversal, error) {
+	dist, rounds, err := b.rt.BFSTraced(src, tr)
 	if err != nil {
 		return bfsTraversal{}, err
 	}
 	return bfsTraversal{dist: dist, rounds: rounds}, nil
+}
+
+// healthInto reports per-shard readiness: replica count, whether the shard
+// payloads' checksums were verified at load, the live queue depth, and the
+// queue-depth high-watermark since start — the shard-level signal for "is
+// one shard quietly drowning".
+func (b *shardBackend) healthInto(out map[string]any) {
+	out["backend"] = "sharded"
+	out["verified"] = b.rt.Verified()
+	shards := make([]map[string]any, b.rt.NumShards())
+	for s := range shards {
+		replicas := b.rt.Replicas(s)
+		shards[s] = map[string]any{
+			"shard":           s,
+			"ready":           len(replicas) > 0,
+			"verified":        b.rt.Verified(),
+			"replicas":        len(replicas),
+			"queue_depth":     b.rt.QueueDepth(s),
+			"queue_depth_max": b.rt.QueueDepthMax(s),
+		}
+	}
+	out["shards"] = shards
 }
 
 // statsInto reports the shard topology: per shard, the owned range and

@@ -22,6 +22,7 @@ import (
 
 	"csrgraph/internal/obs"
 	"csrgraph/internal/query"
+	"csrgraph/internal/trace"
 )
 
 // Option customizes New and NewTemporal.
@@ -33,6 +34,7 @@ type config struct {
 	metrics    bool
 	pprof      bool
 	accessLog  *slog.Logger
+	tracer     *trace.Recorder
 }
 
 // WithRowCache fronts the /neighbors endpoint's row decodes with a sharded
@@ -54,6 +56,18 @@ func WithMetrics() Option {
 // mutex, and execution-trace profiling of a live server.
 func WithPprof() Option {
 	return func(c *config) { c.pprof = true }
+}
+
+// WithTracing attaches a request-scoped span recorder (internal/trace):
+// head-sampled requests and requests carrying "X-Trace: 1" record per-stage
+// spans, retrievable from GET /debug/traces and summarized by GET
+// /debug/traces/summary. Traced requests echo their trace id in
+// X-Request-ID (16 hex digits) so responses, the access log, and the trace
+// store join on one key; traces over the recorder's slow threshold are
+// additionally logged as structured warn records through the access logger.
+// A nil recorder disables tracing (the same as omitting the option).
+func WithTracing(rec *trace.Recorder) Option {
+	return func(c *config) { c.tracer = rec }
 }
 
 // WithAccessLog enables structured per-request logging to log: one Info
@@ -78,16 +92,43 @@ func newConfig(opts []Option) config {
 }
 
 // httpObs is the per-handler instrumentation state: the access logger, the
-// request-id sequence, and the start time /stats and /metrics report uptime
-// against.
+// trace recorder, the request-id sequence, and the start time /stats and
+// /metrics report uptime against. hists collects each route's latency
+// histogram at registration (construction-time only, read-only while
+// serving) so /debug/traces/summary can surface per-path exemplars.
 type httpObs struct {
-	log   *slog.Logger // nil: access logging off
+	log   *slog.Logger    // nil: access logging off
+	rec   *trace.Recorder // nil: tracing off
 	reqID atomic.Uint64
 	start time.Time
+	hists map[string]*obs.Histogram
 }
 
 func newHTTPObs(c config) *httpObs {
-	return &httpObs{log: c.accessLog, start: time.Now()}
+	return &httpObs{
+		log:   c.accessLog,
+		rec:   c.tracer,
+		start: time.Now(),
+		hists: make(map[string]*obs.Histogram),
+	}
+}
+
+// opForPath maps a registered route to the trace op its requests record
+// under. Routes outside the query surface trace as OpOther.
+func opForPath(path string) trace.Op {
+	switch path {
+	case "/exists":
+		return trace.OpExists
+	case "/neighbors":
+		return trace.OpNeighbors
+	case "/degree":
+		return trace.OpDegree
+	case "/bfs":
+		return trace.OpBFS
+	case "/analytics/bfs":
+		return trace.OpAnalyticsBFS
+	}
+	return trace.OpOther
 }
 
 // errLog returns the logger handler internals (encode failures) should
@@ -138,36 +179,52 @@ func (o *httpObs) handle(mux *http.ServeMux, pattern string, fn http.HandlerFunc
 		path = pattern[i+1:]
 	}
 	hist := obs.GetDurationHistogram(`csrgraph_http_request_seconds{path="` + path + `"}`)
+	o.hists[path] = hist
+	op := opForPath(path)
 	byClass := [6]*obs.Counter{}
 	byClass[2] = obs.GetCounter(`csrgraph_http_responses_total{path="` + path + `",code="2xx"}`)
 	byClass[4] = obs.GetCounter(`csrgraph_http_responses_total{path="` + path + `",code="4xx"}`)
 	byClass[5] = obs.GetCounter(`csrgraph_http_responses_total{path="` + path + `",code="5xx"}`)
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		logging := o.log != nil
-		if !logging && !obs.Enabled() {
+		// Start costs one atomic add on an unsampled request; nil when the
+		// request is neither head-sampled nor forced via X-Trace: 1.
+		tr := o.rec.Start(op, r.Header.Get("X-Trace") == "1")
+		if !logging && !obs.Enabled() && tr == nil {
 			// Fully dark: no clock reads, no wrapper allocation.
 			fn(w, r)
 			return
 		}
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
-		var id uint64
-		if logging {
-			id = o.reqID.Add(1)
+		var idAttr slog.Attr
+		if tr != nil {
+			// Traced requests echo the trace id so the response header, the
+			// access log, and /debug/traces?id=... join on one key.
+			sw.Header().Set("X-Request-ID", tr.IDString())
+			idAttr = slog.String("id", tr.IDString())
+			r = r.WithContext(trace.NewContext(r.Context(), tr))
+		} else if logging {
+			id := o.reqID.Add(1)
 			sw.Header().Set("X-Request-ID", fmt.Sprintf("%08x", id))
+			idAttr = slog.Uint64("id", id)
 		}
 		fn(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
 		elapsed := time.Since(start)
-		hist.ObserveDuration(elapsed)
+		if tr != nil {
+			hist.ObserveExemplar(elapsed.Nanoseconds(), tr.ID())
+		} else {
+			hist.ObserveDuration(elapsed)
+		}
 		if class := sw.status / 100; class >= 0 && class < len(byClass) && byClass[class] != nil {
 			byClass[class].Inc()
 		}
 		if logging {
 			o.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
-				slog.Uint64("id", id),
+				idAttr,
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.Int("status", sw.status),
@@ -175,6 +232,7 @@ func (o *httpObs) handle(mux *http.ServeMux, pattern string, fn http.HandlerFunc
 				slog.Duration("duration", elapsed),
 			)
 		}
+		o.rec.Finish(tr)
 	})
 }
 

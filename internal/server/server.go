@@ -16,6 +16,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -29,6 +30,7 @@ import (
 	"csrgraph/internal/obs"
 	"csrgraph/internal/query"
 	"csrgraph/internal/shard"
+	"csrgraph/internal/trace"
 )
 
 // maxBatch bounds one request's query count to keep a single request from
@@ -88,9 +90,7 @@ func newHandler(b backend, procs int, cfg config) *Handler {
 		mux:   http.NewServeMux(),
 		o:     newHTTPObs(cfg),
 	}
-	h.o.handle(h.mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		h.writeJSON(w, map[string]bool{"ok": true})
-	})
+	h.o.handle(h.mux, "GET /healthz", h.healthz)
 	h.o.handle(h.mux, "GET /stats", h.stats)
 	h.o.handle(h.mux, "GET /neighbors", h.neighbors)
 	h.o.handle(h.mux, "GET /degree", h.degree)
@@ -103,7 +103,37 @@ func newHandler(b backend, procs int, cfg config) *Handler {
 	if cfg.pprof {
 		mountPprof(h.mux)
 	}
+	if cfg.tracer != nil {
+		h.mountTraces(cfg.tracer)
+		// Tail-based slow-query capture: every trace over its op's slow
+		// threshold is logged as a structured warn record (full span detail)
+		// through the access logger, or slog.Default without one.
+		log := h.o.errLog()
+		cfg.tracer.SetOnSlow(func(t *trace.Trace) {
+			log.LogAttrs(context.Background(), slog.LevelWarn, "slow query",
+				slog.String("id", t.IDString()),
+				slog.String("op", t.Op().String()),
+				slog.Duration("total", time.Duration(t.TotalNS())),
+				slog.Int("truncated_spans", t.TruncatedSpans()),
+				slog.Any("spans", t.Spans()),
+			)
+		})
+	}
 	return h
+}
+
+// healthz reports liveness plus backend readiness: always 200 with ok=true
+// once the handler exists (graphs load before the mux is built), and for
+// sharded backends a per-shard readiness array — replica count, checksum
+// verification, live queue depth, and the queue-depth high-watermark since
+// start.
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(h.o.start).Seconds(),
+	}
+	h.b.healthInto(out)
+	h.writeJSON(w, out)
 }
 
 // ServeHTTP implements http.Handler.
@@ -120,12 +150,15 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) neighbors(w http.ResponseWriter, r *http.Request) {
+	tr := trace.FromContext(r.Context())
+	p := tr.Now()
 	nodes, err := h.parseNodes(r.URL.Query().Get("nodes"))
+	tr.Span(trace.StageParse, len(nodes), p)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	results, err := h.b.neighbors(nodes)
+	results, err := h.b.neighbors(nodes, tr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -142,12 +175,15 @@ func (h *Handler) neighbors(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) degree(w http.ResponseWriter, r *http.Request) {
+	tr := trace.FromContext(r.Context())
+	p := tr.Now()
 	nodes, err := h.parseNodes(r.URL.Query().Get("nodes"))
+	tr.Span(trace.StageParse, len(nodes), p)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	results, err := h.b.degrees(nodes)
+	results, err := h.b.degrees(nodes, tr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -160,12 +196,15 @@ func (h *Handler) degree(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) exists(w http.ResponseWriter, r *http.Request) {
+	tr := trace.FromContext(r.Context())
+	p := tr.Now()
 	edges, err := h.parseEdges(r.URL.Query().Get("edges"))
+	tr.Span(trace.StageParse, len(edges), p)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	results, err := h.b.edgesExist(edges)
+	results, err := h.b.edgesExist(edges, tr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -183,12 +222,15 @@ func (h *Handler) bfs(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("graph too large for the bfs endpoint (%d nodes)", h.b.numNodes()))
 		return
 	}
+	tr := trace.FromContext(r.Context())
+	p := tr.Now()
 	nodes, err := h.parseNodes(r.URL.Query().Get("src"))
+	tr.Span(trace.StageParse, len(nodes), p)
 	if err != nil || len(nodes) != 1 {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("src must be a single node id"))
 		return
 	}
-	out, err := h.bfsResult(nodes[0])
+	out, err := h.bfsResult(nodes[0], tr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -206,6 +248,8 @@ func (h *Handler) analyticsBFS(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("graph too large for the bfs endpoint (%d nodes)", h.b.numNodes()))
 		return
 	}
+	tr := trace.FromContext(r.Context())
+	p := tr.Now()
 	var srcs []edgelist.NodeID
 	for _, raw := range r.URL.Query()["src"] {
 		nodes, err := h.parseNodes(raw)
@@ -215,6 +259,7 @@ func (h *Handler) analyticsBFS(w http.ResponseWriter, r *http.Request) {
 		}
 		srcs = append(srcs, nodes...)
 	}
+	tr.Span(trace.StageParse, len(srcs), p)
 	if len(srcs) == 0 {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing src parameter"))
 		return
@@ -227,7 +272,7 @@ func (h *Handler) analyticsBFS(w http.ResponseWriter, r *http.Request) {
 	bfsSources.Observe(int64(len(srcs)))
 	out := make([]map[string]any, len(srcs))
 	for i, src := range srcs {
-		res, err := h.bfsResult(src)
+		res, err := h.bfsResult(src, tr)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -242,14 +287,14 @@ func (h *Handler) analyticsBFS(w http.ResponseWriter, r *http.Request) {
 // into the response shape shared by /bfs and /analytics/bfs. The
 // sparse/dense round breakdown only appears when the engine has switching
 // phases to report.
-func (h *Handler) bfsResult(src edgelist.NodeID) (map[string]any, error) {
-	tr, err := h.b.bfs(src)
+func (h *Handler) bfsResult(src edgelist.NodeID, tr *trace.Trace) (map[string]any, error) {
+	res, err := h.b.bfs(src, tr)
 	if err != nil {
 		return nil, err
 	}
-	bfsRounds.Observe(int64(tr.rounds))
+	bfsRounds.Observe(int64(res.rounds))
 	reached := 0
-	for _, d := range tr.dist {
+	for _, d := range res.dist {
 		if d != algo.Unreached {
 			reached++
 		}
@@ -257,12 +302,12 @@ func (h *Handler) bfsResult(src edgelist.NodeID) (map[string]any, error) {
 	out := map[string]any{
 		"src":       src,
 		"reached":   reached,
-		"rounds":    tr.rounds,
-		"distances": tr.dist,
+		"rounds":    res.rounds,
+		"distances": res.dist,
 	}
-	if tr.hasPhases {
-		out["sparse_rounds"] = tr.sparse
-		out["dense_rounds"] = tr.dense
+	if res.hasPhases {
+		out["sparse_rounds"] = res.sparse
+		out["dense_rounds"] = res.dense
 	}
 	return out, nil
 }

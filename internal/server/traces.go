@@ -1,0 +1,213 @@
+// Trace inspection endpoints, mounted only when WithTracing is configured:
+//
+//	GET /debug/traces?op=exists&n=50        recent traces, newest first
+//	GET /debug/traces?id=<16-hex>           one trace by X-Request-ID
+//	GET /debug/traces?slow=1                slow-ring traces only
+//	GET /debug/traces/summary?op=&n=512     per-stage latency attribution
+//
+// Readers snapshot the recorder's retained rings (never blocking request
+// writers) and compute exact percentiles over the snapshot — the window is
+// bounded by ring capacity, so sorting a few hundred spans per scrape is
+// noise next to one packed-row decode.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"csrgraph/internal/trace"
+)
+
+// traceJSON is one retained trace in wire form. Span stages and ops
+// marshal as their names ("queue_wait", "exists"), so payloads are
+// greppable without the enum table.
+type traceJSON struct {
+	ID        string       `json:"id"`
+	Op        trace.Op     `json:"op"`
+	Start     time.Time    `json:"start"`
+	TotalNS   int64        `json:"total_ns"`
+	Slow      bool         `json:"slow"`
+	Truncated int          `json:"truncated_spans,omitempty"`
+	Spans     []trace.Span `json:"spans"`
+}
+
+func toTraceJSON(t *trace.Trace) traceJSON {
+	return traceJSON{
+		ID:        t.IDString(),
+		Op:        t.Op(),
+		Start:     t.StartTime(),
+		TotalNS:   t.TotalNS(),
+		Slow:      t.Slow(),
+		Truncated: t.TruncatedSpans(),
+		Spans:     t.Spans(),
+	}
+}
+
+// mountTraces registers the trace endpoints against rec.
+func (h *Handler) mountTraces(rec *trace.Recorder) {
+	h.o.handle(h.mux, "GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if idStr := q.Get("id"); idStr != "" {
+			id, ok := trace.ParseID(idStr)
+			if !ok {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad trace id %q", idStr))
+				return
+			}
+			t, found := rec.Find(id)
+			if !found {
+				httpError(w, http.StatusNotFound, fmt.Errorf("trace %s not retained (ring holds the last %d)", idStr, rec.Capacity()))
+				return
+			}
+			h.writeJSON(w, map[string]any{"count": 1, "traces": []traceJSON{toTraceJSON(&t)}})
+			return
+		}
+		n := 50
+		if s := q.Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", s))
+				return
+			}
+			n = v
+		}
+		op := -1
+		if s := q.Get("op"); s != "" {
+			op = int(trace.ParseOp(s))
+		}
+		traces := rec.Recent(op, n, q.Get("slow") == "1")
+		out := make([]traceJSON, len(traces))
+		for i := range traces {
+			out[i] = toTraceJSON(&traces[i])
+		}
+		h.writeJSON(w, map[string]any{"count": len(out), "traces": out})
+	})
+
+	h.o.handle(h.mux, "GET /debug/traces/summary", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		n := 512
+		if s := q.Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", s))
+				return
+			}
+			n = v
+		}
+		op := -1
+		if s := q.Get("op"); s != "" {
+			op = int(trace.ParseOp(s))
+		}
+		traces := rec.Recent(op, n, false)
+		h.writeJSON(w, map[string]any{
+			"window":          len(traces),
+			"sample_every":    rec.SampleEvery(),
+			"ops":             summarize(traces),
+			"slowest_by_path": h.o.slowestByPath(),
+		})
+	})
+}
+
+// stageSummary is one (op, stage) aggregation row.
+type stageSummary struct {
+	Count int     `json:"count"`
+	P50NS int64   `json:"p50_ns"`
+	P95NS int64   `json:"p95_ns"`
+	P99NS int64   `json:"p99_ns"`
+	Share float64 `json:"share"` // fraction of the op's summed span time
+}
+
+// opSummary is one op's attribution table.
+type opSummary struct {
+	Count    int                      `json:"count"`
+	TotalP50 int64                    `json:"total_p50_ns"`
+	TotalP95 int64                    `json:"total_p95_ns"`
+	TotalP99 int64                    `json:"total_p99_ns"`
+	Stages   map[string]*stageSummary `json:"stages"`
+}
+
+// pctl returns the exact q-quantile of sorted (ascending) durations:
+// the ceil(q*n)-th smallest.
+func pctl(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.9999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// summarize folds a trace snapshot into per-op, per-stage p50/p95/p99 and
+// each stage's share of the op's summed span time — the table that answers
+// "where do slow exists batches spend their time" in one scrape.
+func summarize(traces []trace.Trace) map[string]*opSummary {
+	type key struct {
+		op    trace.Op
+		stage trace.Stage
+	}
+	durs := map[key][]int64{}
+	totals := map[trace.Op][]int64{}
+	stageSums := map[key]int64{}
+	opSums := map[trace.Op]int64{}
+	for i := range traces {
+		t := &traces[i]
+		totals[t.Op()] = append(totals[t.Op()], t.TotalNS())
+		for _, sp := range t.Spans() {
+			k := key{t.Op(), sp.Stage}
+			durs[k] = append(durs[k], sp.DurNS)
+			stageSums[k] += sp.DurNS
+			opSums[t.Op()] += sp.DurNS
+		}
+	}
+	out := map[string]*opSummary{}
+	for op, tot := range totals {
+		sort.Slice(tot, func(i, j int) bool { return tot[i] < tot[j] })
+		out[op.String()] = &opSummary{
+			Count:    len(tot),
+			TotalP50: pctl(tot, 0.50),
+			TotalP95: pctl(tot, 0.95),
+			TotalP99: pctl(tot, 0.99),
+			Stages:   map[string]*stageSummary{},
+		}
+	}
+	for k, ds := range durs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		share := 0.0
+		if s := opSums[k.op]; s > 0 {
+			share = float64(stageSums[k]) / float64(s)
+		}
+		out[k.op.String()].Stages[k.stage.String()] = &stageSummary{
+			Count: len(ds),
+			P50NS: pctl(ds, 0.50),
+			P95NS: pctl(ds, 0.95),
+			P99NS: pctl(ds, 0.99),
+			Share: share,
+		}
+	}
+	return out
+}
+
+// slowestByPath surfaces each route's latency exemplar: the trace id of the
+// slowest request the route's histogram has seen, joinable against
+// /debug/traces?id=... while the ring still retains it.
+func (o *httpObs) slowestByPath() map[string]any {
+	out := map[string]any{}
+	for path, hist := range o.hists {
+		id, v := hist.Exemplar()
+		if v == 0 {
+			continue
+		}
+		out[path] = map[string]any{
+			"id":      trace.FormatID(id),
+			"seconds": float64(v) / 1e9,
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	"csrgraph/internal/algo"
 	"csrgraph/internal/edgelist"
+	"csrgraph/internal/trace"
 )
 
 // BFS runs a distributed breadth-first traversal across the shards and
@@ -23,6 +24,15 @@ import (
 //     entries — ownership is a partition of the id space — so concurrent
 //     absorbs write disjoint indices.
 func (r *Router) BFS(src edgelist.NodeID) ([]int32, int, error) {
+	return r.BFSTraced(src, nil)
+}
+
+// BFSTraced is BFS stamping spans into tr: per round, one queue_wait and
+// one exec span per expanding shard (items = that shard's frontier size)
+// and one absorb span (items = nodes claimed into the next frontier, Extra
+// = the round number). Deep traversals truncate past trace.MaxSpans —
+// counted, never reallocated.
+func (r *Router) BFSTraced(src edgelist.NodeID, tr *trace.Trace) ([]int32, int, error) {
 	n := r.part.NumNodes()
 	if int(src) >= n {
 		return nil, 0, fmt.Errorf("shard: bfs source %d out of range [0, %d)", src, n)
@@ -48,26 +58,31 @@ func (r *Router) BFS(src edgelist.NodeID) ([]int32, int, error) {
 	rounds := 0
 	level := int32(0)
 	for {
-		// Expand: one leg per shard holding frontier rows.
+		// Expand: one leg per shard holding frontier rows. BFS legs are
+		// whole-frontier, not index ranges: [lo, hi) spans the shard's
+		// frontier so leg spans report meaningful item counts.
 		var legs []leg
 		for s := range frontier {
 			if len(frontier[s]) > 0 {
-				legs = append(legs, leg{st: r.shards[s], lo: s})
+				legs = append(legs, leg{st: r.shards[s], shard: s, lo: 0, hi: len(frontier[s])})
 			}
 		}
 		if len(legs) == 0 {
 			break
 		}
 		rounds++
-		r.runLegs(legs, func(l leg) {
-			s := l.lo // shard id; BFS legs are whole-frontier, not index ranges
+		r.runLegs(legs, tr, func(l leg) {
+			s := l.shard
 			e := l.st.pick()
 			e.enter()
+			x := tr.Now()
 			expandShard(r.part, e, frontier[s], dist, outbox[s])
+			tr.LegSpan(trace.StageExec, s, e.Replica(), len(frontier[s]), int64(rounds), x)
 			e.leave()
 		})
 
 		// Absorb: one goroutine per destination shard; disjoint dist writes.
+		a := tr.Now()
 		next := make([][]edgelist.NodeID, k)
 		var wg sync.WaitGroup
 		wg.Add(k)
@@ -78,6 +93,11 @@ func (r *Router) BFS(src edgelist.NodeID) ([]int32, int, error) {
 			}(d)
 		}
 		wg.Wait()
+		claimed := 0
+		for d := range next {
+			claimed += len(next[d])
+		}
+		tr.LegSpan(trace.StageAbsorb, -1, -1, claimed, int64(rounds), a)
 		frontier = next
 		level++
 	}

@@ -188,8 +188,17 @@ func (e *Engine) Degrees(locals []edgelist.NodeID) []int {
 // unit, and hit/miss counts aggregate locally so the hot loop costs one
 // atomic flush per leg instead of two per probe.
 func (e *Engine) EdgesExist(edges []edgelist.Edge) []bool {
+	results, _ := e.EdgesExistCounted(edges)
+	return results
+}
+
+// EdgesExistCounted is EdgesExist plus the leg's row-table indexed-hit
+// count, which traced requests attach to their exec span — the number that
+// separates "this leg was slow because the table was cold" from "slow while
+// fully warm". Zero when no row table is configured.
+func (e *Engine) EdgesExistCounted(edges []edgelist.Edge) ([]bool, int64) {
 	if e.tab == nil {
-		return query.EdgesExistBatchCached(e.src, nil, edges, e.procs)
+		return query.EdgesExistBatchCached(e.src, nil, edges, e.procs), 0
 	}
 	results := make([]bool, len(edges))
 	s, searchable := e.src.(query.Searcher)
@@ -214,7 +223,7 @@ func (e *Engine) EdgesExist(edges []edgelist.Edge) []bool {
 		results[i] = query.SearchSorted(row, p.V)
 	}
 	e.tab.account(hits, misses)
-	return results
+	return results, hits
 }
 
 // Row decodes one local row (BFS expansion path); dst is grown as needed.

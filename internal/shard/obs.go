@@ -41,3 +41,12 @@ func legSecondsHist(s int) *obs.Histogram {
 func queueDepthGauge(s int) *obs.Gauge {
 	return obs.GetGauge(fmt.Sprintf(`csrgraph_shard_queue_depth{shard="%d"}`, s))
 }
+
+// queueDepthMaxGauge registers the per-shard queue-depth high-watermark:
+// the deepest the shard's admission queue has been since the router was
+// built. The instantaneous gauge misses bursts shorter than a scrape
+// interval; the watermark is what /healthz reports for "has this shard ever
+// been the bottleneck".
+func queueDepthMaxGauge(s int) *obs.Gauge {
+	return obs.GetGauge(fmt.Sprintf(`csrgraph_shard_queue_depth_max{shard="%d"}`, s))
+}

@@ -8,6 +8,7 @@ import (
 
 	"csrgraph/internal/edgelist"
 	"csrgraph/internal/obs"
+	"csrgraph/internal/trace"
 )
 
 // RouterConfig bounds the scatter-gather fan-out.
@@ -19,6 +20,9 @@ type RouterConfig struct {
 	// cut into several legs so a single request cannot monopolize a shard
 	// (default 1024).
 	MaxLeg int
+	// Verified records whether the shard payloads' checksums were verified
+	// at load time (csrserver -verify); /healthz reports it per shard.
+	Verified bool
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -37,9 +41,26 @@ type shardState struct {
 	engines    []*Engine
 	sem        chan struct{}
 	queued     atomic.Int64
+	maxDepth   atomic.Int64  // high-watermark of queued since router build
 	rr         atomic.Uint32 // round-robin tiebreak for the replica pick
 	depth      *obs.Gauge
+	depthMax   *obs.Gauge
 	legSeconds *obs.Histogram
+}
+
+// noteDepth folds one observed queue depth into the shard's high-watermark
+// (CAS-max; the gauge follows the winner so /metrics and /healthz agree).
+func (st *shardState) noteDepth(q int64) {
+	for {
+		cur := st.maxDepth.Load()
+		if q <= cur {
+			return
+		}
+		if st.maxDepth.CompareAndSwap(cur, q) {
+			st.depthMax.Set(float64(q))
+			return
+		}
+	}
 }
 
 // pick returns the least-loaded replica, breaking ties round-robin so
@@ -100,6 +121,7 @@ func NewRouter(part *Partition, engines [][]*Engine, cfg RouterConfig) (*Router,
 			engines:    replicas,
 			sem:        make(chan struct{}, cfg.MaxInflight),
 			depth:      queueDepthGauge(s),
+			depthMax:   queueDepthMaxGauge(s),
 			legSeconds: legSecondsHist(s),
 		}
 	}
@@ -119,19 +141,31 @@ func (r *Router) Replicas(s int) []*Engine { return r.shards[s].engines }
 // QueueDepth returns shard s's admitted-leg count (waiting + executing).
 func (r *Router) QueueDepth(s int) int64 { return r.shards[s].queued.Load() }
 
-// leg is one shard-bound slice [lo, hi) of a grouped batch.
+// QueueDepthMax returns shard s's admitted-leg high-watermark since the
+// router was built — the /healthz signal for "this shard has been queuing".
+func (r *Router) QueueDepthMax(s int) int64 { return r.shards[s].maxDepth.Load() }
+
+// Verified reports whether the shard payloads were checksum-verified at
+// load time.
+func (r *Router) Verified() bool { return r.cfg.Verified }
+
+// leg is one shard-bound slice [lo, hi) of a grouped batch. shard is the
+// owning shard id, carried for trace attribution (st doesn't know its own
+// index).
 type leg struct {
 	st     *shardState
+	shard  int
 	lo, hi int
 }
 
 // runLegs executes every leg, bounded by each shard's admission semaphore,
 // and returns when all have merged. A single leg runs inline on the caller
-// — the common all-in-one-shard case pays no goroutine hop.
-func (r *Router) runLegs(legs []leg, exec func(l leg)) {
+// — the common all-in-one-shard case pays no goroutine hop. tr (nil when
+// the request is untraced) receives one queue_wait span per leg.
+func (r *Router) runLegs(legs []leg, tr *trace.Trace, exec func(l leg)) {
 	fanoutLegs.Observe(int64(len(legs)))
 	if len(legs) == 1 {
-		runLeg(legs[0], exec)
+		runLeg(legs[0], tr, exec)
 		return
 	}
 	var wg sync.WaitGroup
@@ -139,16 +173,20 @@ func (r *Router) runLegs(legs []leg, exec func(l leg)) {
 	for _, l := range legs {
 		go func(l leg) {
 			defer wg.Done()
-			runLeg(l, exec)
+			runLeg(l, tr, exec)
 		}(l)
 	}
 	wg.Wait()
 }
 
-func runLeg(l leg, exec func(l leg)) {
+func runLeg(l leg, tr *trace.Trace, exec func(l leg)) {
 	st := l.st
-	st.depth.Set(float64(st.queued.Add(1)))
+	q := st.queued.Add(1)
+	st.depth.Set(float64(q))
+	st.noteDepth(q)
+	w := tr.Now()
 	st.sem <- struct{}{}
+	tr.LegSpan(trace.StageQueueWait, l.shard, -1, l.hi-l.lo, 0, w)
 	start := time.Now()
 	exec(l)
 	<-st.sem
@@ -167,7 +205,7 @@ func (r *Router) makeLegs(offs []int32) []leg {
 			if end > hi {
 				end = hi
 			}
-			legs = append(legs, leg{st: r.shards[s], lo: lo, hi: end})
+			legs = append(legs, leg{st: r.shards[s], shard: s, lo: lo, hi: end})
 			lo = end
 		}
 	}
@@ -310,24 +348,36 @@ func scatterBools(out []bool, orig []int32, vals []bool) {
 // input order. Rows come back in global id space (shards store global
 // neighbor values) so no reverse translation happens on the merge path.
 func (r *Router) NeighborsBatch(ids []edgelist.NodeID) ([][]uint32, error) {
+	return r.NeighborsBatchTraced(ids, nil)
+}
+
+// NeighborsBatchTraced is NeighborsBatch stamping spans into tr (nil means
+// untraced and costs a pointer compare per site): one group span, then per
+// leg a queue_wait, an exec with shard/replica attribution, and a merge.
+func (r *Router) NeighborsBatchTraced(ids []edgelist.NodeID, tr *trace.Trace) ([][]uint32, error) {
 	out := make([][]uint32, len(ids))
 	if len(ids) == 0 {
 		return out, nil
 	}
 	sc := r.getScratch()
 	defer r.putScratch(sc)
+	g := tr.Now()
 	if err := r.groupIDs(ids, sc); err != nil {
 		return nil, err
 	}
+	tr.Span(trace.StageGroup, len(ids), g)
 	routedNeighbors.Add(int64(len(ids)))
-	r.runLegs(r.makeLegs(sc.offs), func(l leg) {
+	r.runLegs(r.makeLegs(sc.offs), tr, func(l leg) {
 		e := l.st.pick()
 		e.enter()
+		x := tr.Now()
 		rows := e.Neighbors(sc.locals[l.lo:l.hi])
+		tr.LegSpan(trace.StageExec, l.shard, e.Replica(), l.hi-l.lo, 0, x)
 		e.leave()
 		m := time.Now()
 		scatterRows(out, sc.orig[l.lo:l.hi], rows)
 		mergeSeconds.ObserveDuration(time.Since(m))
+		tr.LegSpan(trace.StageMerge, l.shard, e.Replica(), l.hi-l.lo, 0, m)
 	})
 	return out, nil
 }
@@ -335,24 +385,35 @@ func (r *Router) NeighborsBatch(ids []edgelist.NodeID) ([][]uint32, error) {
 // DegreeBatch answers out-degree lookups for global ids, preserving input
 // order.
 func (r *Router) DegreeBatch(ids []edgelist.NodeID) ([]int, error) {
+	return r.DegreeBatchTraced(ids, nil)
+}
+
+// DegreeBatchTraced is DegreeBatch with span stamping (see
+// NeighborsBatchTraced).
+func (r *Router) DegreeBatchTraced(ids []edgelist.NodeID, tr *trace.Trace) ([]int, error) {
 	out := make([]int, len(ids))
 	if len(ids) == 0 {
 		return out, nil
 	}
 	sc := r.getScratch()
 	defer r.putScratch(sc)
+	g := tr.Now()
 	if err := r.groupIDs(ids, sc); err != nil {
 		return nil, err
 	}
+	tr.Span(trace.StageGroup, len(ids), g)
 	routedDegrees.Add(int64(len(ids)))
-	r.runLegs(r.makeLegs(sc.offs), func(l leg) {
+	r.runLegs(r.makeLegs(sc.offs), tr, func(l leg) {
 		e := l.st.pick()
 		e.enter()
+		x := tr.Now()
 		vals := e.Degrees(sc.locals[l.lo:l.hi])
+		tr.LegSpan(trace.StageExec, l.shard, e.Replica(), l.hi-l.lo, 0, x)
 		e.leave()
 		m := time.Now()
 		scatterInts(out, sc.orig[l.lo:l.hi], vals)
 		mergeSeconds.ObserveDuration(time.Since(m))
+		tr.LegSpan(trace.StageMerge, l.shard, e.Replica(), l.hi-l.lo, 0, m)
 	})
 	return out, nil
 }
@@ -361,24 +422,36 @@ func (r *Router) DegreeBatch(ids []edgelist.NodeID) ([]int, error) {
 // are grouped by the U endpoint's owner, so a hub's probes always land on
 // the one shard whose row cache holds that hub.
 func (r *Router) EdgesExistBatch(edges []edgelist.Edge) ([]bool, error) {
+	return r.EdgesExistBatchTraced(edges, nil)
+}
+
+// EdgesExistBatchTraced is EdgesExistBatch with span stamping; each exec
+// span's Extra carries the leg's row-table indexed-hit count, the signal
+// that attributes a slow leg to a cold cache rather than a deep queue.
+func (r *Router) EdgesExistBatchTraced(edges []edgelist.Edge, tr *trace.Trace) ([]bool, error) {
 	out := make([]bool, len(edges))
 	if len(edges) == 0 {
 		return out, nil
 	}
 	sc := r.getScratch()
 	defer r.putScratch(sc)
+	g := tr.Now()
 	if err := r.groupEdges(edges, sc); err != nil {
 		return nil, err
 	}
+	tr.Span(trace.StageGroup, len(edges), g)
 	routedExists.Add(int64(len(edges)))
-	r.runLegs(r.makeLegs(sc.offs), func(l leg) {
+	r.runLegs(r.makeLegs(sc.offs), tr, func(l leg) {
 		e := l.st.pick()
 		e.enter()
-		vals := e.EdgesExist(sc.edges[l.lo:l.hi])
+		x := tr.Now()
+		vals, hits := e.EdgesExistCounted(sc.edges[l.lo:l.hi])
+		tr.LegSpan(trace.StageExec, l.shard, e.Replica(), l.hi-l.lo, hits, x)
 		e.leave()
 		m := time.Now()
 		scatterBools(out, sc.orig[l.lo:l.hi], vals)
 		mergeSeconds.ObserveDuration(time.Since(m))
+		tr.LegSpan(trace.StageMerge, l.shard, e.Replica(), l.hi-l.lo, 0, m)
 	})
 	return out, nil
 }

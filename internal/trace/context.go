@@ -1,0 +1,21 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key carrying the request's live trace.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t. Installed once per TRACED request by
+// the HTTP instrumentation wrapper — dark requests never allocate a
+// context value.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the live trace carried by ctx, or nil. The nil is
+// the normal case and flows through every stamping site for one pointer
+// compare.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

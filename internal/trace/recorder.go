@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csrgraph/internal/obs"
+)
+
+// Recorder series. Counters record only when metric collection is on
+// (csrserver -metrics); the tracer itself works either way.
+var (
+	startedSampled = obs.GetCounter(`csrgraph_trace_started_total{mode="sampled"}`)
+	startedForced  = obs.GetCounter(`csrgraph_trace_started_total{mode="forced"}`)
+	slowTraces     = obs.GetCounter("csrgraph_trace_slow_total")
+	ringDrops      = obs.GetCounter("csrgraph_trace_ring_dropped_total")
+)
+
+// RecorderConfig sizes a Recorder.
+type RecorderConfig struct {
+	// Capacity is the completed-trace ring size (rounded up to a power of
+	// two; default 1024). Slow traces get a second ring a quarter the
+	// size, so a burst of fast traces cannot wash the interesting tail
+	// out of the retained window.
+	Capacity int
+	// Sample is the head-sampling rate: trace 1 in Sample requests
+	// (rounded up to a power of two; 1 traces everything, 0 disables
+	// sampling). Requests carrying X-Trace: 1 are traced regardless —
+	// Start's forced flag bypasses the sampler.
+	Sample uint64
+	// SlowThreshold classifies a finished trace as slow when its total
+	// meets or exceeds it (0 disables slow capture). Per-op overrides via
+	// SetSlowThreshold.
+	SlowThreshold time.Duration
+}
+
+// Recorder owns the sampling decision, the trace pool, the retained rings,
+// and slow-query classification. Safe for concurrent use; the zero cost of
+// an unsampled request is one atomic add and a mask.
+type Recorder struct {
+	ring   *Ring
+	slow   *Ring
+	mask   uint64 // sample every (mask+1)th request; ^0 = sampling off
+	ctr    atomic.Uint64
+	idctr  atomic.Uint64
+	slowNS [NumOps]atomic.Int64
+	onSlow atomic.Pointer[func(*Trace)]
+	pool   sync.Pool
+}
+
+// NewRecorder builds a recorder. Use sample 0 with forced starts for a
+// "trace only on request" deployment.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1024
+	}
+	r := &Recorder{
+		ring: NewRing(cfg.Capacity),
+		slow: NewRing(cfg.Capacity / 4),
+	}
+	r.mask = ^uint64(0) // sampling off
+	if cfg.Sample > 0 {
+		n := uint64(1)
+		for n < cfg.Sample {
+			n <<= 1
+		}
+		r.mask = n - 1
+	}
+	for op := Op(0); op < NumOps; op++ {
+		r.slowNS[op].Store(cfg.SlowThreshold.Nanoseconds())
+	}
+	r.pool.New = func() any { return new(Trace) }
+	return r
+}
+
+// SetSlowThreshold overrides one op's slow threshold (0 disables slow
+// capture for that op). Safe to call while serving.
+func (r *Recorder) SetSlowThreshold(op Op, d time.Duration) {
+	if op < NumOps {
+		r.slowNS[op].Store(d.Nanoseconds())
+	}
+}
+
+// SlowThreshold returns op's current threshold.
+func (r *Recorder) SlowThreshold(op Op) time.Duration {
+	if op >= NumOps {
+		return 0
+	}
+	return time.Duration(r.slowNS[op].Load())
+}
+
+// SetOnSlow installs the slow-trace hook, called synchronously from Finish
+// with the trace BEFORE it is pooled: the hook must not retain t past the
+// call (copy what it needs — Spans already copies).
+func (r *Recorder) SetOnSlow(fn func(t *Trace)) {
+	if fn == nil {
+		r.onSlow.Store(nil)
+		return
+	}
+	r.onSlow.Store(&fn)
+}
+
+// SampleEvery returns the effective 1-in-N sampling rate (0 when head
+// sampling is off).
+func (r *Recorder) SampleEvery() uint64 {
+	if r.mask == ^uint64(0) {
+		return 0
+	}
+	return r.mask + 1
+}
+
+// Capacity returns the main ring's slot count.
+func (r *Recorder) Capacity() int { return r.ring.Cap() }
+
+// Start begins a trace for op when the request is head-sampled or forced
+// (X-Trace: 1), and returns nil otherwise — the nil flows through every
+// stamping site for free. Safe on a nil receiver (tracing not configured).
+func (r *Recorder) Start(op Op, forced bool) *Trace {
+	if r == nil {
+		return nil
+	}
+	if forced {
+		startedForced.Inc()
+	} else {
+		if r.ctr.Add(1)&r.mask != 0 {
+			return nil
+		}
+		startedSampled.Inc()
+	}
+	t := r.pool.Get().(*Trace)
+	t.reset(r.idctr.Add(1), op)
+	return t
+}
+
+// Finish seals a live trace: stamps the total, classifies it against the
+// op's slow threshold, copies it into the retained ring(s), fires the slow
+// hook, and returns the trace to the pool. The caller must not touch t
+// afterwards. Nil-safe on both receiver and trace.
+func (r *Recorder) Finish(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	t.total = time.Since(t.start).Nanoseconds()
+	thr := r.slowNS[t.op].Load()
+	t.slow = thr > 0 && t.total >= thr
+	before := r.ring.Drops()
+	r.ring.Push(t)
+	if d := r.ring.Drops() - before; d > 0 {
+		ringDrops.Add(int64(d))
+	}
+	if t.slow {
+		slowTraces.Inc()
+		r.slow.Push(t)
+		if fn := r.onSlow.Load(); fn != nil {
+			(*fn)(t)
+		}
+	}
+	r.pool.Put(t)
+}
+
+// Recent returns up to n retained traces, newest first. op filters when
+// >= 0; slowOnly reads the slow ring (full span detail for over-threshold
+// traces, retained longer than the main window).
+func (r *Recorder) Recent(op int, n int, slowOnly bool) []Trace {
+	if r == nil {
+		return nil
+	}
+	ring := r.ring
+	if slowOnly {
+		ring = r.slow
+	}
+	var keep func(*Trace) bool
+	if op >= 0 {
+		keep = func(t *Trace) bool { return t.op == Op(op) }
+	}
+	return ring.Snapshot(n, keep)
+}
+
+// Find locates a retained trace by id, checking the main ring then the
+// slow ring (slow traces outlive the main window).
+func (r *Recorder) Find(id uint64) (Trace, bool) {
+	if r == nil {
+		return Trace{}, false
+	}
+	if t, ok := r.ring.Find(id); ok {
+		return t, true
+	}
+	return r.slow.Find(id)
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ring is a wait-free-for-writers power-of-two ring buffer of completed
+// traces with per-slot position tagging. Writers claim positions with one
+// atomic add on the head counter and publish under a slot lock that is
+// only ever TRIED, never waited on: a writer that finds its slot busy —
+// a reader mid-copy, or another writer a full lap ahead — drops the trace
+// and counts it rather than blocking a request goroutine. Readers likewise
+// try-lock, skipping busy slots, so neither side ever waits on the other.
+// The position tag tells a reader exactly which head position a slot's
+// content belongs to, so a snapshot can walk newest-to-oldest and discard
+// slots that were lapped mid-scan.
+//
+// (A classic seqlock — epoch validation around an unsynchronized copy —
+// would avoid the lock word entirely, but its racing data copy is outside
+// the Go memory model and trips the race detector; try-lock claiming keeps
+// the never-wait property while staying race-clean.)
+type Ring struct {
+	mask  uint64
+	head  atomic.Uint64 // next position to claim
+	drops atomic.Uint64 // pushes dropped to slot contention
+	slots []ringSlot
+}
+
+// ringSlot pairs one trace value with its claim lock and position tag.
+// pos and full are valid only under mu.
+type ringSlot struct {
+	mu   sync.Mutex
+	pos  uint64
+	full bool
+	tr   Trace
+}
+
+// NewRing returns a ring holding the last capacity completed traces,
+// rounded up to a power of two (minimum 8).
+func NewRing(capacity int) *Ring {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+}
+
+// Cap returns the slot count.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Drops returns how many pushes were dropped to slot contention.
+func (r *Ring) Drops() uint64 { return r.drops.Load() }
+
+// Push copies t into the ring. The trace is copied by value, so the
+// caller may immediately reuse (pool) t. Never blocks: a contended or
+// already-lapped slot drops the push and counts it.
+func (r *Ring) Push(t *Trace) {
+	pos := r.head.Add(1) - 1
+	s := &r.slots[pos&r.mask]
+	if !s.mu.TryLock() {
+		r.drops.Add(1)
+		return
+	}
+	if s.full && s.pos > pos {
+		// A writer a full lap ahead already published newer content here;
+		// keeping ours would make the ring travel back in time.
+		s.mu.Unlock()
+		r.drops.Add(1)
+		return
+	}
+	s.tr = *t
+	s.pos = pos
+	s.full = true
+	s.mu.Unlock()
+}
+
+// readAt copies the trace at ring position pos into dst, reporting whether
+// the slot still holds that position's content. Never blocks: a slot
+// mid-write is skipped.
+func (r *Ring) readAt(pos uint64, dst *Trace) bool {
+	s := &r.slots[pos&r.mask]
+	if !s.mu.TryLock() {
+		return false
+	}
+	ok := s.full && s.pos == pos
+	if ok {
+		*dst = s.tr
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// Snapshot returns up to n of the most recent completed traces, newest
+// first, filtered by keep (nil keeps everything). Slots lapped or mid-write
+// during the scan are skipped — the scan never waits on writers.
+func (r *Ring) Snapshot(n int, keep func(*Trace) bool) []Trace {
+	if n <= 0 {
+		return nil
+	}
+	head := r.head.Load()
+	out := make([]Trace, 0, min(n, len(r.slots)))
+	lap := uint64(len(r.slots))
+	for i := uint64(0); i < lap && head > i; i++ {
+		pos := head - 1 - i
+		var t Trace
+		if !r.readAt(pos, &t) {
+			continue
+		}
+		if keep != nil && !keep(&t) {
+			continue
+		}
+		out = append(out, t)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// Find returns the retained trace with the given id, scanning newest
+// first.
+func (r *Ring) Find(id uint64) (Trace, bool) {
+	got := r.Snapshot(1, func(t *Trace) bool { return t.id == id })
+	if len(got) == 0 {
+		return Trace{}, false
+	}
+	return got[0], true
+}
