@@ -7,7 +7,7 @@ GO ?= go
 # lower-variance trajectory points.
 BENCHTIME ?= 100ms
 
-.PHONY: all build build-cross test test-race race vet fmt fmt-check lint bench bench-quick bench-json bench-obs bench-trace bench-compare bench-compare-query bench-compare-algo bench-compare-shard bench-startup bench-shard fuzz fuzz-smoke experiments clean
+.PHONY: all build build-cross test test-race race vet fmt fmt-check lint lint-timing lint-json bench bench-quick bench-json bench-obs bench-trace bench-compare bench-compare-query bench-compare-algo bench-compare-shard bench-startup bench-shard fuzz fuzz-smoke experiments clean
 
 all: build vet lint test test-race
 
@@ -56,6 +56,16 @@ fmt-check:
 lint: fmt-check
 	$(GO) test ./lint/...
 	$(GO) run ./lint/cmd/csrlint ./...
+
+# Same suite with per-analyzer wall-time and finding-count accounting, for
+# spotting an analyzer whose cost regressed.
+lint-timing:
+	$(GO) run ./lint/cmd/csrlint -timing ./...
+
+# Machine-readable lint report (findings + per-analyzer timing); CI
+# uploads this next to the benchmark snapshots.
+lint-json:
+	$(GO) run ./lint/cmd/csrlint -json ./... > csrlint.json || test -s csrlint.json
 
 # Full benchmark run (same command EXPERIMENTS.md references).
 bench:

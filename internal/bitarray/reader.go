@@ -11,10 +11,18 @@ type Reader struct {
 
 // NewReader returns a Reader positioned at bit `pos` of a.
 func NewReader(a *Array, pos int) *Reader {
+	r := MakeReader(a, pos)
+	return &r
+}
+
+// MakeReader returns a Reader positioned at bit `pos` of a, by value —
+// hot paths that open a fresh cursor per row use this form to keep the
+// reader on the caller's stack.
+func MakeReader(a *Array, pos int) Reader {
 	if pos < 0 || pos > a.Len() {
 		panic(fmt.Sprintf("bitarray: reader position %d out of range [0,%d]", pos, a.Len()))
 	}
-	return &Reader{a: a, pos: pos}
+	return Reader{a: a, pos: pos}
 }
 
 // Pos returns the current bit position.

@@ -147,11 +147,12 @@ func (dp *DeltaPacked) NumNodes() int { return dp.n }
 func (dp *DeltaPacked) NumEdges() int { return dp.m }
 
 // rowReader positions a reader at row u and returns it with the row's end
-// bit.
-func (dp *DeltaPacked) rowReader(u edgelist.NodeID) (*bitarray.Reader, int) {
+// bit. The reader is a value so per-row cursors on the HasEdge/SearchRow
+// hot path never touch the heap.
+func (dp *DeltaPacked) rowReader(u edgelist.NodeID) (bitarray.Reader, int) {
 	start := int(dp.offsets.Get(int(u)))
 	end := int(dp.offsets.Get(int(u) + 1))
-	return bitarray.NewReader(dp.payload, start), end
+	return bitarray.MakeReader(dp.payload, start), end
 }
 
 // Degree returns the out-degree of u by decoding the row (the structure
@@ -160,7 +161,7 @@ func (dp *DeltaPacked) Degree(u edgelist.NodeID) int {
 	r, end := dp.rowReader(u)
 	d := 0
 	for r.Pos() < end {
-		readGamma(r)
+		readGamma(&r)
 		d++
 	}
 	return d
@@ -173,7 +174,7 @@ func (dp *DeltaPacked) Row(dst []uint32, u edgelist.NodeID) []uint32 {
 	first := true
 	var run uint32
 	for r.Pos() < end {
-		g := uint32(readGamma(r))
+		g := uint32(readGamma(&r))
 		if first {
 			run = g - 1
 			first = false
@@ -192,7 +193,7 @@ func (dp *DeltaPacked) HasEdge(u, v edgelist.NodeID) bool {
 	first := true
 	var run uint32
 	for r.Pos() < end {
-		g := uint32(readGamma(r))
+		g := uint32(readGamma(&r))
 		if first {
 			run = g - 1
 			first = false

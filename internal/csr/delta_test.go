@@ -115,3 +115,18 @@ func TestQuickDeltaRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDeltaPackedQueriesDoNotAllocate(t *testing.T) {
+	m := BuildSequential(paperGraph(), 10)
+	dp := PackDelta(m, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		if !dp.HasEdge(0, 5) {
+			t.Fatal("paper graph must contain edge 0->5")
+		}
+		_ = dp.Degree(3)
+		_ = dp.SearchRow(2, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("delta row queries allocated %.1f times per run; row readers must stay on the stack", allocs)
+	}
+}

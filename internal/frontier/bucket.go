@@ -49,11 +49,11 @@ func NewBuckets(pri []uint32) *Buckets {
 
 // place appends v to the bucket holding priority pv (window or overflow).
 func (b *Buckets) place(v, pv uint32) {
-	if pv >= b.cur+numOpenBuckets {
+	i := pv - b.cur
+	if i >= numOpenBuckets {
 		b.overflow = append(b.overflow, v)
 		return
 	}
-	i := pv - b.cur
 	b.open[i] = append(b.open[i], v)
 }
 

@@ -176,3 +176,21 @@ func TestBucketsPriorityFnRefreshesOverflow(t *testing.T) {
 		t.Fatal("structure should be empty")
 	}
 }
+
+func TestPlaceBelowWindowGoesToOverflow(t *testing.T) {
+	b := NewBuckets([]uint32{5, 7})
+	// A priority below the open window (only reachable if a caller
+	// violates the non-increasing invariant) must shed to overflow, not
+	// index open[] with a wrapped uint32.
+	b.cur = 100
+	b.place(0, 50) // must not panic
+	found := false
+	for _, v := range b.overflow {
+		if v == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("below-window placement must land in overflow")
+	}
+}

@@ -42,6 +42,10 @@ func TestForDynamicWorkerIDsAreDense(t *testing.T) {
 	const n, p = 10000, 8
 	var inUse [p]atomic.Bool
 	ForDynamic(n, p, 16, func(worker int, r Range) {
+		if worker < 0 || worker >= p {
+			t.Errorf("worker id %d out of range [0,%d)", worker, p)
+			return
+		}
 		if !inUse[worker].CompareAndSwap(false, true) {
 			t.Errorf("worker id %d used concurrently", worker)
 		}

@@ -142,7 +142,13 @@ func (r *Recorder) Finish(t *Trace) {
 		return
 	}
 	t.total = time.Since(t.start).Nanoseconds()
-	thr := r.slowNS[t.op].Load()
+	// Traces come back from the pool and from callers; clamp a corrupted
+	// or future-versioned op onto OpOther rather than smash past slowNS.
+	op := t.op
+	if op >= NumOps {
+		op = OpOther
+	}
+	thr := r.slowNS[op].Load()
 	t.slow = thr > 0 && t.total >= thr
 	before := r.ring.Drops()
 	r.ring.Push(t)

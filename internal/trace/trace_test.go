@@ -342,3 +342,19 @@ func BenchmarkRecorderUnsampled(b *testing.B) {
 		}
 	}
 }
+
+func TestFinishClampsCorruptOp(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Sample: 1, SlowThreshold: time.Nanosecond})
+	tr := r.Start(OpExists, false)
+	if tr == nil {
+		t.Fatal("sample=1 must trace every request")
+	}
+	// Traces round-trip through a pool; a stale or future-versioned op
+	// must clamp onto OpOther instead of indexing past slowNS.
+	tr.op = NumOps + 3
+	r.Finish(tr) // must not panic
+	got := r.Recent(-1, 1, false)
+	if len(got) != 1 {
+		t.Fatalf("Recent returned %d traces, want 1", len(got))
+	}
+}

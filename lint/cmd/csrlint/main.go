@@ -6,24 +6,31 @@
 //
 // Usage:
 //
-//	go run ./lint/cmd/csrlint [-list] [-only name,name] [patterns...]
+//	go run ./lint/cmd/csrlint [-list] [-only name,name] [-json] [-timing] [patterns...]
 //
 // Patterns default to ./... and are resolved by the go command in the
 // current directory, so the usual invocation from the repo root is:
 //
 //	go run ./lint/cmd/csrlint ./...
+//
+// -json emits a machine-readable report (findings plus per-analyzer
+// wall time and finding counts) on stdout; -timing prints the same
+// per-analyzer accounting as a human table after the findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"csrgraph/lint/internal/analysis"
 	"csrgraph/lint/internal/lint"
 	"csrgraph/lint/internal/load"
+	"csrgraph/lint/internal/ssa"
 )
 
 func main() {
@@ -33,6 +40,8 @@ func main() {
 func run() int {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit a JSON report with per-analyzer wall time and finding counts")
+	timingFlag := flag.Bool("timing", false, "print per-analyzer wall time and finding counts")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -81,12 +90,23 @@ func run() int {
 		return 2
 	}
 
+	// One Program spanning every loaded package, so interprocedural
+	// analyzers can follow calls across package boundaries.
+	prog := ssa.NewProgram()
+	for _, p := range pkgs {
+		prog.AddPackage(p.Types, p.Files, p.TypesInfo)
+	}
+
 	type diag struct {
 		analyzer string
 		d        analysis.Diagnostic
 		pos      string
 	}
 	var diags []diag
+	perAnalyzer := make(map[string]*analyzerStats, len(analyzers))
+	for _, a := range analyzers {
+		perAnalyzer[a.Name] = &analyzerStats{Name: a.Name}
+	}
 	for _, p := range pkgs {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
@@ -95,12 +115,17 @@ func run() int {
 				Files:     p.Files,
 				Pkg:       p.Types,
 				TypesInfo: p.TypesInfo,
+				Prog:      prog,
 			}
 			name := a.Name
 			pass.Report = func(d analysis.Diagnostic) {
 				diags = append(diags, diag{name, d, p.Fset.Position(d.Pos).String()})
+				perAnalyzer[name].Findings++
 			}
-			if _, err := a.Run(pass); err != nil {
+			start := time.Now()
+			_, err := a.Run(pass)
+			perAnalyzer[name].wall += time.Since(start)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "csrlint: %s on %s: %v\n", a.Name, p.PkgPath, err)
 				return 2
 			}
@@ -112,14 +137,63 @@ func run() int {
 		}
 		return diags[i].analyzer < diags[j].analyzer
 	})
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", d.pos, d.analyzer, d.d.Message)
+
+	stats := make([]*analyzerStats, 0, len(analyzers))
+	for _, a := range analyzers {
+		st := perAnalyzer[a.Name]
+		st.WallMS = float64(st.wall.Microseconds()) / 1e3
+		stats = append(stats, st)
+	}
+
+	if *jsonFlag {
+		report := jsonReport{Packages: len(pkgs), Analyzers: stats, TotalFindings: len(diags)}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{Pos: d.pos, Analyzer: d.analyzer, Message: d.d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "csrlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", d.pos, d.analyzer, d.d.Message)
+		}
+		if *timingFlag {
+			fmt.Printf("%-16s %10s %9s\n", "ANALYZER", "WALL(ms)", "FINDINGS")
+			for _, st := range stats {
+				fmt.Printf("%-16s %10.2f %9d\n", st.Name, st.WallMS, st.Findings)
+			}
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "csrlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// analyzerStats is the per-analyzer accounting reported by -json/-timing.
+type analyzerStats struct {
+	Name     string  `json:"name"`
+	Findings int     `json:"findings"`
+	WallMS   float64 `json:"wall_ms"`
+
+	wall time.Duration
+}
+
+type jsonFinding struct {
+	Pos      string `json:"pos"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Packages      int              `json:"packages"`
+	Analyzers     []*analyzerStats `json:"analyzers"`
+	TotalFindings int              `json:"total_findings"`
+	Findings      []jsonFinding    `json:"findings,omitempty"`
 }
 
 func mapKeys(m map[string]bool) []string {

@@ -12,6 +12,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"csrgraph/lint/internal/ssa"
 )
 
 // Analyzer describes one static check.
@@ -38,6 +40,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Prog is the whole-load program view for interprocedural analyzers:
+	// every package the driver loaded from source, with memoized CFGs and
+	// call summaries. Drivers that analyze one package at a time may leave
+	// it nil; SSA-based analyzers fall back to intraprocedural analysis.
+	Prog *ssa.Program
 }
 
 // Diagnostic is one finding at one position.

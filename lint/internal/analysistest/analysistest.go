@@ -32,6 +32,7 @@ import (
 
 	"csrgraph/lint/internal/analysis"
 	"csrgraph/lint/internal/load"
+	"csrgraph/lint/internal/ssa"
 )
 
 // fixtureLoader resolves import paths against testdata/src first and the
@@ -42,6 +43,7 @@ type fixtureLoader struct {
 	root string // the testdata/src directory
 	fset *token.FileSet
 	std  types.Importer
+	prog *ssa.Program
 
 	mu   sync.Mutex
 	pkgs map[string]*fixturePkg
@@ -68,7 +70,7 @@ func loaderFor(root string) *fixtureLoader {
 		return l
 	}
 	fset := token.NewFileSet()
-	l := &fixtureLoader{root: root, fset: fset, std: load.NewStdImporter(fset), pkgs: map[string]*fixturePkg{}}
+	l := &fixtureLoader{root: root, fset: fset, std: load.NewStdImporter(fset), prog: ssa.NewProgram(), pkgs: map[string]*fixturePkg{}}
 	loaders[root] = l
 	return l
 }
@@ -137,6 +139,10 @@ func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
 		p.err = fmt.Errorf("fixture %s has type errors: %v", path, typeErrs)
 		return p, p.err
 	}
+	// Register with the shared program so interprocedural analyzers can
+	// follow calls between fixture packages (imports registered above via
+	// their own load calls).
+	l.prog.AddPackage(p.tpkg, p.files, p.info)
 	return p, nil
 }
 
@@ -162,6 +168,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 				Pkg:       p.tpkg,
 				TypesInfo: p.info,
 				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+				Prog:      l.prog,
 			}
 			if _, err := a.Run(pass); err != nil {
 				t.Fatal(err)

@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"csrgraph/lint/internal/analysis"
+	"csrgraph/lint/internal/ssa"
+)
+
+// FixedBound checks that every non-constant index into a fixed-capacity
+// array — the 48-slot trace span arrays, the 64-bucket histograms, the
+// width-dispatch kernel tables — is provably in range at the use site.
+// Unlike a slice, a fixed array's length is part of the contract; an
+// out-of-range index is either a panic on the hot path or (through a
+// pointer) a neighboring-field smash.
+//
+// An index expression is accepted when it is built from bounded terms:
+//
+//   - constants, len/cap/min/max;
+//   - a masked or modular expression (i & mask, h % n);
+//   - a variable (or field) mentioned by a comparison in a node that
+//     dominates the use — the clamp-or-return guard idiom;
+//   - a range-statement key;
+//   - a call to a function whose every return value is itself bounded
+//     at its return site (so clamp helpers like bucketOf pass,
+//     interprocedurally).
+//
+// //csr:boundok <reason> on the line (or line above) suppresses a
+// finding; a bare directive is itself a finding.
+var FixedBound = &analysis.Analyzer{
+	Name: "fixedbound",
+	Doc:  "indexing into fixed-size arrays must be dominated by a mask, clamp, or comparison guard",
+	Run:  runFixedBound,
+}
+
+const boundedReturnFacts = "fixedbound.boundedReturn"
+
+func runFixedBound(pass *analysis.Pass) (any, error) {
+	prog := passProg(pass)
+	comments := passComments(pass)
+	for _, fi := range funcInfos(pass, prog) {
+		checkFixedBound(pass, prog, comments, fi)
+	}
+	return nil, nil
+}
+
+func checkFixedBound(pass *analysis.Pass, prog *ssa.Program, comments fileComments, fi *ssa.FuncInfo) {
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		baseT := pass.TypesInfo.TypeOf(ix.X)
+		if baseT == nil {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[ix.X]; ok && tv.IsType() {
+			return true // generic instantiation, not an index
+		}
+		arr, ok := deref(baseT).Underlying().(*types.Array)
+		if !ok {
+			return true
+		}
+		useRef, ok := fi.RefOf(ix)
+		if !ok {
+			return true
+		}
+		if boundedIndex(pass.TypesInfo, prog, fi, ix.Index, useRef, 0) {
+			return true
+		}
+		if ok, complained := directiveAt(pass, comments.at(ix.Pos()), ix, boundokDirective); ok || complained {
+			return true
+		}
+		pass.Reportf(ix.Index.Pos(), "index into [%d]%s is not dominated by a mask, clamp, or bounds guard; add one or justify with //csr:boundok <reason>", arr.Len(), arr.Elem().String())
+		return true
+	})
+}
+
+// boundedIndex reports whether e is provably in range at useRef under the
+// rules in the analyzer doc.
+func boundedIndex(info *types.Info, prog *ssa.Program, fi *ssa.FuncInfo, e ast.Expr, useRef ssa.Ref, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true // constant: the compiler has already range-checked it
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.AND, token.REM:
+			return true // mask / modulus
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.SHL, token.SHR, token.OR, token.XOR:
+			return boundedIndex(info, prog, fi, x.X, useRef, depth+1) &&
+				boundedIndex(info, prog, fi, x.Y, useRef, depth+1)
+		}
+		return false
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return boundedIndex(info, prog, fi, x.Args[0], useRef, depth+1)
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "min", "max":
+					return true
+				}
+				return false
+			}
+		}
+		callee := ssa.StaticCallee(info, x)
+		return callee != nil && boundedReturn(prog, callee, depth+1)
+	case *ast.Ident:
+		v := fi.VarOf(x)
+		if v == nil {
+			return false
+		}
+		if isRangeKey(fi, v) {
+			return true
+		}
+		if guardDominates(info, fi, useRef, x.Pos(), func(op ast.Expr) bool {
+			id, ok := peelConv(info, op).(*ast.Ident)
+			return ok && fi.VarOf(id) == v
+		}) {
+			return true
+		}
+		return defsBounded(info, prog, fi, v, useRef, depth)
+	case *ast.SelectorExpr:
+		field := info.Uses[x.Sel]
+		rootID, _ := ssa.WriteRoot(x)
+		if field == nil || rootID == nil {
+			return false
+		}
+		root := fi.VarOf(rootID)
+		return guardDominates(info, fi, useRef, x.Pos(), func(op ast.Expr) bool {
+			sel, ok := peelConv(info, op).(*ast.SelectorExpr)
+			if !ok || info.Uses[sel.Sel] != field {
+				return false
+			}
+			oid, _ := ssa.WriteRoot(sel)
+			return oid != nil && fi.VarOf(oid) == root
+		})
+	}
+	return false
+}
+
+// peelConv unwraps explicit type conversions, so `int(s) < len(names)`
+// guards an index by s.
+func peelConv(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		if tv, ok := info.Types[call.Fun]; !ok || !tv.IsType() {
+			return e
+		}
+		e = call.Args[0]
+	}
+}
+
+// guardDominates reports whether some comparison with an operand matching
+// the index term appears in a node strictly dominating useRef, or earlier
+// in useRef's own node (Go evaluates left-to-right, and a statement
+// containing a closure is tracked as one node, so `if w >= len(a) {
+// return }` inside the closure body textually precedes — and guards —
+// `a[w]` further down).
+func guardDominates(info *types.Info, fi *ssa.FuncInfo, useRef ssa.Ref, usePos token.Pos, matches func(ast.Expr) bool) bool {
+	isGuard := func(n ast.Node, before token.Pos) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			be, ok := m.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				if (!before.IsValid() || be.End() <= before) && (matches(be.X) || matches(be.Y)) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	for _, blk := range fi.CFG.Blocks {
+		for i, n := range blk.Nodes {
+			ref := ssa.Ref{Block: blk.Index, Index: i}
+			switch {
+			case ref == useRef:
+				if isGuard(n, usePos) {
+					return true
+				}
+			case fi.CFG.Dominates(ref, useRef):
+				if isGuard(n, token.NoPos) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// defsBounded reports whether v has at least one binding and every
+// binding in the function binds a bounded expression — the radix-scatter
+// idiom `d := (k >> sh) & 0xff; cur[d]++` puts the mask on the
+// definition, not the use. Parameters, range values, increments, and
+// address-taken variables disqualify.
+func defsBounded(info *types.Info, prog *ssa.Program, fi *ssa.FuncInfo, v *types.Var, useRef ssa.Ref, depth int) bool {
+	if depth > 8 || !v.Pos().IsValid() || v.Pos() < fi.Decl.Body.Pos() {
+		return false // parameter, receiver, or named result
+	}
+	found, ok := false, true
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, isID := ast.Unparen(lhs).(*ast.Ident)
+				if !isID || fi.VarOf(id) != v {
+					continue
+				}
+				if len(st.Lhs) != len(st.Rhs) || !boundedIndex(info, prog, fi, st.Rhs[i], useRef, depth+1) {
+					ok = false
+					return false
+				}
+				found = true
+			}
+		case *ast.IncDecStmt:
+			if id, isID := ast.Unparen(st.X).(*ast.Ident); isID && fi.VarOf(id) == v {
+				ok = false
+				return false
+			}
+		case *ast.UnaryExpr:
+			if st.Op == token.AND {
+				if id, isID := ast.Unparen(st.X).(*ast.Ident); isID && fi.VarOf(id) == v {
+					ok = false // address taken: writes may come from anywhere
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if fi.VarOf(name) != v {
+					continue
+				}
+				if len(st.Values) == 0 {
+					found = true // zero value
+					continue
+				}
+				if len(st.Values) != len(st.Names) || !boundedIndex(info, prog, fi, st.Values[i], useRef, depth+1) {
+					ok = false
+					return false
+				}
+				found = true
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{st.Key, st.Value} {
+				if e == nil {
+					continue
+				}
+				if id, isID := ast.Unparen(e).(*ast.Ident); isID && fi.VarOf(id) == v {
+					if e == st.Value {
+						ok = false // element values are unbounded
+						return false
+					}
+					found = true // range keys are in range by construction
+				}
+			}
+		}
+		return true
+	})
+	return ok && found
+}
+
+// isRangeKey reports whether v is defined as the key of a range statement
+// (always in range of what is being ranged over).
+func isRangeKey(fi *ssa.FuncInfo, v *types.Var) bool {
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || rs.Key == nil {
+			return true
+		}
+		if id, ok := ast.Unparen(rs.Key).(*ast.Ident); ok && fi.VarOf(id) == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// boundedReturn reports whether every return of fn yields a bounded value
+// at its own return site. Memoized; recursion breaks to false.
+func boundedReturn(prog *ssa.Program, fn *types.Func, depth int) bool {
+	facts := prog.Facts(boundedReturnFacts)
+	if v, ok := facts[fn]; ok {
+		b, _ := v.(bool)
+		return b
+	}
+	facts[fn] = false // in-progress / cycle default
+	fi := prog.FuncInfo(fn)
+	if fi == nil || fn.Signature().Results().Len() != 1 {
+		return false
+	}
+	ok := true
+	hasReturn := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			hasReturn = true
+			if len(m.Results) != 1 {
+				ok = false
+				return false
+			}
+			ref, refOK := fi.RefOf(m)
+			if !refOK || !boundedIndex(fi.Info, prog, fi, m.Results[0], ref, depth) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	ok = ok && hasReturn
+	facts[fn] = ok
+	return ok
+}

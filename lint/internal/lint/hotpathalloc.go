@@ -7,22 +7,37 @@ import (
 	"sort"
 
 	"csrgraph/lint/internal/analysis"
+	"csrgraph/lint/internal/ssa"
 )
 
 // HotPathAlloc enforces DESIGN.md §6: a function annotated //csr:hotpath,
-// and every same-package function it statically calls, must not allocate
-// or take a hash-map detour. Flagged constructs: make, new, append,
-// closure literals, slice/map/pointer composite literals, map indexing
-// and iteration, string<->[]byte/[]rune conversions, conversions and
+// and every function it statically calls, must not allocate or take a
+// hash-map detour. Flagged constructs: make, new, append, closure
+// literals, slice/map/pointer composite literals, map indexing and
+// iteration, string<->[]byte/[]rune conversions, conversions and
 // implicit call-argument conversions to interface types, and any call
 // into fmt or errors. Arguments to panic are exempt — a panicking hot
-// path is already off the fast path. Calls through function values,
-// interfaces, or into other packages are not traversed; annotate the
-// callee in its own package instead.
+// path is already off the fast path.
+//
+// Same-package callees are traversed by closure and blamed in their own
+// bodies; cross-package callees are checked through a memoized
+// whole-program allocation summary and blamed at the call site, so a
+// //csr:hotpath kernel calling into internal/bitpack is held to the same
+// contract as one staying in its own package. Calls through function
+// values or interfaces are still not traversed.
 var HotPathAlloc = &analysis.Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "forbid allocation and map traffic in //csr:hotpath functions and their same-package callees",
+	Doc:  "forbid allocation and map traffic in //csr:hotpath functions and their callees, across packages",
 	Run:  runHotPathAlloc,
+}
+
+const hotAllocFacts = "hotpathalloc.firstAlloc"
+
+// allocFact is the summary entry for one function: its first allocating
+// construct, or absent when it is allocation-free.
+type allocFact struct {
+	pos  token.Pos
+	what string
 }
 
 func runHotPathAlloc(pass *analysis.Pass) (any, error) {
@@ -31,6 +46,7 @@ func runHotPathAlloc(pass *analysis.Pass) (any, error) {
 	if len(roots) == 0 {
 		return nil, nil
 	}
+	prog := passProg(pass)
 
 	// Transitive closure over static same-package calls. via records the
 	// annotated root each reached function is blamed on (first root wins;
@@ -76,13 +92,14 @@ func runHotPathAlloc(pass *analysis.Pass) (any, error) {
 		if fd == nil || fd.Body == nil {
 			continue
 		}
-		checkHotFunc(pass, fd, fn, root)
+		checkHotFunc(pass, prog, fd, fn, root)
 	}
 	return nil, nil
 }
 
-// checkHotFunc reports every allocating construct in one hot function.
-func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl, fn, root *types.Func) {
+// checkHotFunc reports every allocating construct in one hot function,
+// consulting the cross-package summary for calls that leave the package.
+func checkHotFunc(pass *analysis.Pass, prog *ssa.Program, fd *ast.FuncDecl, fn, root *types.Func) {
 	info := pass.TypesInfo
 	report := func(n ast.Node, what string) {
 		if fn == root {
@@ -91,13 +108,29 @@ func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl, fn, root *types.Func) {
 			pass.Reportf(n.Pos(), "hot path (via //csr:hotpath %s): %s", root.Name(), what)
 		}
 	}
-	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+	crossPkg := func(call *ast.CallExpr) {
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg() == pass.Pkg {
+			return // same-package callees are covered by the closure walk
+		}
+		if fact := firstAlloc(prog, callee, 0); fact != nil {
+			report(call, "call to "+callee.Pkg().Name()+"."+callee.Name()+" allocates: "+fact.what)
+		}
+	}
+	walkHotBody(info, fd.Body, report, crossPkg)
+}
+
+// walkHotBody flags every allocating construct in one body. extraCall, if
+// non-nil, additionally inspects each call — the two walkers differ only
+// in how they traverse the call graph.
+func walkHotBody(info *types.Info, body ast.Node, report func(ast.Node, string), extraCall func(*ast.CallExpr)) {
+	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
 		if underPanicArg(info, n, stack) {
 			return false
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkHotCall(pass, info, n, report)
+			checkHotCall(info, n, report, extraCall)
 		case *ast.FuncLit:
 			report(n, "closure literal allocates")
 			return false // the closure body runs lazily; don't double-report
@@ -125,10 +158,50 @@ func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl, fn, root *types.Func) {
 	})
 }
 
+// firstAlloc returns fn's first allocating construct, traversing every
+// static callee with source regardless of package. Memoized in the
+// program's fact store; recursion cycles resolve to allocation-free.
+func firstAlloc(prog *ssa.Program, fn *types.Func, depth int) *allocFact {
+	facts := prog.Facts(hotAllocFacts)
+	if v, ok := facts[fn]; ok {
+		f, _ := v.(*allocFact)
+		return f
+	}
+	facts[fn] = (*allocFact)(nil) // in-progress / cycle default
+	if depth > 32 {
+		return nil
+	}
+	src, ok := prog.Source(fn)
+	if !ok || src.Decl.Body == nil {
+		return nil
+	}
+	var found *allocFact
+	report := func(n ast.Node, what string) {
+		if found == nil {
+			found = &allocFact{pos: n.Pos(), what: what}
+		}
+	}
+	follow := func(call *ast.CallExpr) {
+		if found != nil {
+			return
+		}
+		callee := calleeFunc(src.Pkg.Info, call)
+		if callee == nil || callee == fn {
+			return
+		}
+		if sub := firstAlloc(prog, callee, depth+1); sub != nil {
+			report(call, "call to "+callee.Name()+" → "+sub.what)
+		}
+	}
+	walkHotBody(src.Pkg.Info, src.Decl.Body, report, follow)
+	facts[fn] = found
+	return found
+}
+
 // checkHotCall handles the call-shaped violations: allocating builtins,
 // fmt/errors calls, explicit conversions, and implicit interface boxing of
 // arguments.
-func checkHotCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, report func(ast.Node, string)) {
+func checkHotCall(info *types.Info, call *ast.CallExpr, report func(ast.Node, string), extraCall func(*ast.CallExpr)) {
 	switch builtinName(info, call) {
 	case "make":
 		report(call, "call to make")
@@ -152,6 +225,9 @@ func checkHotCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, rep
 			report(call, "call to "+callee.Pkg().Name()+"."+callee.Name())
 			return
 		}
+	}
+	if extraCall != nil {
+		extraCall(call)
 	}
 	// Implicit interface conversions: a non-interface argument passed to an
 	// interface-typed parameter is boxed, which may allocate.

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"csrgraph/lint/internal/analysis"
+	"csrgraph/lint/internal/ssa"
 )
 
 // Analyzers returns the full csrlint suite in a stable order.
@@ -23,6 +24,10 @@ func Analyzers() []*analysis.Analyzer {
 		PoolCapture,
 		AtomicField,
 		ErrPropagation,
+		PublishOrder,
+		PoolLifetime,
+		MmapReadOnly,
+		FixedBound,
 	}
 }
 
@@ -30,16 +35,73 @@ func Analyzers() []*analysis.Analyzer {
 //
 //	//csr:hotpath
 //	  On the doc comment of a function or method: the function (and every
-//	  same-package function it statically calls) is an allocation-free
+//	  function it statically calls, across packages) is an allocation-free
 //	  hot path; hotpathalloc enforces it.
 //
 //	//csr:errok <reason>
 //	  On the line of (or the line above) a statement that discards an
 //	  error: errpropagation accepts the discard. The reason is mandatory.
+//
+//	//csr:published <reason>
+//	  On the line of (or the line above) a write that publishorder flags:
+//	  the author asserts the happens-before edge exists by other means
+//	  (a lock, a single-goroutine phase). The reason is mandatory.
+//
+//	//csr:boundok <reason>
+//	  On the line of (or the line above) a fixed-array index that
+//	  fixedbound cannot prove in range: the author asserts the bound.
+//	  The reason is mandatory.
 const (
-	hotpathDirective = "csr:hotpath"
-	errokDirective   = "csr:errok"
+	hotpathDirective   = "csr:hotpath"
+	errokDirective     = "csr:errok"
+	publishedDirective = "csr:published"
+	boundokDirective   = "csr:boundok"
 )
+
+// directiveAt looks for the given //csr: directive on the node's line, the
+// line above, or the node's end line. It returns ok=true when a
+// well-formed directive (with a reason) covers the node; complained=true
+// when a bare directive was present (a diagnostic has been reported),
+// matching the //csr:errok contract.
+func directiveAt(pass *analysis.Pass, comments map[int][]*ast.Comment, n ast.Node, directive string) (ok, complained bool) {
+	line := lineOf(pass.Fset, n.Pos())
+	for _, l := range []int{lineOf(pass.Fset, n.End()), line, line - 1} {
+		for _, c := range comments[l] {
+			text := strings.TrimPrefix(c.Text, "//")
+			if text == directive || text == directive+" " {
+				pass.Reportf(c.Pos(), "//%s requires a justification: //%s <reason>", directive, directive)
+				return false, true
+			}
+			if strings.HasPrefix(text, directive+" ") {
+				return true, false
+			}
+		}
+	}
+	return false, false
+}
+
+// passProg returns the pass's interprocedural program, building a
+// single-package one on the fly for drivers that did not supply it.
+func passProg(pass *analysis.Pass) *ssa.Program {
+	if pass.Prog != nil {
+		return pass.Prog
+	}
+	p := ssa.NewProgram()
+	p.AddPackage(pass.Pkg, pass.Files, pass.TypesInfo)
+	return p
+}
+
+// funcInfos builds (via the program's memo) the CFG wrapper for every
+// function declared in the pass's package that has a body.
+func funcInfos(pass *analysis.Pass, prog *ssa.Program) map[*types.Func]*ssa.FuncInfo {
+	out := make(map[*types.Func]*ssa.FuncInfo)
+	for fn := range funcDecls(pass) {
+		if fi := prog.FuncInfo(fn); fi != nil {
+			out[fn] = fi
+		}
+	}
+	return out
+}
 
 // hasDirective reports whether any comment in doc is exactly the given
 // //csr: directive (ignoring trailing text after a space).
@@ -173,6 +235,33 @@ func commentLines(fset *token.FileSet, f *ast.File) map[int][]*ast.Comment {
 		}
 	}
 	return m
+}
+
+// fileComments lazily indexes each file's comments by line, so analyzers
+// that check escape-hatch directives at arbitrary positions can find the
+// right file's comment map.
+type fileComments struct {
+	pass  *analysis.Pass
+	cache map[*ast.File]map[int][]*ast.Comment
+}
+
+func passComments(pass *analysis.Pass) fileComments {
+	return fileComments{pass: pass, cache: map[*ast.File]map[int][]*ast.Comment{}}
+}
+
+// at returns the line-indexed comments of the file containing pos.
+func (fc fileComments) at(pos token.Pos) map[int][]*ast.Comment {
+	for _, f := range fc.pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			m, ok := fc.cache[f]
+			if !ok {
+				m = commentLines(fc.pass.Fset, f)
+				fc.cache[f] = m
+			}
+			return m
+		}
+	}
+	return nil
 }
 
 // errorType is the predeclared error interface.

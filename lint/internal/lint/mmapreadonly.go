@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"csrgraph/lint/internal/analysis"
+	"csrgraph/lint/internal/ssa"
+)
+
+// MmapReadOnly forbids stores through memory derived from the read-only
+// mapped sections: the word slices handed to bitpack.View / bitarray.View
+// and everything reachable from an mgraph container (Open, Parse, and the
+// Packed/Weighted/Delta/Source accessors). The kernel maps these pages
+// PROT_READ, so a store is a guaranteed SIGSEGV in production and silent
+// corruption in tests that use heap-backed fixtures — exactly the class
+// of bug that only shows up after deployment.
+//
+// Taint starts at the View/Open/Parse call results, flows through
+// assignments, field selections, indexing, slicing, and the word-accessor
+// methods (Bits, Words, Packed, Weighted, Delta, Source), and is
+// reported when it reaches:
+//
+//   - an element or pointer store (tainted[i] = x, *tainted = x),
+//   - copy/append/clear with a tainted destination,
+//   - a call passing a tainted slice to a parameter the callee writes
+//     through (interprocedural, via the write summary), or
+//   - a mutating method (per the same summary) on a tainted
+//     bitarray.Array or bitpack.Packed view.
+//
+// Test files are exempt: tests construct views over heap slices
+// deliberately to exercise aliasing semantics.
+var MmapReadOnly = &analysis.Analyzer{
+	Name: "mmapreadonly",
+	Doc:  "no stores through bitpack.View/bitarray.View words or mgraph mapped sections",
+	Run:  runMmapReadOnly,
+}
+
+// taintAccessors are the methods that hand out references into the same
+// underlying mapped words as their receiver.
+var taintAccessors = map[string]bool{
+	"Bits": true, "Words": true, "Packed": true,
+	"Weighted": true, "Delta": true, "Source": true,
+}
+
+func runMmapReadOnly(pass *analysis.Pass) (any, error) {
+	prog := passProg(pass)
+	for fn, fi := range funcInfos(pass, prog) {
+		file := pass.Fset.Position(fn.Pos()).Filename
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		checkMmapReadOnly(pass, prog, fi)
+	}
+	return nil, nil
+}
+
+// mmapTaint tracks which local variables alias mapped memory in one
+// function.
+type mmapTaint struct {
+	pass *analysis.Pass
+	fi   *ssa.FuncInfo
+	vars map[*types.Var]bool
+}
+
+// isTaintSeed reports whether call's results alias a mapped section.
+func isTaintSeed(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	return isPkgFunc(fn, "bitpack", "View") ||
+		isPkgFunc(fn, "bitarray", "View") ||
+		isPkgFunc(fn, "mgraph", "Open", "Parse")
+}
+
+// tainted reports whether e evaluates to a reference into mapped memory.
+func (t *mmapTaint) tainted(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := t.fi.VarOf(x)
+		return v != nil && t.vars[v]
+	case *ast.SelectorExpr:
+		return t.tainted(x.X)
+	case *ast.IndexExpr:
+		return t.tainted(x.X)
+	case *ast.SliceExpr:
+		return t.tainted(x.X)
+	case *ast.StarExpr:
+		return t.tainted(x.X)
+	case *ast.UnaryExpr:
+		return x.Op.String() == "&" && t.tainted(x.X)
+	case *ast.TypeAssertExpr:
+		return t.tainted(x.X)
+	case *ast.CallExpr:
+		if isTaintSeed(t.pass.TypesInfo, x) {
+			return true
+		}
+		if tv, ok := t.pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return t.tainted(x.Args[0]) // conversion
+		}
+		if fn := calleeFunc(t.pass.TypesInfo, x); fn != nil && taintAccessors[fn.Name()] {
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				return t.tainted(sel.X)
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func checkMmapReadOnly(pass *analysis.Pass, prog *ssa.Program, fi *ssa.FuncInfo) {
+	t := &mmapTaint{pass: pass, fi: fi, vars: map[*types.Var]bool{}}
+
+	// Fixed-point taint closure over value bindings.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v := fi.VarOf(id)
+					if v == nil || t.vars[v] {
+						continue
+					}
+					// x, err := bitpack.View(...) — multi-value form.
+					if len(st.Lhs) != len(st.Rhs) && len(st.Rhs) == 1 {
+						if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok && t.tainted(call) && referenceShaped(v.Type()) {
+							t.vars[v] = true
+							changed = true
+						}
+						continue
+					}
+					if i < len(st.Rhs) && t.tainted(st.Rhs[i]) && referenceShaped(v.Type()) {
+						t.vars[v] = true
+						changed = true
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range st.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) != len(vs.Names) {
+						continue
+					}
+					for i, name := range vs.Names {
+						v := fi.VarOf(name)
+						if v != nil && !t.vars[v] && t.tainted(vs.Values[i]) && referenceShaped(v.Type()) {
+							t.vars[v] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// storeTargetTainted reports whether an assignment target writes into
+	// mapped memory: the peel chain crosses an index or dereference whose
+	// base is tainted.
+	var storeTargetTainted func(e ast.Expr) bool
+	storeTargetTainted = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			return t.tainted(x.X) || storeTargetTainted(x.X)
+		case *ast.StarExpr:
+			return t.tainted(x.X) || storeTargetTainted(x.X)
+		case *ast.SelectorExpr:
+			return storeTargetTainted(x.X)
+		}
+		return false
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		for _, tgt := range ssa.AssignTargets(n) {
+			if storeTargetTainted(tgt) {
+				pass.Reportf(tgt.Pos(), "store into memory derived from a read-only mapped section (bitpack/bitarray View or mgraph container); mapped pages are PROT_READ")
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := builtinName(pass.TypesInfo, call); name == "copy" || name == "append" || name == "clear" {
+			if len(call.Args) > 0 && t.tainted(call.Args[0]) {
+				pass.Reportf(call.Pos(), "%s writes into memory derived from a read-only mapped section", name)
+			}
+			return true
+		}
+		callee := ssa.StaticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		// A mutating method on a tainted view writes the mapped words.
+		if recv := callee.Signature().Recv(); recv != nil && isViewType(recv.Type()) {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && t.tainted(sel.X) && prog.WritesParam(callee, 0) {
+				pass.Reportf(call.Pos(), "call to %s mutates a %s backed by a read-only mapped section", callee.Name(), deref(recv.Type()).String())
+				return true
+			}
+		}
+		// Tainted slice passed to a callee that writes through it.
+		for slot, arg := range ssa.CallArgs(pass.TypesInfo, call, callee) {
+			if arg == nil || !sliceShaped(pass.TypesInfo.TypeOf(arg)) {
+				continue
+			}
+			if t.tainted(arg) && prog.WritesParam(callee, ssa.ParamIndexFor(callee, slot)) {
+				pass.Reportf(arg.Pos(), "passing mapped-section memory to %s, which writes through this parameter", callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isViewType reports whether t is (a pointer to) bitarray.Array or
+// bitpack.Packed.
+func isViewType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	switch named.Obj().Name() {
+	case "Array":
+		return p == "bitarray" || strings.HasSuffix(p, "/bitarray")
+	case "Packed":
+		return p == "bitpack" || strings.HasSuffix(p, "/bitpack")
+	}
+	return false
+}
+
+// sliceShaped reports whether t is a slice or pointer-to-array.
+func sliceShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}

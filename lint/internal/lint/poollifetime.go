@@ -1,0 +1,400 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"csrgraph/lint/internal/analysis"
+	"csrgraph/lint/internal/ssa"
+)
+
+// PoolLifetime checks sync.Pool discipline in functions that call Get
+// directly: once a pooled value is handed back with Put, the function must
+// not touch it again (the next Get on another goroutine may already own
+// it), must not Put it twice, and must not park a caller-provided slice,
+// map, or pointer in one of its fields across the Put (the next user would
+// alias memory it has no claim to). Keeping a pooled value's own grown
+// backing arrays across Put is the point of pooling and stays legal;
+// only fields whose value roots at a parameter of the enclosing function
+// are treated as retained foreign memory.
+//
+// A deferred Put runs at function exit, so it neither kills the value for
+// the remainder of the body nor double-Puts with a loop iteration; the
+// retention check still applies to it.
+//
+// The analysis is per-function over the CFG: Put generates a "returned"
+// fact, rebinding the variable (x = pool.Get() in a loop) kills it, and
+// any use of the variable or an alias while the fact is live is a finding.
+var PoolLifetime = &analysis.Analyzer{
+	Name: "poollifetime",
+	Doc:  "no use or aliasing of sync.Pool values after Put, no double-Put, no caller-owned slices retained across Put",
+	Run:  runPoolLifetime,
+}
+
+// isPoolMethod reports whether call invokes sync.Pool.<name>.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	named, ok := deref(recv.Type()).(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+func runPoolLifetime(pass *analysis.Pass) (any, error) {
+	prog := passProg(pass)
+	for _, fi := range funcInfos(pass, prog) {
+		checkPoolLifetime(pass, fi)
+	}
+	return nil, nil
+}
+
+// putSite is one non-deferred pool.Put whose argument is a tracked pooled
+// value.
+type putSite struct {
+	stmt ast.Node
+	call *ast.CallExpr
+	v    *types.Var // the pooled variable being returned
+}
+
+func checkPoolLifetime(pass *analysis.Pass, fi *ssa.FuncInfo) {
+	// Pooled variables: targets of x := pool.Get() (with or without a type
+	// assertion), plus value-copy aliases.
+	seeds := map[*types.Var]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := peelToCall(rhs)
+			if !ok || !isPoolMethod(pass.TypesInfo, call, "Get") {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if v := fi.VarOf(id); v != nil {
+					seeds[v] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(seeds) == 0 {
+		return
+	}
+	pooled := fi.AliasClosure(seeds)
+
+	// Alias groups: a use of any alias is a use of the pooled object, but
+	// two independently pooled values must not contaminate each other.
+	group := map[*types.Var]int{}
+	next := 0
+	for seed := range seeds {
+		if _, ok := group[seed]; ok {
+			continue
+		}
+		closure := fi.AliasClosure(map[*types.Var]bool{seed: true})
+		id := next
+		for v := range closure {
+			if g, ok := group[v]; ok {
+				id = g // overlapping closures collapse into one group
+				break
+			}
+		}
+		if id == next {
+			next++
+		}
+		for v := range closure {
+			group[v] = id
+		}
+	}
+
+	// Put sites over pooled values; deferred Puts run at exit and are
+	// excluded from the use-after-Put dataflow but still feed the
+	// retention check.
+	var puts []*putSite
+	var deferredPuts []*ast.CallExpr
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && isPoolMethod(pass.TypesInfo, call, "Put") && len(call.Args) == 1 {
+				if id, ok := ast.Unparen(peelAddr(call.Args[0])).(*ast.Ident); ok {
+					if v := fi.VarOf(id); v != nil && pooled[v] {
+						puts = append(puts, &putSite{stmt: st, call: call, v: v})
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if isPoolMethod(pass.TypesInfo, st.Call, "Put") {
+				deferredPuts = append(deferredPuts, st.Call)
+			}
+			return false // the deferred call body runs at exit
+		}
+		return true
+	})
+
+	if len(puts) > 0 {
+		checkUseAfterPut(pass, fi, pooled, group, puts)
+	}
+	checkRetention(pass, fi, pooled, puts, len(deferredPuts) > 0)
+}
+
+// checkUseAfterPut runs the "returned to pool" dataflow and reports uses,
+// aliases, and double-Puts while the fact is live.
+func checkUseAfterPut(pass *analysis.Pass, fi *ssa.FuncInfo, pooled map[*types.Var]bool, group map[*types.Var]int, puts []*putSite) {
+	putIdx := map[ast.Node]int{}
+	for i, p := range puts {
+		putIdx[p.stmt] = i
+	}
+
+	// reboundVars returns variables this node rebinds (whole-variable
+	// assignment, not a store through), which revalidates them: x =
+	// pool.Get() or x = nil after Put are both fine.
+	reboundVars := func(n ast.Node) []*types.Var {
+		var out []*types.Var
+		for _, tgt := range ssa.AssignTargets(n) {
+			if id, through := ssa.WriteRoot(tgt); id != nil && !through {
+				if v := fi.VarOf(id); v != nil && pooled[v] {
+					out = append(out, v)
+				}
+			}
+		}
+		return out
+	}
+
+	apply := func(n ast.Node, fact ssa.BitSet) {
+		for _, v := range reboundVars(n) {
+			for i, p := range puts {
+				if p.v == v {
+					fact.Clear(i)
+				}
+			}
+		}
+		if i, ok := putIdx[n]; ok {
+			fact.Set(i)
+		}
+	}
+
+	df := &ssa.Dataflow{
+		CFG:  fi.CFG,
+		Bits: len(puts),
+		Transfer: func(b *ssa.Block, in, out ssa.BitSet) {
+			for _, n := range b.Nodes {
+				apply(n, out)
+			}
+		},
+	}
+	in := df.Solve()
+
+	// Reporting pass: replay each block from its solved entry fact.
+	for _, b := range fi.CFG.Blocks {
+		fact := in[b.Index].Copy()
+		for _, n := range b.Nodes {
+			if !fact.Empty() {
+				reportLiveUse(pass, fi, group, puts, putIdx, n, fact)
+			}
+			apply(n, fact)
+		}
+	}
+}
+
+// reportLiveUse reports n if it uses a pooled variable some live Put (of
+// the same alias group) has already returned.
+func reportLiveUse(pass *analysis.Pass, fi *ssa.FuncInfo, group map[*types.Var]int, puts []*putSite, putIdx map[ast.Node]int, n ast.Node, fact ssa.BitSet) {
+	live := map[int]*putSite{} // alias group → an already-executed Put
+	for i, p := range puts {
+		if fact.Has(i) {
+			live[group[p.v]] = p
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// A repeated Put of a still-returned value is the more specific
+	// double-Put finding; skip the generic use report for its argument.
+	if i, ok := putIdx[n]; ok {
+		if p, isLive := live[group[puts[i].v]]; isLive {
+			pass.Reportf(n.Pos(), "%s is returned to the pool twice; the first Put was at line %d", puts[i].v.Name(), lineOf(pass.Fset, p.stmt.Pos()))
+		}
+		return
+	}
+
+	// Rebind targets are not uses: x = nil / x = pool.Get() revalidate.
+	excluded := map[*ast.Ident]bool{}
+	for _, tgt := range ssa.AssignTargets(n) {
+		if id, through := ssa.WriteRoot(tgt); id != nil && !through {
+			excluded[id] = true
+		}
+	}
+
+	reported := false
+	scopedInspect(n, func(m ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || excluded[id] {
+			return true
+		}
+		v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		if v == nil {
+			return true
+		}
+		g, isPooled := group[v]
+		if !isPooled {
+			return true
+		}
+		if p, isLive := live[g]; isLive {
+			pass.Reportf(id.Pos(), "%s is used after being returned to the pool at line %d; a concurrent Get may already own it", v.Name(), lineOf(pass.Fset, p.stmt.Pos()))
+			reported = true
+			return false
+		}
+		return true
+	})
+}
+
+// checkRetention flags pooled struct fields left pointing at
+// caller-provided memory when the value goes back to the pool.
+func checkRetention(pass *analysis.Pass, fi *ssa.FuncInfo, pooled map[*types.Var]bool, puts []*putSite, hasDeferredPut bool) {
+	fn, _ := fi.Info.Defs[fi.Decl.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	params := map[*types.Var]bool{}
+	for _, pv := range ssa.ParamVars(fn) {
+		params[pv] = true
+	}
+	if len(params) == 0 {
+		return
+	}
+	paramAliases := fi.AliasClosure(params)
+
+	type fieldWrite struct {
+		node  ast.Node
+		base  *types.Var
+		field types.Object
+	}
+	var retains, resets []fieldWrite
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			baseID, _ := ssa.WriteRoot(sel.X)
+			if baseID == nil {
+				continue
+			}
+			base := fi.VarOf(baseID)
+			if base == nil || !pooled[base] {
+				continue
+			}
+			field := pass.TypesInfo.Uses[sel.Sel]
+			if field == nil || !referenceShaped(field.Type()) {
+				continue
+			}
+			if root := exprRootVar(fi, as.Rhs[i]); root != nil && paramAliases[root] && !pooled[root] {
+				retains = append(retains, fieldWrite{node: as, base: base, field: field})
+			} else {
+				resets = append(resets, fieldWrite{node: as, base: base, field: field})
+			}
+		}
+		return true
+	})
+	if len(retains) == 0 {
+		return
+	}
+
+	for _, w := range retains {
+		wref, ok := fi.RefOf(w.node)
+		if !ok {
+			continue
+		}
+		isReset := func(requirePutReach func(ssa.Ref) bool) bool {
+			for _, r := range resets {
+				if r.field != w.field || r.base != w.base {
+					continue
+				}
+				rref, ok := fi.RefOf(r.node)
+				if !ok {
+					continue
+				}
+				if fi.CFG.Reaches(wref, rref) && (requirePutReach == nil || requirePutReach(rref)) {
+					return true
+				}
+			}
+			return false
+		}
+		flagged := false
+		for _, p := range puts {
+			pref, ok := fi.RefOf(p.stmt)
+			if !ok || !fi.CFG.Reaches(wref, pref) {
+				continue
+			}
+			if !isReset(func(rref ssa.Ref) bool { return fi.CFG.Reaches(rref, pref) }) {
+				flagged = true
+			}
+		}
+		if hasDeferredPut && !isReset(nil) {
+			flagged = true
+		}
+		if flagged {
+			pass.Reportf(w.node.Pos(), "pooled %s retains caller-provided memory in field %s across Put; reset the field before returning it to the pool", w.base.Name(), w.field.Name())
+		}
+	}
+}
+
+// referenceShaped reports whether t can alias memory: slice, map, pointer,
+// or channel.
+func referenceShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// exprRootVar peels an expression down to the variable its memory roots
+// at: slicing, indexing, field selection, dereference, address-taking,
+// parens, conversions, and type assertions all preserve the root.
+func exprRootVar(fi *ssa.FuncInfo, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op.String() != "&" {
+				return nil
+			}
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if tv, ok := fi.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		case *ast.Ident:
+			return fi.VarOf(x)
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,459 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"csrgraph/lint/internal/analysis"
+	"csrgraph/lint/internal/ssa"
+)
+
+// PublishOrder machine-checks the publish-after-init contract behind every
+// lock-free structure in the tree (shard rowTable admission, obs
+// exemplars, the future RCU snapshot swap): once a pointer is published
+// with atomic.Pointer.Store / CompareAndSwap / Swap (or atomic.Value), the
+// object it points to is shared and must never be written again. Readers
+// that obtain a snapshot via Load get the same treatment from the other
+// side: a snapshot is read-only.
+//
+// Two finding shapes:
+//
+//   - A write to the published object (through the published pointer, an
+//     alias of it, or the variable it was taken from with &) that can
+//     execute after the publication — i.e. the publication reaches the
+//     write in the CFG and the write does not dominate the publication.
+//     Loop-carried republication of a freshly rebuilt object is fine; a
+//     post-Store touch-up or a conditional write reachable on the next
+//     iteration is a race.
+//
+//   - A store through a value obtained from Load (directly, through an
+//     alias, or by passing it to a function that writes through that
+//     parameter).
+//
+// //csr:published <reason> on the write's line (or the line above)
+// suppresses a finding; the bare directive is itself a finding.
+var PublishOrder = &analysis.Analyzer{
+	Name: "publishorder",
+	Doc:  "writes to atomically published objects must happen-before the Store; Load snapshots are read-only",
+	Run:  runPublishOrder,
+}
+
+// atomicPublishArg returns the expression being published when call is an
+// atomic publication of a pointer-shaped value, else nil. Integer atomics
+// (Int64.Store etc.) carry no object and are skipped.
+func atomicPublishArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := calleeFunc(info, call)
+	if fn == nil || !isAtomicRefMethod(fn) {
+		return nil
+	}
+	switch fn.Name() {
+	case "Store", "Swap":
+		if len(call.Args) >= 1 {
+			return call.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(call.Args) >= 2 {
+			return call.Args[1]
+		}
+	}
+	return nil
+}
+
+// isAtomicLoad reports whether call is Load on an atomic.Pointer or
+// atomic.Value.
+func isAtomicLoad(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "Load" && isAtomicRefMethod(fn)
+}
+
+// isAtomicRefMethod reports whether fn is a method of sync/atomic's
+// reference-holding types: Pointer[T] or Value.
+func isAtomicRefMethod(fn *types.Func) bool {
+	recv := fn.Signature().Recv()
+	if recv == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	named, ok := deref(recv.Type()).(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Pointer", "Value":
+		return true
+	}
+	return false
+}
+
+func runPublishOrder(pass *analysis.Pass) (any, error) {
+	prog := passProg(pass)
+	comments := passComments(pass)
+	for _, fi := range funcInfos(pass, prog) {
+		checkPublishOrder(pass, prog, comments, fi)
+	}
+	return nil, nil
+}
+
+// publication is one atomic Store/CAS/Swap site within a function.
+type publication struct {
+	call *ast.CallExpr
+	ref  ssa.Ref
+	// aliases are pointer variables that hold the published reference;
+	// pointees are variables whose address was published (writes to the
+	// whole variable count, not just writes through it).
+	aliases  map[*types.Var]bool
+	pointees map[*types.Var]bool
+}
+
+func checkPublishOrder(pass *analysis.Pass, prog *ssa.Program, comments fileComments, fi *ssa.FuncInfo) {
+	var pubs []*publication
+	snapSeeds := map[*types.Var]bool{}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if arg := atomicPublishArg(pass.TypesInfo, call); arg != nil {
+			if ref, ok := fi.RefOf(call); ok {
+				pubs = append(pubs, newPublication(fi, call, ref, arg))
+			}
+		}
+		return true
+	})
+
+	// Snapshot variables: x := ptr.Load() (possibly type-asserted).
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := peelToCall(rhs)
+			if !ok || !isAtomicLoad(pass.TypesInfo, call) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if v := fi.VarOf(id); v != nil {
+					snapSeeds[v] = true
+				}
+			}
+		}
+		return true
+	})
+	snaps := map[*types.Var]bool{}
+	if len(snapSeeds) > 0 {
+		snaps = fi.AliasClosure(snapSeeds)
+	}
+
+	report := func(n ast.Node, format string, args ...any) {
+		if ok, complained := directiveAt(pass, comments.at(n.Pos()), n, publishedDirective); ok || complained {
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+
+	// Read-side contract: writes through Load snapshots are findings
+	// regardless of position, so a flow-insensitive walk suffices. Stores
+	// through an unsaved Load result need no snapshot variable at all, so
+	// this walk is unconditional.
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		for _, tgt := range ssa.AssignTargets(n) {
+			if base, ok := peelToCallBase(tgt); ok && isAtomicLoad(pass.TypesInfo, base) {
+				report(n, "write through the result of %s.Load; snapshots are shared read-only", recvName(pass.TypesInfo, base))
+				continue
+			}
+			if id, through := ssa.WriteRoot(tgt); id != nil && through {
+				if v := fi.VarOf(id); v != nil && snaps[v] {
+					report(n, "write through %s, a snapshot obtained from an atomic Load; snapshots are shared read-only", id.Name)
+				}
+			}
+		}
+		if call, ok := n.(*ast.CallExpr); ok && len(snaps) > 0 {
+			forEachWrittenArg(pass, prog, call, func(root *ast.Ident) {
+				if v := fi.VarOf(root); v != nil && snaps[v] {
+					report(call, "%s, a snapshot obtained from an atomic Load, is passed to a function that writes through it", root.Name)
+				}
+			})
+		}
+		return true
+	})
+
+	// Write-side contract: once a publication is "live" (the Store executed
+	// and the published variable still refers to the same object), any
+	// write to the object is a finding. Rebinding an alias (r = newRow())
+	// kills the fact — the loop-carried rebuild-then-republish idiom stays
+	// legal — while a variable published by address stays live forever.
+	if len(pubs) == 0 {
+		return
+	}
+	pubAt := map[ast.Node][]int{}
+	for i, p := range pubs {
+		node := fi.CFG.NodeAt(p.ref)
+		pubAt[node] = append(pubAt[node], i)
+	}
+	// preservesAlias reports whether rebinding from rhs keeps the variable
+	// pointing at p's published object (p = r, q = &obj), in which case the
+	// rebind must not kill the publication.
+	preservesAlias := func(p *publication, rhs ast.Expr) bool {
+		if rhs == nil {
+			return false
+		}
+		rhs = ast.Unparen(rhs)
+		if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+			if id, ok := ast.Unparen(ue.X).(*ast.Ident); ok {
+				if v := fi.VarOf(id); v != nil && p.pointees[v] {
+					return true
+				}
+			}
+			return false
+		}
+		if id, ok := rhs.(*ast.Ident); ok {
+			if v := fi.VarOf(id); v != nil && p.aliases[v] {
+				return true
+			}
+		}
+		return false
+	}
+	apply := func(n ast.Node, fact ssa.BitSet) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for i, lhs := range as.Lhs {
+				id, through := ssa.WriteRoot(lhs)
+				if id == nil || through {
+					continue
+				}
+				v := fi.VarOf(id)
+				if v == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(as.Lhs) == len(as.Rhs) {
+					rhs = as.Rhs[i]
+				}
+				for pi, p := range pubs {
+					if p.aliases[v] && !preservesAlias(p, rhs) {
+						fact.Clear(pi)
+					}
+				}
+			}
+		}
+		for _, i := range pubAt[n] {
+			fact.Set(i)
+		}
+	}
+	df := &ssa.Dataflow{
+		CFG:  fi.CFG,
+		Bits: len(pubs),
+		Transfer: func(b *ssa.Block, in, out ssa.BitSet) {
+			for _, n := range b.Nodes {
+				apply(n, out)
+			}
+		},
+	}
+	in := df.Solve()
+	for _, b := range fi.CFG.Blocks {
+		fact := in[b.Index].Copy()
+		for _, n := range b.Nodes {
+			if !fact.Empty() {
+				reportPublishedWrites(pass, prog, fi, pubs, n, fact, report)
+			}
+			apply(n, fact)
+		}
+	}
+}
+
+// reportPublishedWrites flags every write in n's subtree that touches an
+// object whose publication is live in fact.
+func reportPublishedWrites(pass *analysis.Pass, prog *ssa.Program, fi *ssa.FuncInfo, pubs []*publication, n ast.Node, fact ssa.BitSet, report func(ast.Node, string, ...any)) {
+	hit := func(v *types.Var, through bool) *publication {
+		for i, p := range pubs {
+			if !fact.Has(i) {
+				continue
+			}
+			if (through && p.aliases[v]) || p.pointees[v] {
+				return p
+			}
+		}
+		return nil
+	}
+	scopedInspect(n, func(m ast.Node) bool {
+		for _, tgt := range ssa.AssignTargets(m) {
+			id, through := ssa.WriteRoot(tgt)
+			if id == nil {
+				continue
+			}
+			v := fi.VarOf(id)
+			if v == nil {
+				continue
+			}
+			if p := hit(v, through); p != nil {
+				report(m, "write to %s after it is published by %s; initialization must happen-before the atomic publication", id.Name, publishName(pass.TypesInfo, p.call))
+			}
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			forEachWrittenArg(pass, prog, call, func(root *ast.Ident) {
+				if v := fi.VarOf(root); v != nil {
+					if p := hit(v, true); p != nil {
+						report(call, "%s is passed to a function that writes through it after it is published by %s", root.Name, publishName(pass.TypesInfo, p.call))
+					}
+				}
+			})
+		}
+		return true
+	})
+}
+
+// forEachWrittenArg invokes fn for the root identifier of every call
+// argument (and method receiver) the callee may write through, per the
+// interprocedural summary.
+func forEachWrittenArg(pass *analysis.Pass, prog *ssa.Program, call *ast.CallExpr, fn func(*ast.Ident)) {
+	callee := ssa.StaticCallee(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	for slot, arg := range ssa.CallArgs(pass.TypesInfo, call, callee) {
+		if arg == nil {
+			continue
+		}
+		root, _ := ssa.WriteRoot(peelAddr(arg))
+		if root == nil {
+			continue
+		}
+		if prog.WritesParam(callee, ssa.ParamIndexFor(callee, slot)) {
+			fn(root)
+		}
+	}
+}
+
+// scopedInspect walks the subtree of one CFG-tracked node without
+// descending into statements that are tracked in other blocks (a
+// RangeStmt's body).
+func scopedInspect(n ast.Node, fn func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if rs.Key != nil {
+			ast.Inspect(rs.Key, fn)
+		}
+		if rs.Value != nil {
+			ast.Inspect(rs.Value, fn)
+		}
+		ast.Inspect(rs.X, fn)
+		return
+	}
+	ast.Inspect(n, fn)
+}
+
+// newPublication computes the alias and pointee sets for one publication.
+func newPublication(fi *ssa.FuncInfo, call *ast.CallExpr, ref ssa.Ref, arg ast.Expr) *publication {
+	pub := &publication{call: call, ref: ref, aliases: map[*types.Var]bool{}, pointees: map[*types.Var]bool{}}
+	arg = ast.Unparen(arg)
+	if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+		// p.Store(&obj): writes to obj itself are writes to the published
+		// object.
+		if id, ok := ast.Unparen(ue.X).(*ast.Ident); ok {
+			if v := fi.VarOf(id); v != nil {
+				pub.pointees[v] = true
+			}
+		}
+		return pub
+	}
+	if id, ok := arg.(*ast.Ident); ok {
+		if v := fi.VarOf(id); v != nil {
+			pub.aliases = fi.AliasClosure(map[*types.Var]bool{v: true})
+			// Any alias bound from &obj drags obj in as a pointee.
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					ue, ok := ast.Unparen(rhs).(*ast.UnaryExpr)
+					if !ok || ue.Op.String() != "&" {
+						continue
+					}
+					lid, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					lv := fi.VarOf(lid)
+					if lv == nil || !pub.aliases[lv] {
+						continue
+					}
+					if pid, ok := ast.Unparen(ue.X).(*ast.Ident); ok {
+						if pv := fi.VarOf(pid); pv != nil {
+							pub.pointees[pv] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return pub
+}
+
+// peelToCall unwraps parens, type assertions, and conversions down to a
+// call expression.
+func peelToCall(e ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return x, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// peelToCallBase peels an assignment target's selector/index/star chain;
+// when the base is a call, it is returned.
+func peelToCallBase(e ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return x, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// peelAddr strips a leading &, so g(&obj) checks writes against obj.
+func peelAddr(e ast.Expr) ast.Expr {
+	if ue, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+		return ue.X
+	}
+	return e
+}
+
+// publishName renders "recv.Store" for diagnostics.
+func publishName(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "atomic publication"
+	}
+	return recvName(info, call) + "." + fn.Name()
+}
+
+// recvName renders the receiver expression of a method call, best-effort.
+func recvName(info *types.Info, call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return id.Name
+		}
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			return inner.Sel.Name
+		}
+	}
+	return "atomic"
+}

@@ -7,6 +7,6 @@ import (
 	"csrgraph/lint/internal/lint"
 )
 
-func TestHotPathAlloc(t *testing.T) {
-	analysistest.Run(t, "testdata", lint.HotPathAlloc, "hotpath", "hotcross")
+func TestPublishOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.PublishOrder, "publishfix")
 }

@@ -1,0 +1,26 @@
+// Package bitarray is a fixture stub mirroring the real
+// internal/bitarray surface the mmapreadonly analyzer keys on: View
+// wraps caller words without copying, Words hands the backing slice
+// back out, and Set writes through it.
+package bitarray
+
+type Array struct {
+	words []uint64
+	nbits int
+}
+
+func View(words []uint64, nbits int) *Array {
+	return &Array{words: words, nbits: nbits}
+}
+
+func (a *Array) Words() []uint64 { return a.words }
+
+func (a *Array) Len() int { return a.nbits }
+
+func (a *Array) Get(i int) bool {
+	return a.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (a *Array) Set(i int) {
+	a.words[i>>6] |= 1 << (uint(i) & 63)
+}

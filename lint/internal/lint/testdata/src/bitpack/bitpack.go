@@ -1,0 +1,26 @@
+// Package bitpack is a fixture stub mirroring the real
+// internal/bitpack surface: View aliases the caller's words, Bits
+// re-wraps them, and Set mutates them in place.
+package bitpack
+
+import "bitarray"
+
+type Packed struct {
+	words []uint64
+	width int
+	n     int
+}
+
+func View(width, n int, words []uint64) *Packed {
+	return &Packed{words: words, width: width, n: n}
+}
+
+func (p *Packed) Words() []uint64 { return p.words }
+
+func (p *Packed) Bits() *bitarray.Array {
+	return bitarray.View(p.words, p.n*p.width)
+}
+
+func (p *Packed) Get(i int) uint64 { return p.words[i] }
+
+func (p *Packed) Set(i int, v uint64) { p.words[i] = v }

@@ -1,0 +1,167 @@
+// Package boundfix exercises the fixedbound analyzer: every
+// non-constant index into a fixed-capacity array must be dominated by a
+// mask, a modulus, a comparison guard, or come from a clamp helper.
+package boundfix
+
+type hist struct {
+	bucket int
+	counts [64]uint64
+}
+
+var spans [48]int
+
+// unguarded indexes with a raw parameter.
+func unguarded(i int) {
+	spans[i] = 1 // want `index into \[48\]int is not dominated by a mask, clamp, or bounds guard`
+}
+
+// masked uses the idiomatic power-of-two mask.
+func masked(i int) {
+	spans[i&47] = 1
+}
+
+// modular uses a modulus.
+func modular(i int) {
+	spans[i%len(spans)] = 1
+}
+
+// guarded is the clamp-or-return idiom: the comparison dominates the use.
+func guarded(i int) {
+	if i >= len(spans) {
+		return
+	}
+	spans[i] = 1
+}
+
+// constantIndex is range-checked by the compiler already.
+func constantIndex() {
+	spans[3] = 1
+}
+
+// ranged keys are in range by construction.
+func ranged() {
+	for k := range spans {
+		spans[k]++
+	}
+}
+
+// arithmetic over bounded terms stays bounded.
+func arith(i int) {
+	if i < 40 {
+		spans[i+2] = 1
+	}
+}
+
+// clamp is a bounded-return helper: every return site is provably in
+// range, so callers may index with its result directly.
+func clamp(i int) int {
+	if i >= len(spans) {
+		return len(spans) - 1
+	}
+	return i
+}
+
+func viaClamp(i int) {
+	spans[clamp(i)] = 1
+}
+
+// unclamped returns its argument unchecked, so the call is not bounded.
+func unclamped(i int) int { return i }
+
+func viaUnclamped(i int) {
+	spans[unclamped(i)] = 1 // want `index into \[48\]int is not dominated by a mask, clamp, or bounds guard`
+}
+
+// fieldGuarded guards a struct-field index with a comparison on the
+// same field of the same variable.
+func (h *hist) fieldGuarded() {
+	if h.bucket < len(h.counts) {
+		h.counts[h.bucket]++
+	}
+}
+
+// fieldUnguarded indexes with the raw field.
+func (h *hist) fieldUnguarded() {
+	h.counts[h.bucket]++ // want `index into \[64\]uint64 is not dominated by a mask, clamp, or bounds guard`
+}
+
+var names [9]string
+
+type stage int
+
+// convGuarded compares through a conversion: int(s) < len(names) guards
+// an index by s.
+func (s stage) convGuarded() string {
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return "?"
+}
+
+// convUnguarded converts without comparing.
+func (s stage) convUnguarded() string {
+	return names[s] // want `index into \[9\]string is not dominated by a mask, clamp, or bounds guard`
+}
+
+// defBounded carries the mask on the definition, not the use — the
+// radix-scatter cursor idiom.
+func defBounded(keys []uint64) uint32 {
+	var cur [64]uint32
+	for _, k := range keys {
+		d := k & 63
+		cur[d]++
+	}
+	d := uint64(len(keys)) % 64
+	return cur[d]
+}
+
+// defRebound is disqualified by a later unbounded rebinding.
+func defRebound(keys []uint64, j uint64) uint32 {
+	var cur [64]uint32
+	d := keys[0] & 63
+	d = j
+	return cur[d] // want `index into \[64\]uint32 is not dominated by a mask, clamp, or bounds guard`
+}
+
+// defIncremented is disqualified by an increment that can walk past the
+// mask.
+func defIncremented(k uint64) uint32 {
+	var cur [64]uint32
+	d := k & 63
+	d++
+	return cur[d] // want `index into \[64\]uint32 is not dominated by a mask, clamp, or bounds guard`
+}
+
+func each(n int, f func(w int)) {
+	for w := 0; w < n; w++ {
+		f(w)
+	}
+}
+
+// closureGuarded indexes inside a function literal: the whole statement
+// is one CFG node, so the guard counts when it textually precedes the
+// use.
+func closureGuarded() {
+	var slots [48]int
+	each(100, func(w int) {
+		if w >= len(slots) {
+			return
+		}
+		slots[w]++
+	})
+}
+
+// closureUnguarded has no comparison before the use.
+func closureUnguarded() {
+	var slots [48]int
+	each(100, func(w int) {
+		slots[w]++ // want `index into \[48\]int is not dominated by a mask, clamp, or bounds guard`
+	})
+}
+
+// hatched documents an out-of-band invariant; the justified directive
+// suppresses the finding and the bare one is itself flagged.
+func hatched(i int) {
+	spans[i] = 2 //csr:boundok fixture: caller is the width dispatcher, i < 48 by construction
+	spans[i] = 3 /* want `//csr:boundok requires a justification` */ //csr:boundok
+}

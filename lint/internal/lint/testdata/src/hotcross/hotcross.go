@@ -1,0 +1,40 @@
+// Package hotcross exercises the interprocedural side of hotpathalloc:
+// a //csr:hotpath kernel calling into another package is held to the
+// same no-allocation contract through the whole-program summary, and
+// the finding is blamed at the call site.
+package hotcross
+
+import "hotdep"
+
+//csr:hotpath
+func kernel(xs []int) int {
+	xs = hotdep.Grow(xs, 1) // want `hot path: call to hotdep.Grow allocates: append may grow its backing array`
+	return hotdep.Sum(xs)
+}
+
+//csr:hotpath
+func chained(xs []int) int {
+	ys := hotdep.Chain(xs) // want `hot path: call to hotdep.Chain allocates: call to Grow → append may grow its backing array`
+	return len(ys)
+}
+
+// relay is reached from the annotated root below; its cross-package
+// call is blamed in relay's body, via the root.
+func relay(xs []int) []int {
+	return hotdep.Grow(xs, 2) // want `hot path \(via //csr:hotpath viaHelper\): call to hotdep.Grow allocates: append may grow its backing array`
+}
+
+//csr:hotpath
+func viaHelper(xs []int) int {
+	return hotdep.Sum(relay(xs))
+}
+
+//csr:hotpath
+func cleanCross(xs []int) int {
+	return hotdep.Sum(xs)
+}
+
+// unannotated may allocate freely, across packages or not.
+func unannotated(xs []int) []int {
+	return hotdep.Grow(xs, 3)
+}

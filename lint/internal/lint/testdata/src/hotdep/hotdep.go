@@ -1,0 +1,20 @@
+// Package hotdep is the cross-package callee fixture for hotpathalloc:
+// Grow allocates directly, Chain allocates through Grow, and Sum is
+// allocation-free.
+package hotdep
+
+func Grow(xs []int, n int) []int {
+	return append(xs, n)
+}
+
+func Chain(xs []int) []int {
+	return Grow(xs, 1)
+}
+
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

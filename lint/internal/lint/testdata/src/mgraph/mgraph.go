@@ -1,0 +1,25 @@
+// Package mgraph is a fixture stub mirroring the real internal/mgraph
+// container surface: Open/Parse return handles over a (notionally
+// read-only mapped) byte section, and the accessors alias it.
+package mgraph
+
+import "bitpack"
+
+type Container struct {
+	src    []byte
+	packed *bitpack.Packed
+}
+
+func Parse(data []byte) *Container {
+	return &Container{src: data}
+}
+
+func Open(path string) (*Container, error) {
+	return &Container{}, nil
+}
+
+func (c *Container) Source() []byte { return c.src }
+
+func (c *Container) Packed() *bitpack.Packed { return c.packed }
+
+func (c *Container) Close() error { return nil }

@@ -1,0 +1,108 @@
+// Package mmapfix exercises the mmapreadonly analyzer: memory handed
+// out by bitpack.View / bitarray.View and everything reachable from an
+// mgraph container is a read-only mapped section, so any store through
+// it is a production SIGSEGV.
+package mmapfix
+
+import (
+	"bitarray"
+	"bitpack"
+	"mgraph"
+)
+
+// zero writes through its parameter.
+func zero(b []uint64) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// sum only reads.
+func sum(b []uint64) uint64 {
+	var s uint64
+	for _, w := range b {
+		s += w
+	}
+	return s
+}
+
+// directStore indexes straight into the view's words.
+func directStore(words []uint64) {
+	w := bitarray.View(words, len(words)*64).Words()
+	w[0] = 1 // want `store into memory derived from a read-only mapped section`
+}
+
+// chainedStore reaches the words through the accessor on a saved view.
+func chainedStore(words []uint64) {
+	a := bitarray.View(words, len(words)*64)
+	a.Words()[2] = 7 // want `store into memory derived from a read-only mapped section`
+}
+
+// builtinWriters cover copy, append, and clear with a mapped destination.
+func builtinWriters(words, other []uint64) {
+	w := bitpack.View(8, len(words), words).Words()
+	copy(w, other)              // want `copy writes into memory derived from a read-only mapped section`
+	clear(w)                    // want `clear writes into memory derived from a read-only mapped section`
+	_ = append(w[:0], other...) // want `append writes into memory derived from a read-only mapped section`
+}
+
+// mutatingMethod calls a writer method on the tainted view itself.
+func mutatingMethod(words []uint64) {
+	a := bitarray.View(words, len(words)*64)
+	a.Set(3) // want `call to Set mutates a bitarray.Array backed by a read-only mapped section`
+}
+
+// mutatingPacked does the same through the bitpack wrapper.
+func mutatingPacked(words []uint64) {
+	p := bitpack.View(16, len(words), words)
+	p.Set(0, 9) // want `call to Set mutates a bitpack.Packed backed by a read-only mapped section`
+}
+
+// helperWriter passes the mapped words to a function that stores
+// through the parameter; the write summary crosses the call.
+func helperWriter(words []uint64) {
+	w := bitarray.View(words, len(words)*64).Words()
+	zero(w) // want `passing mapped-section memory to zero, which writes through this parameter`
+}
+
+// containerStore writes into an mgraph container's source bytes.
+func containerStore(data []byte) {
+	c := mgraph.Parse(data)
+	c.Source()[0] = 1 // want `store into memory derived from a read-only mapped section`
+}
+
+// openedStore covers the multi-value Open form.
+func openedStore(path string) error {
+	c, err := mgraph.Open(path)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.Packed().Set(1, 2) // want `call to Set mutates a bitpack.Packed backed by a read-only mapped section`
+	return nil
+}
+
+// readsClean reads through every taint path without writing: reads,
+// read-only methods, and read-only callees are all fine.
+func readsClean(words []uint64, data []byte) uint64 {
+	a := bitarray.View(words, len(words)*64)
+	w := a.Words()
+	s := w[0]
+	if a.Get(3) {
+		s++
+	}
+	c := mgraph.Parse(data)
+	_ = c.Source()
+	_ = c.Close()
+	return s + sum(w)
+}
+
+// privateCopyClean stores into memory the function owns; taint does not
+// leak backwards from the copy destination.
+func privateCopyClean(words []uint64) []uint64 {
+	w := bitarray.View(words, len(words)*64).Words()
+	out := make([]uint64, len(w))
+	copy(out, w)
+	out[0] = 1
+	return out
+}

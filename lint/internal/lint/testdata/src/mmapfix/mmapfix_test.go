@@ -1,0 +1,10 @@
+// Test files are exempt: tests construct views over heap slices on
+// purpose to exercise aliasing, so this store must produce no finding.
+package mmapfix
+
+import "bitarray"
+
+func testOnlyStore(words []uint64) {
+	w := bitarray.View(words, len(words)*64).Words()
+	w[0] = 1
+}

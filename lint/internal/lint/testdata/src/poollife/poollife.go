@@ -1,0 +1,107 @@
+// Package poollife exercises the poollifetime analyzer: values from
+// sync.Pool.Get must not be touched after Put, must not be Put twice, and
+// must not carry caller-provided memory back into the pool.
+package poollife
+
+import "sync"
+
+type scratch struct {
+	buf  []byte
+	hits int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// useAfterPut touches the value after handing it back.
+func useAfterPut() int {
+	s := pool.Get().(*scratch)
+	s.hits++
+	pool.Put(s)
+	return s.hits // want `s is used after being returned to the pool`
+}
+
+// aliasAfterPut reaches the returned value through a copy.
+func aliasAfterPut() int {
+	s := pool.Get().(*scratch)
+	p := s
+	pool.Put(s)
+	return p.hits // want `p is used after being returned to the pool`
+}
+
+// doublePut returns the same value twice.
+func doublePut() {
+	s := pool.Get().(*scratch)
+	pool.Put(s)
+	pool.Put(s) // want `s is returned to the pool twice`
+}
+
+// loopDoublePut forgets to re-Get on the next iteration.
+func loopDoublePut(n int) {
+	s := pool.Get().(*scratch)
+	for i := 0; i < n; i++ {
+		pool.Put(s) // want `s is returned to the pool twice`
+	}
+}
+
+// loopClean re-Gets each iteration: the rebind revalidates the variable.
+func loopClean(n int) {
+	var s *scratch
+	for i := 0; i < n; i++ {
+		s = pool.Get().(*scratch)
+		s.hits = i
+		pool.Put(s)
+	}
+}
+
+// branchClean reads the value before the Put; copying out first is the
+// correct discipline.
+func branchClean() int {
+	s := pool.Get().(*scratch)
+	n := s.hits
+	pool.Put(s)
+	return n
+}
+
+// deferClean uses the deferred-Put idiom: the Put runs at exit, so the
+// body's uses are fine.
+func deferClean() int {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	s.hits++
+	return s.hits
+}
+
+// retainsCaller parks the caller's slice in a pooled field across Put:
+// the next Get aliases memory the pool does not own.
+func retainsCaller(payload []byte) {
+	s := pool.Get().(*scratch)
+	s.buf = payload // want `pooled s retains caller-provided memory in field buf across Put`
+	s.hits = len(payload)
+	pool.Put(s)
+}
+
+// retainsCallerDefer is the same leak through a deferred Put.
+func retainsCallerDefer(payload []byte) int {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	s.buf = payload // want `pooled s retains caller-provided memory in field buf across Put`
+	return len(s.buf)
+}
+
+// resetsBeforePut clears the field on the way out, which is the correct
+// discipline; keeping the value's own grown backing array is fine too.
+func resetsBeforePut(payload []byte) {
+	s := pool.Get().(*scratch)
+	s.buf = payload
+	s.hits = len(payload)
+	s.buf = nil
+	pool.Put(s)
+}
+
+// growsOwned appends into the pooled value's own buffer: retention of
+// pool-owned backing memory is the point of pooling and stays legal.
+func growsOwned(payload []byte) {
+	s := pool.Get().(*scratch)
+	s.buf = append(s.buf[:0], payload...)
+	pool.Put(s)
+}

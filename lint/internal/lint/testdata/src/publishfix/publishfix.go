@@ -1,0 +1,160 @@
+// Package publishfix exercises the publishorder analyzer against the
+// rowTable-style publish-after-init idiom: pointers handed to
+// atomic.Pointer Store/CompareAndSwap are shared the instant the call
+// returns, so every initialization write must come first, and snapshots
+// obtained from Load are read-only.
+package publishfix
+
+import "sync/atomic"
+
+type row struct {
+	keys []uint32
+	n    int
+}
+
+type table struct {
+	slot  atomic.Pointer[row]
+	value atomic.Value
+}
+
+// admitClean is the correct first-touch admission: the row is fully built
+// before the pointer escapes.
+func (t *table) admitClean(keys []uint32) {
+	r := &row{}
+	r.keys = keys
+	r.n = len(keys)
+	t.slot.Store(r)
+}
+
+// admitRacy is the seeded bug the AST-level atomicfield analyzer cannot
+// see: the row is published first and initialized afterwards, so a
+// concurrent reader can observe the half-built struct.
+func (t *table) admitRacy(keys []uint32) {
+	r := &row{}
+	t.slot.Store(r)
+	r.keys = keys   // want `write to r after it is published`
+	r.n = len(keys) // want `write to r after it is published`
+}
+
+// casRacy publishes via CompareAndSwap and then touches the row on the
+// success branch.
+func (t *table) casRacy(keys []uint32) {
+	r := &row{}
+	r.keys = keys
+	if t.slot.CompareAndSwap(nil, r) {
+		r.n = len(keys) // want `write to r after it is published`
+	}
+}
+
+// aliasRacy writes through a copy of the published pointer.
+func (t *table) aliasRacy() {
+	r := &row{}
+	t.slot.Store(r)
+	p := r
+	p.n = 1 // want `write to p after it is published`
+}
+
+// addrRacy publishes the address of a stack variable and keeps writing
+// the variable itself.
+func (t *table) addrRacy(keys []uint32) {
+	var r row
+	r.keys = keys
+	t.slot.Store(&r)
+	r.n = 1 // want `write to r after it is published`
+}
+
+// valueRacy exercises the atomic.Value path.
+func (t *table) valueRacy() {
+	r := &row{}
+	t.value.Store(r)
+	r.n = 2 // want `write to r after it is published`
+}
+
+// loopClean republishes a freshly built row every iteration: the rebind
+// kills the previous publication, so the builds are private.
+func (t *table) loopClean(n int) {
+	for i := 0; i < n; i++ {
+		r := &row{}
+		r.n = i
+		t.slot.Store(r)
+	}
+}
+
+// loopRacy hoists the row out of the loop: from the second iteration on,
+// the writes mutate an already-published object.
+func (t *table) loopRacy(n int) {
+	r := &row{}
+	for i := 0; i < n; i++ {
+		r.n = i // want `write to r after it is published`
+		t.slot.Store(r)
+	}
+}
+
+// condClean initializes conditionally before the publication; no path
+// writes after the Store.
+func (t *table) condClean(keys []uint32, full bool) {
+	r := &row{}
+	if full {
+		r.keys = keys
+	}
+	t.slot.Store(r)
+}
+
+func fill(r *row, n int) { r.n = n }
+
+func read(r *row) int { return r.n }
+
+// helperRacy hands the published row to a helper that writes through it.
+func (t *table) helperRacy() {
+	r := &row{}
+	t.slot.Store(r)
+	fill(r, 3) // want `r is passed to a function that writes through it after it is published`
+	_ = read(r)
+}
+
+// closureRacy mutates the published row from a goroutine spawned after
+// the Store.
+func (t *table) closureRacy() {
+	r := &row{}
+	t.slot.Store(r)
+	go func() {
+		r.n = 4 // want `write to r after it is published`
+	}()
+}
+
+// snapshotRacy mutates a Load snapshot.
+func (t *table) snapshotRacy() {
+	cur := t.slot.Load()
+	if cur != nil {
+		cur.n++ // want `write through cur, a snapshot obtained from an atomic Load`
+	}
+}
+
+// snapshotDirect stores through an unsaved Load result.
+func (t *table) snapshotDirect() {
+	t.slot.Load().n = 5 // want `write through the result of slot.Load`
+}
+
+// snapshotHelper passes a snapshot to a writer.
+func (t *table) snapshotHelper() {
+	cur := t.slot.Load()
+	fill(cur, 6) // want `cur, a snapshot obtained from an atomic Load, is passed to a function that writes through it`
+}
+
+// snapshotClean reads are fine.
+func (t *table) snapshotClean() int {
+	cur := t.slot.Load()
+	if cur == nil {
+		return 0
+	}
+	return read(cur) + cur.n
+}
+
+// hatched documents an out-of-band happens-before edge; the justified
+// directive suppresses the finding and the bare one is itself flagged.
+func (t *table) hatched() {
+	r := &row{}
+	t.slot.Store(r)
+	r.n = 7 //csr:published fixture: guarded by the table mutex during rebuild
+	r.n = 8 /* want `//csr:published requires a justification` */ //csr:published
+}

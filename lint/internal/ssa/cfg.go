@@ -1,0 +1,413 @@
+// Package ssa is csrlint's SSA-lite intermediate representation: a
+// per-function control-flow graph over the parsed AST, a dominator tree,
+// a forward bitset dataflow framework, and a cross-package Program that
+// resolves static callees and memoizes interprocedural summaries. It is
+// deliberately not a full SSA construction — no virtual registers, no phi
+// nodes — because the analyzers built on it (publishorder, poollifetime,
+// mmapreadonly, fixedbound, the interprocedural hotpathalloc) need exactly
+// three capabilities the AST alone cannot give them: "does this statement
+// dominate that one", "can this statement reach that one", and "what does
+// this call do to the memory I handed it". Those are answerable from a
+// statement-granularity CFG plus def-use walking over types.Info, at a
+// fraction of the cost and code of real SSA, and entirely from the
+// standard library (the same zero-dependency discipline as the analysis
+// driver; see DESIGN.md §16).
+package ssa
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Ref addresses one CFG-tracked node: the block index and the node's
+// position within the block. Refs from the same CFG are ordered by
+// Dominates/Reaches; the zero Ref is the function entry.
+type Ref struct {
+	Block, Index int
+}
+
+// Block is one basic block: a maximal straight-line run of statements and
+// branch conditions. Nodes holds the AST nodes in execution order —
+// statements, plus the condition expressions of enclosing if/for/switch
+// heads, which is what makes "a guard dominates this index" answerable.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []int
+	Preds []int
+}
+
+// CFG is one function body's control-flow graph. Blocks[0] is the entry,
+// Blocks[1] the exit (returns and the implicit fall-off-the-end edge both
+// land there). Unreachable code keeps its blocks but they are excluded
+// from dominance (nothing dominates or is dominated by them).
+type CFG struct {
+	Blocks []*Block
+
+	// dominator state, built once at the end of construction
+	idom     []int // immediate dominator per block, -1 when unreachable
+	domDepth []int // depth in the dominator tree, -1 when unreachable
+
+	// reach memoizes block-level forward reachability bitsets, built
+	// lazily per source block.
+	reach []BitSet
+}
+
+const (
+	entryIndex = 0
+	exitIndex  = 1
+)
+
+// builder carries the construction state: the current (possibly nil =
+// unreachable) block, the break/continue target stack, and the label
+// table for goto resolution.
+type builder struct {
+	cfg   *CFG
+	cur   *Block
+	tgts  []ctrlTarget
+	label string // pending label for the next for/range/switch/select
+	// labels maps a label name to the block a goto/labeled-branch jumps
+	// to; gotos seen before their label resolve at the end.
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// fallthru is set when a case body ended in a fallthrough statement;
+	// the switch builder consumes it to link into the next case body.
+	fallthru bool
+}
+
+// ctrlTarget is one enclosing breakable/continuable construct.
+type ctrlTarget struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the CFG for one function body and computes its
+// dominator tree. A nil body (declaration without body) yields a CFG with
+// only entry and exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &builder{cfg: c, labels: make(map[string]*Block)}
+	entry := b.newBlock() // index 0
+	b.newBlock()          // index 1: exit
+	b.cur = entry
+	if body != nil {
+		b.stmt(body)
+	}
+	b.edgeTo(b.cur, c.Blocks[exitIndex])
+	for _, g := range b.gotos {
+		if tgt, ok := b.labels[g.label]; ok {
+			b.edgeTo(g.from, tgt)
+		}
+	}
+	c.buildDominators()
+	return c
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edgeTo adds from→to, tolerating a nil from (dead code after a
+// terminator contributes no edge).
+func (b *builder) edgeTo(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to.Index {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to.Index)
+	to.Preds = append(to.Preds, from.Index)
+}
+
+// add appends a node to the current block, starting a fresh detached
+// block when the current position is unreachable so construction can
+// continue through dead code.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable region
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate ends the current block with an edge to the exit (return,
+// panic) and marks the position unreachable.
+func (b *builder) terminate() {
+	b.edgeTo(b.cur, b.cfg.Blocks[exitIndex])
+	b.cur = nil
+}
+
+// takeLabel consumes the pending label for a labeled loop/switch.
+func (b *builder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+// findTarget resolves a break/continue to its enclosing construct.
+func (b *builder) findTarget(label string, cont bool) *Block {
+	for i := len(b.tgts) - 1; i >= 0; i-- {
+		t := b.tgts[i]
+		if label != "" && t.label != label {
+			continue
+		}
+		if cont {
+			if t.cont != nil {
+				return t.cont
+			}
+			if label != "" {
+				return nil // continue to a switch label: invalid code
+			}
+			continue // innermost switch/select: continue skips to the loop
+		}
+		return t.brk
+	}
+	return nil
+}
+
+// stmt translates one statement into the CFG.
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate()
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.terminate()
+		}
+
+	case *ast.LabeledStmt:
+		// A label opens a fresh block so gotos and labeled branches have a
+		// single join point to target.
+		lbl := b.newBlock()
+		b.edgeTo(b.cur, lbl)
+		b.cur = lbl
+		b.labels[s.Label.Name] = lbl
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.edgeTo(b.cur, b.findTarget(label, false))
+			b.cur = nil
+		case token.CONTINUE:
+			b.edgeTo(b.cur, b.findTarget(label, true))
+			b.cur = nil
+		case token.GOTO:
+			if tgt, ok := b.labels[label]; ok {
+				b.edgeTo(b.cur, tgt)
+			} else if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			b.fallthru = true
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edgeTo(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edgeTo(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edgeTo(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edgeTo(b.cur, join)
+		} else {
+			b.edgeTo(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edgeTo(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		head = b.cur // cond may have opened nothing, but keep the tail
+		join := b.newBlock()
+		post := b.newBlock()
+		if s.Cond != nil {
+			b.edgeTo(head, join)
+		}
+		body := b.newBlock()
+		b.edgeTo(head, body)
+		b.tgts = append(b.tgts, ctrlTarget{label: label, brk: join, cont: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edgeTo(b.cur, post)
+		b.tgts = b.tgts[:len(b.tgts)-1]
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.edgeTo(b.cur, head)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		b.edgeTo(b.cur, head)
+		b.cur = head
+		// The RangeStmt node itself marks the per-iteration key/value
+		// assignment; PosOf resolves nodes inside Key/Value here.
+		b.add(s)
+		join := b.newBlock()
+		b.edgeTo(head, join)
+		body := b.newBlock()
+		b.edgeTo(head, body)
+		b.tgts = append(b.tgts, ctrlTarget{label: label, brk: join, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edgeTo(b.cur, head)
+		b.tgts = b.tgts[:len(b.tgts)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		entry := b.cur
+		join := b.newBlock()
+		b.tgts = append(b.tgts, ctrlTarget{label: label, brk: join})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edgeTo(entry, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.edgeTo(b.cur, join)
+		}
+		b.tgts = b.tgts[:len(b.tgts)-1]
+		if len(s.Body.List) == 0 {
+			join = nil // select{} blocks forever
+		}
+		b.cur = join
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, DeferStmt,
+		// EmptyStmt, BadStmt: straight-line.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the case blocks shared by expression and type
+// switches: entry fans out to every clause, clauses join below, a missing
+// default adds the entry→join shortcut, fallthrough links sibling bodies.
+func (b *builder) switchClauses(label string, body *ast.BlockStmt, _ []ast.Stmt) {
+	entry := b.cur
+	join := b.newBlock()
+	b.tgts = append(b.tgts, ctrlTarget{label: label, brk: join})
+	var clauses []*ast.CaseClause
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		b.edgeTo(entry, blocks[i])
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		if b.fallthru {
+			b.fallthru = false
+			if i+1 < len(blocks) {
+				b.edgeTo(b.cur, blocks[i+1])
+				b.cur = nil
+				continue
+			}
+		}
+		b.edgeTo(b.cur, join)
+	}
+	if !hasDefault {
+		b.edgeTo(entry, join)
+	}
+	b.tgts = b.tgts[:len(b.tgts)-1]
+	b.cur = join
+}
+
+// isPanicCall reports whether e is a call spelled panic(...). The builder
+// has no type information, so a shadowed panic is misclassified; the
+// analyzers only become slightly conservative when that happens.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,109 @@
+package ssa
+
+// BitSet is a dense bit vector; the dataflow framework's fact domain.
+type BitSet []uint64
+
+// NewBitSet returns a set able to hold n bits.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Has reports whether bit i is set.
+func (s BitSet) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (s BitSet) Set(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (s BitSet) Clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// UnionWith ors o into s, reporting whether s changed.
+func (s BitSet) UnionWith(o BitSet) bool {
+	changed := false
+	for i, w := range o {
+		if s[i]|w != s[i] {
+			s[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy returns an independent copy of s.
+func (s BitSet) Copy() BitSet {
+	out := make(BitSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// Empty reports whether no bit is set.
+func (s BitSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dataflow is a forward may-analysis over one CFG: facts are bits, the
+// merge is set union, and Transfer rewrites a block's incoming facts into
+// its outgoing facts (gen/kill, applied node by node inside the block as
+// the analyzer sees fit). The solver iterates to a fixed point with a
+// worklist; monotone transfers terminate because the domain is finite.
+//
+// Analyzers that need in-block ordering (a Put followed by a use in the
+// same block) run Transfer themselves over In[b] after Solve — Transfer
+// must therefore be deterministic and side-effect-free until the caller's
+// final reporting pass.
+type Dataflow struct {
+	CFG  *CFG
+	Bits int
+	// Entry seeds the entry block's incoming facts (nil = empty).
+	Entry BitSet
+	// Transfer computes the block's outgoing facts from its incoming
+	// facts. It must not retain or mutate in; write the result into out
+	// (pre-initialized to a copy of in).
+	Transfer func(b *Block, in, out BitSet)
+}
+
+// Solve runs the analysis and returns the incoming fact set per block.
+func (d *Dataflow) Solve() []BitSet {
+	n := len(d.CFG.Blocks)
+	in := make([]BitSet, n)
+	out := make([]BitSet, n)
+	for i := 0; i < n; i++ {
+		in[i] = NewBitSet(d.Bits)
+		out[i] = NewBitSet(d.Bits)
+	}
+	if d.Entry != nil {
+		in[entryIndex].UnionWith(d.Entry)
+	}
+
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	push := func(b int) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	for i := 0; i < n; i++ {
+		push(i)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		blk := d.CFG.Blocks[b]
+		for _, p := range blk.Preds {
+			in[b].UnionWith(out[p])
+		}
+		next := in[b].Copy()
+		d.Transfer(blk, in[b], next)
+		if out[b].UnionWith(next) {
+			for _, s := range blk.Succs {
+				push(s)
+			}
+		}
+	}
+	return in
+}

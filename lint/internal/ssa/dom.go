@@ -1,0 +1,184 @@
+package ssa
+
+import "go/ast"
+
+// buildDominators computes immediate dominators over the reachable
+// subgraph with the Cooper–Harvey–Kennedy iterative algorithm on a
+// reverse-postorder numbering. Function CFGs are tiny (tens of blocks),
+// so the simple O(n²)-worst-case iteration beats Lengauer–Tarjan on both
+// code size and constant factor.
+func (c *CFG) buildDominators() {
+	n := len(c.Blocks)
+	c.idom = make([]int, n)
+	c.domDepth = make([]int, n)
+	for i := range c.idom {
+		c.idom[i] = -1
+		c.domDepth[i] = -1
+	}
+
+	// Reverse postorder over the reachable subgraph.
+	order := make([]int, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(int)
+	dfs = func(b int) {
+		state[b] = 1
+		for _, s := range c.Blocks[b].Succs {
+			if state[s] == 0 {
+				dfs(s)
+			}
+		}
+		state[b] = 2
+		order = append(order, b)
+	}
+	dfs(entryIndex)
+	// order is postorder; number blocks by their postorder index.
+	post := make([]int, n)
+	for i := range post {
+		post[i] = -1
+	}
+	for i, b := range order {
+		post[b] = i
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for post[a] < post[b] {
+				a = c.idom[a]
+			}
+			for post[b] < post[a] {
+				b = c.idom[b]
+			}
+		}
+		return a
+	}
+
+	c.idom[entryIndex] = entryIndex
+	for changed := true; changed; {
+		changed = false
+		for i := len(order) - 1; i >= 0; i-- { // reverse postorder
+			b := order[i]
+			if b == entryIndex {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Blocks[b].Preds {
+				if c.idom[p] == -1 {
+					continue // pred not yet processed or unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && c.idom[b] != newIdom {
+				c.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	c.domDepth[entryIndex] = 0
+	var depth func(int) int
+	depth = func(b int) int {
+		if c.domDepth[b] >= 0 {
+			return c.domDepth[b]
+		}
+		if c.idom[b] == -1 || c.idom[b] == b {
+			c.domDepth[b] = 0
+			return 0
+		}
+		c.domDepth[b] = depth(c.idom[b]) + 1
+		return c.domDepth[b]
+	}
+	for b := range c.Blocks {
+		if c.idom[b] != -1 {
+			depth(b)
+		}
+	}
+}
+
+// blockDominates reports whether block a dominates block b (every path
+// from the entry to b passes through a). A block dominates itself.
+// Unreachable blocks neither dominate nor are dominated.
+func (c *CFG) blockDominates(a, b int) bool {
+	if c.idom[a] == -1 || c.idom[b] == -1 {
+		return false
+	}
+	for c.domDepth[b] > c.domDepth[a] {
+		b = c.idom[b]
+	}
+	return a == b
+}
+
+// Dominates reports whether the node at a executes on every path before
+// the node at b: same block and strictly earlier, or a's block strictly
+// dominating b's.
+func (c *CFG) Dominates(a, b Ref) bool {
+	if a.Block == b.Block {
+		return c.idom[a.Block] != -1 && a.Index < b.Index
+	}
+	return c.blockDominates(a.Block, b.Block) // a ≠ b's block ⇒ strict
+}
+
+// Reaches reports whether execution can flow from the node at a to the
+// node at b: same block with a earlier, or b's block reachable from a's
+// successors (which covers the loop-back same-block case).
+func (c *CFG) Reaches(a, b Ref) bool {
+	if a.Block == b.Block && a.Index < b.Index {
+		return true
+	}
+	return c.reachableFrom(a.Block).Has(b.Block)
+}
+
+// reachableFrom returns (memoized) the set of blocks reachable from src's
+// successors — src itself is included only when it sits on a cycle.
+func (c *CFG) reachableFrom(src int) BitSet {
+	if c.reach == nil {
+		c.reach = make([]BitSet, len(c.Blocks))
+	}
+	if c.reach[src] != nil {
+		return c.reach[src]
+	}
+	set := NewBitSet(len(c.Blocks))
+	work := append([]int(nil), c.Blocks[src].Succs...)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if set.Has(b) {
+			continue
+		}
+		set.Set(b)
+		work = append(work, c.Blocks[b].Succs...)
+	}
+	c.reach[src] = set
+	return set
+}
+
+// PosOf locates the innermost CFG-tracked node containing n — the
+// statement (or branch condition) n executes under. Containers like a
+// RangeStmt span their whole body, so the narrowest containing node wins.
+// ok is false for nodes outside the body (parameters, the function name).
+func (c *CFG) PosOf(n ast.Node) (Ref, bool) {
+	var best Ref
+	found := false
+	bestWidth := 0
+	for _, blk := range c.Blocks {
+		for i, node := range blk.Nodes {
+			if node.Pos() <= n.Pos() && n.End() <= node.End() {
+				w := int(node.End() - node.Pos())
+				if !found || w < bestWidth {
+					best = Ref{Block: blk.Index, Index: i}
+					bestWidth = w
+					found = true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// NodeAt returns the AST node at r.
+func (c *CFG) NodeAt(r Ref) ast.Node {
+	return c.Blocks[r.Block].Nodes[r.Index]
+}

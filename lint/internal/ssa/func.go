@@ -1,0 +1,171 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FuncInfo couples one function body's CFG with the type information
+// needed to resolve its identifiers. It is the per-function unit every
+// analyzer works on.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Info *types.Info
+	CFG  *CFG
+}
+
+// NewFuncInfo builds the CFG for fd's body. fd.Body must be non-nil.
+func NewFuncInfo(fd *ast.FuncDecl, info *types.Info) *FuncInfo {
+	return &FuncInfo{Decl: fd, Info: info, CFG: BuildCFG(fd.Body)}
+}
+
+// VarOf resolves an identifier to the variable it defines or uses, or nil.
+func (fi *FuncInfo) VarOf(id *ast.Ident) *types.Var {
+	if obj, ok := fi.Info.Defs[id]; ok {
+		v, _ := obj.(*types.Var)
+		return v
+	}
+	v, _ := fi.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// RefOf locates n inside the CFG.
+func (fi *FuncInfo) RefOf(n ast.Node) (Ref, bool) { return fi.CFG.PosOf(n) }
+
+// peelValue strips wrappers that preserve value identity for aliasing
+// purposes: parentheses, type assertions, and conversions.
+func (fi *FuncInfo) peelValue(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// Conversion T(v): the callee is a type, not a function.
+			if len(x.Args) == 1 {
+				if tv, ok := fi.Info.Types[x.Fun]; ok && tv.IsType() {
+					e = x.Args[0]
+					continue
+				}
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// AliasClosure expands seeds to every local variable connected to a seed
+// by plain value-copy bindings (x := y, x = y, possibly parenthesized,
+// converted, or type-asserted). Edges are treated as undirected: if p
+// aliases a pooled value, so does anything p was copied from or into.
+// This deliberately ignores flow order — a may-alias closure — which is
+// the right polarity for "must not touch after X" checks.
+func (fi *FuncInfo) AliasClosure(seeds map[*types.Var]bool) map[*types.Var]bool {
+	type edge struct{ a, b *types.Var }
+	var edges []edge
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+				return true
+			}
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				rid, ok := fi.peelValue(st.Rhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lv, rv := fi.VarOf(lid), fi.VarOf(rid)
+				if lv != nil && rv != nil {
+					edges = append(edges, edge{lv, rv})
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					rid, ok := fi.peelValue(vs.Values[i]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					lv, rv := fi.VarOf(name), fi.VarOf(rid)
+					if lv != nil && rv != nil {
+						edges = append(edges, edge{lv, rv})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	out := make(map[*types.Var]bool, len(seeds))
+	for v := range seeds {
+		out[v] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if out[e.a] != out[e.b] {
+				out[e.a], out[e.b] = true, true
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// WriteRoot peels an assignment target to its base identifier, reporting
+// whether the write goes through memory the variable refers to (an index,
+// dereference, or field) rather than rebinding the variable itself.
+// Targets not rooted at an identifier (map literal element, call result)
+// yield nil.
+func WriteRoot(e ast.Expr) (id *ast.Ident, through bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e, through = x.X, true
+		case *ast.StarExpr:
+			e, through = x.X, true
+		case *ast.SelectorExpr:
+			e, through = x.X, true
+		case *ast.Ident:
+			return x, through
+		default:
+			return nil, false
+		}
+	}
+}
+
+// AssignTargets yields the write targets of a statement: each LHS of an
+// assignment (skipping blank), the operand of ++/--. Compound assignments
+// (+=) count as writes to their target.
+func AssignTargets(n ast.Node) []ast.Expr {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		out := make([]ast.Expr, 0, len(st.Lhs))
+		for _, lhs := range st.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			out = append(out, lhs)
+		}
+		return out
+	case *ast.IncDecStmt:
+		return []ast.Expr{st.X}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgInfo is one source-loaded package registered with a Program: its
+// type-checked package object, parsed files, and type information.
+type PkgInfo struct {
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// FuncSource is a function declaration paired with the package that
+// declares it, so interprocedural walks can resolve idents in the callee's
+// own type information.
+type FuncSource struct {
+	Decl *ast.FuncDecl
+	Pkg  *PkgInfo
+}
+
+// Program is the cross-package view: every package the driver loaded from
+// source, indexed so analyzers can follow a static call from any package
+// into any other's body. csrlint registers the whole ./... load; the
+// analysistest harness registers each fixture package and its fixture
+// imports. Summaries (which parameters a function writes through, whether
+// a hot-path callee allocates) are memoized here so a function's body is
+// analyzed once per run no matter how many call sites consult it.
+//
+// A Program is not safe for concurrent use; the driver runs analyzers
+// sequentially.
+type Program struct {
+	pkgs   map[*types.Package]*PkgInfo
+	decls  map[*types.Func]*FuncSource
+	byName map[string]*types.Func // FullName → source-declared object
+	infos  map[*types.Func]*FuncInfo
+	write  map[*types.Func]*writeState
+	facts  map[string]map[*types.Func]any
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		pkgs:   make(map[*types.Package]*PkgInfo),
+		decls:  make(map[*types.Func]*FuncSource),
+		byName: make(map[string]*types.Func),
+		infos:  make(map[*types.Func]*FuncInfo),
+		write:  make(map[*types.Func]*writeState),
+		facts:  make(map[string]map[*types.Func]any),
+	}
+}
+
+// AddPackage registers one source package. Registering the same package
+// twice is a no-op, so loaders can register eagerly.
+func (p *Program) AddPackage(pkg *types.Package, files []*ast.File, info *types.Info) {
+	if pkg == nil || p.pkgs[pkg] != nil {
+		return
+	}
+	pi := &PkgInfo{Pkg: pkg, Files: files, Info: info}
+	p.pkgs[pkg] = pi
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				p.decls[fn] = &FuncSource{Decl: fd, Pkg: pi}
+				p.byName[fn.FullName()] = fn
+			}
+		}
+	}
+}
+
+// Package returns the registered info for pkg, or nil.
+func (p *Program) Package(pkg *types.Package) *PkgInfo { return p.pkgs[pkg] }
+
+// canon maps fn to the source-declared object for the same function when
+// one is registered. The csrlint driver type-checks each target package
+// from source but resolves its imports from compiled export data, so the
+// *types.Func a call site yields for a cross-package callee is a distinct
+// object from the one the callee's own source load produced; matching by
+// FullName (which includes the receiver and package path) reconnects
+// them. Generic instantiations canonicalize through their origin.
+func (p *Program) canon(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	if _, ok := p.decls[fn]; ok {
+		return fn
+	}
+	if c, ok := p.byName[fn.FullName()]; ok {
+		return c
+	}
+	if o := fn.Origin(); o != fn {
+		return p.canon(o)
+	}
+	return fn
+}
+
+// Source returns fn's declaration and owning package when fn was loaded
+// from source; export-data-only functions (the standard library, unless a
+// fixture stub shadows it) have no source.
+func (p *Program) Source(fn *types.Func) (*FuncSource, bool) {
+	src, ok := p.decls[p.canon(fn)]
+	return src, ok
+}
+
+// FuncInfo returns the memoized CFG wrapper for fn's body, or nil when fn
+// has no source or no body.
+func (p *Program) FuncInfo(fn *types.Func) *FuncInfo {
+	fn = p.canon(fn)
+	if fi, ok := p.infos[fn]; ok {
+		return fi
+	}
+	var fi *FuncInfo
+	if src, ok := p.decls[fn]; ok && src.Decl.Body != nil {
+		fi = NewFuncInfo(src.Decl, src.Pkg.Info)
+	}
+	p.infos[fn] = fi
+	return fi
+}
+
+// Facts returns the memo map for one analyzer-chosen key, allocating it on
+// first use. Analyzers use it to persist their own cross-package
+// summaries (e.g. hotpathalloc's "does this callee allocate") for the
+// lifetime of the run.
+func (p *Program) Facts(key string) map[*types.Func]any {
+	m, ok := p.facts[key]
+	if !ok {
+		m = make(map[*types.Func]any)
+		p.facts[key] = m
+	}
+	return m
+}
+
+// StaticCallee resolves the static callee of call under info: a named
+// function, a method through a selection, or a package-qualified function.
+// It returns nil for builtins, conversions, and calls through function
+// values or interface dynamic dispatch (interface method calls DO resolve
+// to the interface method object, which has no source — callers fall back
+// to their unknown-callee policy).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// ParamVars returns fn's parameter objects with the receiver (when
+// present) at index 0 — the indexing convention WritesParam and CallArgs
+// share.
+func ParamVars(fn *types.Func) []*types.Var {
+	sig := fn.Signature()
+	var out []*types.Var
+	if recv := sig.Recv(); recv != nil {
+		out = append(out, recv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// CallArgs aligns a call's argument expressions with the callee's
+// ParamVars indices: for a method call through a selector, index 0 is the
+// receiver expression; variadic arguments all map to the final parameter
+// index. Arguments with no static mapping (method values, builtin calls)
+// yield nil.
+func CallArgs(info *types.Info, call *ast.CallExpr, callee *types.Func) []ast.Expr {
+	sig := callee.Signature()
+	n := sig.Params().Len()
+	hasRecv := sig.Recv() != nil
+	out := make([]ast.Expr, 0, n+1)
+	if hasRecv {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isSel := info.Selections[sel]; isSel {
+				out = append(out, sel.X)
+			} else {
+				out = append(out, nil) // qualified call; shouldn't happen for methods
+			}
+		} else {
+			out = append(out, nil) // method expression / value
+		}
+	}
+	for i, arg := range call.Args {
+		if i < n || n == 0 {
+			out = append(out, arg)
+		} else {
+			out = append(out, arg) // variadic tail: caller clamps by index
+		}
+	}
+	return out
+}
+
+// ParamIndexFor maps an argument slot from CallArgs back to the callee's
+// parameter index, clamping variadic tails onto the final parameter.
+func ParamIndexFor(callee *types.Func, slot int) int {
+	sig := callee.Signature()
+	n := sig.Params().Len()
+	base := 0
+	if sig.Recv() != nil {
+		base = 1
+	}
+	max := base + n - 1
+	if slot > max {
+		return max
+	}
+	return slot
+}

@@ -1,0 +1,425 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testPkg struct {
+	fset *token.FileSet
+	file *ast.File
+	pkg  *types.Package
+	info *types.Info
+	prog *Program
+}
+
+func loadSrc(t *testing.T, src string) *testPkg {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("x", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	prog := NewProgram()
+	prog.AddPackage(pkg, []*ast.File{file}, info)
+	return &testPkg{fset: fset, file: file, pkg: pkg, info: info, prog: prog}
+}
+
+func (tp *testPkg) fn(t *testing.T, name string) (*types.Func, *FuncInfo) {
+	t.Helper()
+	for _, d := range tp.file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != name {
+			continue
+		}
+		fn := tp.info.Defs[fd.Name].(*types.Func)
+		fi := tp.prog.FuncInfo(fn)
+		if fi == nil {
+			t.Fatalf("no FuncInfo for %s", name)
+		}
+		return fn, fi
+	}
+	t.Fatalf("func %s not found", name)
+	return nil, nil
+}
+
+// defRef finds the Ref of the statement defining the named variable.
+func defRef(t *testing.T, fi *FuncInfo, name string) Ref {
+	t.Helper()
+	var target *ast.Ident
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if _, isDef := fi.Info.Defs[id]; isDef && target == nil {
+				target = id
+			}
+		}
+		return true
+	})
+	if target == nil {
+		t.Fatalf("no def of %s", name)
+	}
+	r, ok := fi.RefOf(target)
+	if !ok {
+		t.Fatalf("def of %s not in CFG", name)
+	}
+	return r
+}
+
+func TestDominatesIfElse(t *testing.T) {
+	tp := loadSrc(t, `package x
+func f(c bool) {
+	a := 1
+	if c {
+		b := 2
+		_ = b
+	}
+	d := 3
+	_ = a
+	_ = d
+}`)
+	_, fi := tp.fn(t, "f")
+	a, b, d := defRef(t, fi, "a"), defRef(t, fi, "b"), defRef(t, fi, "d")
+	if !fi.CFG.Dominates(a, d) {
+		t.Errorf("a should dominate d")
+	}
+	if !fi.CFG.Dominates(a, b) {
+		t.Errorf("a should dominate b")
+	}
+	if fi.CFG.Dominates(b, d) {
+		t.Errorf("b (conditional) must not dominate d")
+	}
+	if fi.CFG.Dominates(d, a) {
+		t.Errorf("d must not dominate a")
+	}
+}
+
+func TestReachesLoop(t *testing.T) {
+	tp := loadSrc(t, `package x
+func f(n int) {
+	s := 0
+	for i := 0; i < n; i++ {
+		t := s
+		s = t + i
+	}
+	u := s
+	_ = u
+}`)
+	_, fi := tp.fn(t, "f")
+	s, tt, u := defRef(t, fi, "s"), defRef(t, fi, "t"), defRef(t, fi, "u")
+	if !fi.CFG.Reaches(s, tt) {
+		t.Errorf("s def should reach loop body")
+	}
+	if !fi.CFG.Reaches(tt, tt) {
+		t.Errorf("loop body should reach itself via back edge")
+	}
+	if fi.CFG.Reaches(u, tt) {
+		t.Errorf("post-loop must not reach loop body")
+	}
+	if fi.CFG.Dominates(tt, u) {
+		t.Errorf("loop body must not dominate post-loop")
+	}
+	if !fi.CFG.Dominates(s, u) {
+		t.Errorf("pre-loop should dominate post-loop")
+	}
+}
+
+func TestSwitchJoin(t *testing.T) {
+	tp := loadSrc(t, `package x
+func f(n int) {
+	switch n {
+	case 0:
+		a := 1
+		_ = a
+	case 1:
+		b := 2
+		_ = b
+	}
+	c := 3
+	_ = c
+}`)
+	_, fi := tp.fn(t, "f")
+	a, b, c := defRef(t, fi, "a"), defRef(t, fi, "b"), defRef(t, fi, "c")
+	if fi.CFG.Dominates(a, c) || fi.CFG.Dominates(b, c) {
+		t.Errorf("case bodies must not dominate the join")
+	}
+	if !fi.CFG.Reaches(a, c) || !fi.CFG.Reaches(b, c) {
+		t.Errorf("case bodies should reach the join")
+	}
+	if fi.CFG.Reaches(a, b) {
+		t.Errorf("sibling cases must not reach each other")
+	}
+}
+
+func TestSwitchDefaultDominates(t *testing.T) {
+	tp := loadSrc(t, `package x
+func f(n int) int {
+	var r int
+	switch {
+	case n > 0:
+		r = 1
+	default:
+		r = 2
+	}
+	c := r
+	return c
+}`)
+	_, fi := tp.fn(t, "f")
+	r, c := defRef(t, fi, "r"), defRef(t, fi, "c")
+	if !fi.CFG.Dominates(r, c) {
+		t.Errorf("var decl should dominate post-switch")
+	}
+}
+
+func TestGotoAndLabels(t *testing.T) {
+	tp := loadSrc(t, `package x
+func f(n int) {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	d := i
+	_ = d
+}`)
+	_, fi := tp.fn(t, "f")
+	i, d := defRef(t, fi, "i"), defRef(t, fi, "d")
+	if !fi.CFG.Dominates(i, d) {
+		t.Errorf("init should dominate exit path")
+	}
+	if !fi.CFG.Reaches(d, d) == false && fi.CFG.Reaches(d, i) {
+		t.Errorf("post-label must not reach init")
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	tp := loadSrc(t, `package x
+func f(c bool) {
+	if !c {
+		panic("no")
+	}
+	a := 1
+	_ = a
+}`)
+	_, fi := tp.fn(t, "f")
+	a := defRef(t, fi, "a")
+	// The panic branch must not be a predecessor path into a's block that
+	// bypasses the guard: a is dominated by the if statement itself.
+	var ifRef Ref
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if st, ok := n.(*ast.IfStmt); ok && !found {
+			ifRef, found = mustRef(t, fi, st.Cond)
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no if")
+	}
+	if !fi.CFG.Dominates(ifRef, a) {
+		t.Errorf("guard should dominate post-guard statement")
+	}
+}
+
+func mustRef(t *testing.T, fi *FuncInfo, n ast.Node) (Ref, bool) {
+	t.Helper()
+	r, ok := fi.RefOf(n)
+	if !ok {
+		t.Fatalf("node not in CFG")
+	}
+	return r, true
+}
+
+func TestDataflowUnion(t *testing.T) {
+	tp := loadSrc(t, `package x
+func f(c bool) {
+	a := 1
+	if c {
+		b := 2
+		_ = b
+	}
+	d := 3
+	_ = a
+	_ = d
+}`)
+	_, fi := tp.fn(t, "f")
+	b := defRef(t, fi, "b")
+	d := defRef(t, fi, "d")
+	df := &Dataflow{
+		CFG:  fi.CFG,
+		Bits: 1,
+		Transfer: func(blk *Block, in, out BitSet) {
+			if blk.Index == b.Block {
+				out.Set(0)
+			}
+		},
+	}
+	in := df.Solve()
+	if !in[d.Block].Has(0) {
+		t.Errorf("fact from conditional branch should flow to join (may-analysis)")
+	}
+	if in[b.Block].Has(0) {
+		t.Errorf("fact must not flow backward into its own gen block")
+	}
+}
+
+func TestAliasClosure(t *testing.T) {
+	tp := loadSrc(t, `package x
+func f() {
+	x := []int{1}
+	y := x
+	var z []int = y
+	w := []int{2}
+	_, _ = z, w
+}`)
+	_, fi := tp.fn(t, "f")
+	var xv, wv *types.Var
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := fi.Info.Defs[id].(*types.Var); ok {
+				switch id.Name {
+				case "x":
+					xv = v
+				case "w":
+					wv = v
+				}
+			}
+		}
+		return true
+	})
+	set := fi.AliasClosure(map[*types.Var]bool{xv: true})
+	names := map[string]bool{}
+	for v := range set {
+		names[v.Name()] = true
+	}
+	for _, want := range []string{"x", "y", "z"} {
+		if !names[want] {
+			t.Errorf("alias closure missing %s (have %v)", want, names)
+		}
+	}
+	if set[wv] {
+		t.Errorf("w must not alias x")
+	}
+}
+
+func TestWritesParam(t *testing.T) {
+	tp := loadSrc(t, `package x
+type T struct{ x int; buf []byte }
+func writeThrough(p *int) { *p = 1 }
+func writeSlice(s []int) { s[0] = 1 }
+func rebind(p *int) { p = nil; _ = p }
+func reads(p *int) int { return *p }
+func chain(p *int) { writeThrough(p) }
+func chainAlias(p *int) { q := p; writeThrough(q) }
+func (t *T) set() { t.x = 2 }
+func chainMethod(t *T) { t.set() }
+func copies(dst, src []byte) { copy(dst, src) }
+func appends(s []byte) { _ = append(s, 1) }
+func rec(p *int, n int) { if n > 0 { rec(p, n-1) }; *p = n }
+`)
+	cases := []struct {
+		fn   string
+		idx  int
+		want bool
+	}{
+		{"writeThrough", 0, true},
+		{"writeSlice", 0, true},
+		{"rebind", 0, false},
+		{"reads", 0, false},
+		{"chain", 0, true},
+		{"chainAlias", 0, true},
+		{"set", 0, true},
+		{"chainMethod", 0, true},
+		{"copies", 0, true},
+		{"copies", 1, false},
+		{"appends", 0, true},
+		{"rec", 0, true},
+		{"rec", 1, false},
+	}
+	for _, c := range cases {
+		fn, _ := tp.fn(t, c.fn)
+		if got := tp.prog.WritesParam(fn, c.idx); got != c.want {
+			t.Errorf("WritesParam(%s, %d) = %v, want %v", c.fn, c.idx, got, c.want)
+		}
+	}
+}
+
+func TestStaticCalleeAndCallArgs(t *testing.T) {
+	tp := loadSrc(t, `package x
+type T struct{}
+func (t *T) m(a int) {}
+func g(a, b int) {}
+func f(t *T) {
+	t.m(1)
+	g(2, 3)
+}`)
+	_, fi := tp.fn(t, "f")
+	var calls []*ast.CallExpr
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	if len(calls) != 2 {
+		t.Fatalf("want 2 calls, got %d", len(calls))
+	}
+	m := StaticCallee(fi.Info, calls[0])
+	if m == nil || m.Name() != "m" {
+		t.Fatalf("method callee = %v", m)
+	}
+	args := CallArgs(fi.Info, calls[0], m)
+	if len(args) != 2 || args[0] == nil {
+		t.Fatalf("method CallArgs = %v", args)
+	}
+	g := StaticCallee(fi.Info, calls[1])
+	if g == nil || g.Name() != "g" {
+		t.Fatalf("func callee = %v", g)
+	}
+	if args := CallArgs(fi.Info, calls[1], g); len(args) != 2 {
+		t.Fatalf("func CallArgs len = %d", len(args))
+	}
+}
+
+func TestSelectAndRange(t *testing.T) {
+	tp := loadSrc(t, `package x
+func f(ch chan int, xs []int) {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	select {
+	case v := <-ch:
+		a := v
+		_ = a
+	default:
+		b := 1
+		_ = b
+	}
+	c := total
+	_ = c
+}`)
+	_, fi := tp.fn(t, "f")
+	a, b, c := defRef(t, fi, "a"), defRef(t, fi, "b"), defRef(t, fi, "c")
+	total := defRef(t, fi, "total")
+	if fi.CFG.Dominates(a, c) || fi.CFG.Dominates(b, c) {
+		t.Errorf("select arms must not dominate the join")
+	}
+	if !fi.CFG.Dominates(total, c) {
+		t.Errorf("pre-range def should dominate the tail")
+	}
+}

@@ -1,0 +1,119 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// writeState memoizes one function's write-through-parameter summary.
+// inProgress marks a function currently on the computation stack so
+// recursive call cycles terminate; the cycle member sees the optimistic
+// (empty) partial summary, the standard fixed-point shortcut for a
+// monotone property where one pass is accurate enough for a linter.
+type writeState struct {
+	inProgress bool
+	mask       uint64 // bit i set ⇒ may store through parameter i
+}
+
+const maxSummaryParams = 64
+
+// WritesParam reports whether fn may store through its i'th parameter
+// (receiver counts as parameter 0 when present), directly or via the
+// functions it calls. Functions without registered source — the standard
+// library, function values, interface methods — are assumed read-only;
+// analyzers that care about specific stdlib writers (copy, append) must
+// special-case them at the call site.
+func (p *Program) WritesParam(fn *types.Func, i int) bool {
+	if fn == nil || i < 0 || i >= maxSummaryParams {
+		return false
+	}
+	return p.writeMask(fn)&(1<<uint(i)) != 0
+}
+
+func (p *Program) writeMask(fn *types.Func) uint64 {
+	fn = p.canon(fn) // align signature param objects with the source body
+	if st, ok := p.write[fn]; ok {
+		return st.mask // during a cycle: the optimistic partial
+	}
+	fi := p.FuncInfo(fn)
+	if fi == nil {
+		p.write[fn] = &writeState{}
+		return 0
+	}
+	st := &writeState{inProgress: true}
+	p.write[fn] = st
+
+	params := ParamVars(fn)
+	if len(params) > maxSummaryParams {
+		params = params[:maxSummaryParams]
+	}
+	// Per-parameter alias closure: writes through a local copy of a
+	// parameter are writes through the parameter.
+	aliases := make([]map[*types.Var]bool, len(params))
+	for idx, pv := range params {
+		aliases[idx] = fi.AliasClosure(map[*types.Var]bool{pv: true})
+	}
+	markFor := func(v *types.Var) {
+		if v == nil {
+			return
+		}
+		for idx := range params {
+			if aliases[idx][v] {
+				st.mask |= 1 << uint(idx)
+			}
+		}
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		for _, tgt := range AssignTargets(n) {
+			if id, through := WriteRoot(tgt); through && id != nil {
+				markFor(fi.VarOf(id))
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Builtins that write their first argument's backing store.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := fi.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "copy", "append", "clear":
+					if len(call.Args) > 0 {
+						if root, _ := WriteRoot(call.Args[0]); root != nil {
+							markFor(fi.VarOf(root))
+						}
+					}
+				}
+				return true
+			}
+		}
+		// A call that passes an aliased parameter to a callee that writes
+		// through the matching position propagates the write.
+		callee := StaticCallee(fi.Info, call)
+		if callee == nil || callee == fn {
+			return true
+		}
+		for slot, arg := range CallArgs(fi.Info, call, callee) {
+			if arg == nil {
+				continue
+			}
+			root, _ := WriteRoot(arg)
+			if root == nil {
+				continue
+			}
+			v := fi.VarOf(root)
+			if v == nil {
+				continue
+			}
+			pi := ParamIndexFor(callee, slot)
+			if p.WritesParam(callee, pi) {
+				markFor(v)
+			}
+		}
+		return true
+	})
+
+	st.inProgress = false
+	return st.mask
+}
